@@ -1,0 +1,35 @@
+// Command dlrbench runs the experiment suite E1–E10 (DESIGN.md §2) and
+// prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
+//
+//	dlrbench              # everything
+//	dlrbench -e E5        # one experiment
+//	dlrbench -games 5     # more attack games for E5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp   = flag.String("e", "", "run a single experiment (E1..E10); empty = all")
+		games = flag.Int("games", 1, "games per configuration in E5")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	tables, err := bench.Run(*exp, *games)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
+	fmt.Printf("total: %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

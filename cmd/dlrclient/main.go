@@ -1,0 +1,156 @@
+// Command dlrclient is the P1-side tool: it encrypts files with the
+// public key, and decrypts or refreshes by driving the 2-party protocol
+// against a running dlrdevice (P2).
+//
+//	dlrclient encrypt -pk keys/pk.bin -in secret.txt -out secret.dlr
+//	dlrclient decrypt -pk keys/pk.bin -share keys/share1.bin \
+//	    -addr 127.0.0.1:7700 -in secret.dlr
+//	dlrclient refresh -pk keys/pk.bin -share keys/share1.bin \
+//	    -addr 127.0.0.1:7700
+//
+// decrypt and refresh rewrite the P1 share file in place when the
+// protocol changes it.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/dlr"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		pkPath    = fs.String("pk", "pk.bin", "public key file")
+		sharePath = fs.String("share", "share1.bin", "P1 share file")
+		addr      = fs.String("addr", "127.0.0.1:7700", "dlrdevice address")
+		in        = fs.String("in", "", "input file")
+		out       = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		log.Fatal(err)
+	}
+
+	pk := loadPK(*pkPath)
+	switch cmd {
+	case "encrypt":
+		msg := readInput(*in)
+		ct, err := dlr.EncryptBytes(rand.Reader, pk, msg, nil)
+		if err != nil {
+			log.Fatalf("encrypt: %v", err)
+		}
+		writeOutput(*out, ct.Bytes())
+
+	case "decrypt":
+		p1 := loadP1(pk, *sharePath)
+		ct, err := dlr.HybridCiphertextFromBytes(readInput(*in))
+		if err != nil {
+			log.Fatalf("decoding ciphertext: %v", err)
+		}
+		ch := dialDevice(*addr)
+		defer ch.Close()
+		session, err := p1.RunDec(rand.Reader, ch, ct.KEM)
+		if err != nil {
+			log.Fatalf("distributed decryption: %v", err)
+		}
+		msg, err := dlr.DecryptBytes(ct, session)
+		if err != nil {
+			log.Fatalf("opening payload: %v", err)
+		}
+		writeOutput(*out, msg)
+
+	case "refresh":
+		p1 := loadP1(pk, *sharePath)
+		ch := dialDevice(*addr)
+		defer ch.Close()
+		if err := p1.RunRef(rand.Reader, ch); err != nil {
+			log.Fatalf("refresh protocol: %v", err)
+		}
+		if err := p1.BeginPeriod(rand.Reader); err != nil {
+			log.Fatalf("period rotation: %v", err)
+		}
+		raw, err := p1.Marshal()
+		if err != nil {
+			log.Fatalf("marshaling refreshed share: %v", err)
+		}
+		if err := os.WriteFile(*sharePath, raw, 0o600); err != nil {
+			log.Fatalf("rewriting share file: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "shares refreshed on both devices")
+
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlrclient {encrypt|decrypt|refresh} [flags]")
+	os.Exit(2)
+}
+
+func loadPK(path string) *dlr.PublicKey {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading public key: %v", err)
+	}
+	pk, err := dlr.UnmarshalPublicKey(raw)
+	if err != nil {
+		log.Fatalf("decoding public key: %v", err)
+	}
+	return pk
+}
+
+func loadP1(pk *dlr.PublicKey, path string) *dlr.P1 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading share: %v", err)
+	}
+	p1, err := dlr.UnmarshalP1(pk, raw, nil)
+	if err != nil {
+		log.Fatalf("decoding share: %v", err)
+	}
+	return p1
+}
+
+func dialDevice(addr string) device.Channel {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatalf("connecting to device at %s: %v", addr, err)
+	}
+	return device.NewConnChannel(conn)
+}
+
+func readInput(path string) []byte {
+	if path == "" {
+		log.Fatal("missing -in")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("reading input: %v", err)
+	}
+	return data
+}
+
+func writeOutput(path string, data []byte) {
+	if path == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("writing output: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(data))
+}

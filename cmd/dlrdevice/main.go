@@ -1,0 +1,72 @@
+// Command dlrdevice runs device P2 (the auxiliary device of §1.1) as a
+// TCP daemon serving the 2-party decryption and refresh protocols:
+//
+//	dlrdevice -pk keys/pk.bin -share keys/share2.bin -listen 127.0.0.1:7700
+//
+// The share held by this process is refreshed in place whenever the peer
+// runs the refresh protocol.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/dlr"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	var (
+		pkPath    = flag.String("pk", "pk.bin", "public key file")
+		sharePath = flag.String("share", "share2.bin", "P2 share file")
+		listen    = flag.String("listen", "127.0.0.1:7700", "listen address")
+		oneShot   = flag.Bool("oneshot", false, "exit after the first connection closes")
+	)
+	flag.Parse()
+
+	pk, p2 := loadP2(*pkPath, *sharePath)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	log.Printf("device P2 serving on %s (κ=%d, ℓ=%d)", ln.Addr(), pk.Params.Kappa, pk.Params.Ell)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		log.Printf("peer connected: %s", conn.RemoteAddr())
+		ch := device.NewConnChannel(conn)
+		if err := p2.ServeLoop(ch); err != nil {
+			log.Printf("connection ended: %v", err)
+		}
+		_ = ch.Close()
+		if *oneShot {
+			return
+		}
+	}
+}
+
+func loadP2(pkPath, sharePath string) (*dlr.PublicKey, *dlr.P2) {
+	pkRaw, err := os.ReadFile(pkPath)
+	if err != nil {
+		log.Fatalf("reading public key: %v", err)
+	}
+	pk, err := dlr.UnmarshalPublicKey(pkRaw)
+	if err != nil {
+		log.Fatalf("decoding public key: %v", err)
+	}
+	shRaw, err := os.ReadFile(sharePath)
+	if err != nil {
+		log.Fatalf("reading share: %v", err)
+	}
+	p2, err := dlr.UnmarshalP2(pk, shRaw, nil)
+	if err != nil {
+		log.Fatalf("decoding share: %v", err)
+	}
+	return pk, p2
+}

@@ -1,0 +1,71 @@
+// Command dlrkeygen runs DLR key generation (the trusted dealer) and
+// writes the public key and the two device share files:
+//
+//	dlrkeygen -n 80 -lambda 256 -mode optimal -out ./keys
+//
+// produces keys/pk.bin, keys/share1.bin (device P1) and keys/share2.bin
+// (device P2). Distribute the share files to their devices and delete
+// the originals; they are the devices' secret memory.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dlr"
+	"repro/internal/params"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n      = flag.Int("n", 80, "statistical security parameter (bits)")
+		lambda = flag.Int("lambda", 256, "per-period leakage bound for P1 (bits)")
+		mode   = flag.String("mode", "optimal", "P1 memory layout: basic | optimal")
+		out    = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	var m params.Mode
+	switch *mode {
+	case "basic":
+		m = params.ModeBasic
+	case "optimal":
+		m = params.ModeOptimalRate
+	default:
+		log.Fatalf("unknown -mode %q (want basic or optimal)", *mode)
+	}
+
+	prm, err := params.New(*n, *lambda)
+	if err != nil {
+		log.Fatalf("invalid parameters: %v", err)
+	}
+	pk, p1, p2, err := dlr.Gen(rand.Reader, prm, dlr.WithMode(m))
+	if err != nil {
+		log.Fatalf("key generation: %v", err)
+	}
+
+	if err := os.MkdirAll(*out, 0o700); err != nil {
+		log.Fatalf("creating output directory: %v", err)
+	}
+	write := func(name string, data []byte, perm os.FileMode) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, data, perm); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+
+	write("pk.bin", dlr.MarshalPublicKey(pk), 0o644)
+	raw1, err := p1.Marshal()
+	if err != nil {
+		log.Fatalf("marshaling P1 share: %v", err)
+	}
+	write("share1.bin", raw1, 0o600)
+	write("share2.bin", p2.Marshal(), 0o600)
+	fmt.Printf("parameters: %v (mode %s)\n", prm, m)
+}

@@ -1,0 +1,81 @@
+// Command cca2files demonstrates DLRCCA2 (§4.3) — the CCA2-secure
+// distributed scheme — as a file-drop service where active attackers
+// control the ciphertexts that reach the decryptors: each ciphertext
+// carries a one-time signature binding it to a fresh identity, so any
+// tampering or splicing is rejected before the devices touch secret
+// material, and a decryption oracle never helps against the target
+// ciphertext.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/bn254"
+	"repro/internal/cca2"
+	"repro/internal/params"
+)
+
+func main() {
+	log.SetFlags(0)
+	prm := params.MustNew(80, 256)
+	const nID = 16
+
+	pk, dev1, dev2, err := cca2.Gen(rand.Reader, prm, nID, nil, nil)
+	if err != nil {
+		log.Fatalf("setup: %v", err)
+	}
+	fmt.Println("CCA2 drop-box online; decryption key split across two devices")
+
+	// A sender drops a file.
+	m, err := cca2.RandMessage(rand.Reader, pk)
+	if err != nil {
+		log.Fatalf("sampling session element: %v", err)
+	}
+	ct, err := cca2.Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		log.Fatalf("encrypt: %v", err)
+	}
+	fmt.Printf("ciphertext: %d bytes (OTS vk + IBE ct + signature)\n", len(ct.Bytes()))
+
+	// The legitimate recipient decrypts: verify → distributed extract →
+	// distributed decrypt.
+	got, err := cca2.Decrypt(rand.Reader, pk, dev1, dev2, ct)
+	if err != nil {
+		log.Fatalf("decrypt: %v", err)
+	}
+	fmt.Printf("legitimate decryption ok: %v\n", got.Equal(m))
+
+	// An active attacker tampers with the payload: rejected before any
+	// secret-key work happens.
+	tampered := *ct
+	inner := *ct.C
+	inner.C = new(bn254.GT).Mul(ct.C.C, ct.C.C)
+	tampered.C = &inner
+	if err := cca2.Validate(&tampered); err != nil {
+		fmt.Printf("tampered ciphertext rejected: %v\n", err)
+	}
+
+	// The attacker splices a verification key from another ciphertext:
+	// the identity binding catches it.
+	other, err := cca2.Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spliced := *ct
+	spliced.VK = other.VK
+	if err := cca2.Validate(&spliced); err != nil {
+		fmt.Printf("vk-spliced ciphertext rejected: %v\n", err)
+	}
+
+	// Decryptions of unrelated ciphertexts (the oracle an active
+	// adversary gets) never help with the target: each ciphertext has
+	// its own one-time identity.
+	got2, err := cca2.Decrypt(rand.Reader, pk, dev1, dev2, other)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle decryption of an unrelated ciphertext: %v (its identity %q differs from the target's %q)\n",
+		got2.Equal(m), other.VK.Fingerprint()[:12]+"…", ct.VK.Fingerprint()[:12]+"…")
+}

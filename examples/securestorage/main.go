@@ -1,0 +1,89 @@
+// Command securestorage demonstrates §4.4: long-term secret storage on
+// hardware that continually leaks. Values live DLR-encrypted on the
+// devices; every period the key shares are refreshed and the at-rest
+// ciphertexts re-randomized. The example attaches a leakage "adversary"
+// that records bounded leakage from both devices each period and shows
+// that nothing it accumulates survives a refresh, while the data remains
+// perfectly retrievable.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"repro/internal/params"
+	"repro/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	prm := params.MustNew(80, 256)
+	st, err := storage.New(rand.Reader, prm)
+	if err != nil {
+		log.Fatalf("creating store: %v", err)
+	}
+
+	secrets := map[string][]byte{
+		"db-password":   []byte("hunter2-but-long"),
+		"signing-seed":  []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08},
+		"backup-phrase": []byte("correct horse battery staple"),
+	}
+	for k, v := range secrets {
+		if err := st.Put(rand.Reader, k, v); err != nil {
+			log.Fatalf("put %q: %v", k, err)
+		}
+	}
+	fmt.Printf("stored %d values: %v\n", len(secrets), st.Keys())
+
+	// The adversary: each period it gets λ bits from device 1 and sees
+	// the at-rest ciphertexts. It keeps everything it ever saw.
+	leakBudgetBytes := prm.B1() / 8
+	var harvested [][]byte
+
+	const periods = 5
+	for t := 0; t < periods; t++ {
+		p1Secret, _ := st.DeviceSecrets()
+		chunk := p1Secret[:min(leakBudgetBytes, len(p1Secret))]
+		harvested = append(harvested, append([]byte(nil), chunk...))
+
+		ctBefore, _ := st.CiphertextBytes("db-password")
+		if err := st.RefreshPeriod(rand.Reader); err != nil {
+			log.Fatalf("refresh period %d: %v", t, err)
+		}
+		ctAfter, _ := st.CiphertextBytes("db-password")
+		fmt.Printf("period %d: leaked %d bytes from device 1; at-rest ciphertext changed: %v\n",
+			t, len(chunk), !bytes.Equal(ctBefore, ctAfter))
+	}
+
+	// Everything the adversary harvested refers to erased share
+	// generations: no two harvested chunks even agree.
+	distinct := true
+	for i := 1; i < len(harvested); i++ {
+		if bytes.Equal(harvested[i], harvested[0]) {
+			distinct = false
+		}
+	}
+	fmt.Printf("\nadversary harvested %d chunks across periods; all from different (erased) shares: %v\n",
+		len(harvested), distinct)
+
+	// The owner still reads everything.
+	for k, want := range secrets {
+		got, err := st.Get(rand.Reader, k)
+		if err != nil {
+			log.Fatalf("get %q: %v", k, err)
+		}
+		if !bytes.Equal(got, want) {
+			log.Fatalf("value %q corrupted", k)
+		}
+	}
+	fmt.Printf("all %d values intact after %d leaky periods\n", len(secrets), st.Period())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package baselines
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+)
+
+func TestNaorSegevRoundTrip(t *testing.T) {
+	ns, err := NewNaorSegev(rand.Reader, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bn254.HashToG1("baseline-test", []byte("msg"))
+	ct, err := ns.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("NS decryption failed")
+	}
+	if ct.Size() != 6*bn254.G1Bytes {
+		t.Fatalf("NS ciphertext size %d, want %d", ct.Size(), 6*bn254.G1Bytes)
+	}
+}
+
+func TestNaorSegevValidation(t *testing.T) {
+	if _, err := NewNaorSegev(rand.Reader, 0, nil); err == nil {
+		t.Fatal("accepted ℓ = 0")
+	}
+	ns, _ := NewNaorSegev(rand.Reader, 3, nil)
+	m := bn254.HashToG1("x", nil)
+	ct, _ := ns.Encrypt(rand.Reader, m)
+	ct.Coins = ct.Coins[:2]
+	if _, err := ns.Decrypt(ct); err == nil {
+		t.Fatal("accepted short ciphertext")
+	}
+}
+
+func TestNaorSegevSecretNeverChanges(t *testing.T) {
+	// The point of the baseline: there is no refresh; the secret is
+	// static, so continual leakage accumulates against a fixed target.
+	ns, _ := NewNaorSegev(rand.Reader, 3, nil)
+	s1 := ns.SecretBytes()
+	m := bn254.HashToG1("y", nil)
+	if _, err := ns.Encrypt(rand.Reader, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, ns.SecretBytes()) {
+		t.Fatal("NS secret changed unexpectedly")
+	}
+}
+
+func TestBitwiseRoundTrip(t *testing.T) {
+	bw, err := NewBitwise(rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte{0x00, 0xFF, 0xA5, 0x3C}
+	ct, err := bw.Encrypt(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bw.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("bitwise round trip: got %x want %x", got, msg)
+	}
+}
+
+func TestBitwiseCostShape(t *testing.T) {
+	// Footnote 3's claim: bit-by-bit encryption costs ω(n)
+	// exponentiations and produces ω(n) group elements. For an n-bit
+	// message: 2n exponentiations, 2n elements.
+	ctr := opcount.New()
+	bw, err := NewBitwise(rand.Reader, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Reset()
+	msg := make([]byte, 4) // 32 bits
+	if _, err := bw.Encrypt(rand.Reader, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Get(opcount.G1Exp); got != 64 {
+		t.Fatalf("bitwise encryption of 32 bits used %d exps, want 64", got)
+	}
+	ct, _ := bw.Encrypt(rand.Reader, msg)
+	if ct.Size() != 32*2*bn254.G1Bytes {
+		t.Fatalf("bitwise ciphertext size %d, want %d", ct.Size(), 32*2*bn254.G1Bytes)
+	}
+}
+
+func TestElGamalGTRoundTrip(t *testing.T) {
+	eg, err := NewElGamalGT(rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eg.RandMessage(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := eg.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eg.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("ElGamal-GT round trip failed")
+	}
+}
+
+func TestElGamalGTMatchesDLRShape(t *testing.T) {
+	// The cost-floor baseline has DLR's exact ciphertext shape: 2
+	// elements, 2 exponentiations per encryption.
+	ctr := opcount.New()
+	eg, err := NewElGamalGT(rand.Reader, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := eg.RandMessage(rand.Reader)
+	ctr.Reset()
+	ct, err := eg.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := ctr.Get(opcount.G1Exp) + ctr.Get(opcount.G2Exp) + ctr.Get(opcount.GTExp)
+	if exps != 2 {
+		t.Fatalf("ElGamal-GT encryption used %d exps, want 2", exps)
+	}
+	if ct.Size() != bn254.G1Bytes+bn254.GTBytes {
+		t.Fatalf("ciphertext size %d, want %d", ct.Size(), bn254.G1Bytes+bn254.GTBytes)
+	}
+}

@@ -1,0 +1,218 @@
+// Package bb implements the single-processor Boneh–Boyen-style identity
+// based encryption scheme exactly as the paper builds on it (§4.1–4.2,
+// citing [5]): bit-wise identity hashing against a public matrix
+// U ∈ G2^{n×2}, master secret msk = g2^α, identity keys
+//
+//	sk_ID = (g^{r_1},…,g^{r_n},  M = g2^α · Π_j u_{j,b_j}^{r_j})
+//
+// with H(ID) = (b_1,…,b_n) ∈ {0,1}ⁿ. It serves two roles: the substrate
+// DLRIBE distributes (package dibe), and the non-leakage-resilient
+// single-processor baseline of experiment E1/E7.
+package bb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/group"
+	"repro/internal/opcount"
+	"repro/internal/scalar"
+)
+
+// DefaultNID is the default identity-hash dimension in bits.
+const DefaultNID = 32
+
+// PublicKey holds the BB public parameters.
+type PublicKey struct {
+	// NID is the identity-hash dimension n.
+	NID int
+	// E is e(g1, g2) with g1 = g^α.
+	E *bn254.GT
+	// G2Base is the public g2.
+	G2Base *bn254.G2
+	// U is the n×2 matrix of public G2 elements.
+	U [][2]*bn254.G2
+}
+
+// MasterKey is msk = g2^α.
+type MasterKey struct {
+	MSK *bn254.G2
+}
+
+// IdentityKey is sk_ID.
+type IdentityKey struct {
+	ID string
+	// R holds g^{r_j} ∈ G1.
+	R []*bn254.G1
+	// M is g2^α · Π u_{j,b_j}^{r_j} ∈ G2.
+	M *bn254.G2
+}
+
+// Ciphertext encrypts m ∈ GT to an identity:
+// (A, B_1..B_n, C) = (g^t, {u_{j,b_j}^t}, m·E^t).
+type Ciphertext struct {
+	ID string
+	A  *bn254.G1
+	B  []*bn254.G2
+	C  *bn254.GT
+}
+
+// HashID expands an identity string to n bits b_1..b_n.
+func HashID(id string, n int) []int {
+	bits := make([]int, n)
+	var block [32]byte
+	for j := 0; j < n; j++ {
+		if j%256 == 0 {
+			h := sha256.New()
+			var idx [4]byte
+			binary.BigEndian.PutUint32(idx[:], uint32(j/256))
+			h.Write(idx[:])
+			h.Write([]byte(id))
+			copy(block[:], h.Sum(nil))
+		}
+		bit := (block[(j%256)/8] >> (j % 8)) & 1
+		bits[j] = int(bit)
+	}
+	return bits
+}
+
+// Gen generates BB public parameters and the master key.
+func Gen(rng io.Reader, nID int, ctr *opcount.Counter) (*PublicKey, *MasterKey, error) {
+	if nID < 1 {
+		return nil, nil, fmt.Errorf("bb: identity dimension must be ≥ 1, got %d", nID)
+	}
+	g2a := group.G2{Ctr: ctr}
+	alpha, err := scalar.Rand(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	g1 := new(bn254.G1).ScalarBaseMult(alpha)
+	ctr.Add(opcount.G1Exp, 1)
+	g2pt, err := g2a.Rand(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := group.Pair(ctr, g1, g2pt)
+	msk := g2a.Exp(g2pt, alpha)
+
+	u := make([][2]*bn254.G2, nID)
+	for j := range u {
+		for b := 0; b < 2; b++ {
+			el, err := g2a.Rand(rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			u[j][b] = el
+		}
+	}
+	return &PublicKey{NID: nID, E: e, G2Base: g2pt, U: u}, &MasterKey{MSK: msk}, nil
+}
+
+// Extract derives the identity key for id.
+func Extract(rng io.Reader, pk *PublicKey, mk *MasterKey, id string, ctr *opcount.Counter) (*IdentityKey, error) {
+	bits := HashID(id, pk.NID)
+	g2a := group.G2{Ctr: ctr}
+	rs, err := scalar.RandVector(rng, pk.NID)
+	if err != nil {
+		return nil, err
+	}
+	rPts := make([]*bn254.G1, pk.NID)
+	m := new(bn254.G2).Set(mk.MSK)
+	for j := 0; j < pk.NID; j++ {
+		rPts[j] = new(bn254.G1).ScalarBaseMult(rs[j])
+		ctr.Add(opcount.G1Exp, 1)
+		m = g2a.Mul(m, g2a.Exp(pk.U[j][bits[j]], rs[j]))
+	}
+	return &IdentityKey{ID: id, R: rPts, M: m}, nil
+}
+
+// Encrypt encrypts m ∈ GT to identity id.
+func Encrypt(rng io.Reader, pk *PublicKey, id string, m *bn254.GT, ctr *opcount.Counter) (*Ciphertext, error) {
+	bits := HashID(id, pk.NID)
+	g2a := group.G2{Ctr: ctr}
+	t, err := scalar.Rand(rng)
+	if err != nil {
+		return nil, err
+	}
+	a := new(bn254.G1).ScalarBaseMult(t)
+	ctr.Add(opcount.G1Exp, 1)
+	bs := make([]*bn254.G2, pk.NID)
+	for j := 0; j < pk.NID; j++ {
+		bs[j] = g2a.Exp(pk.U[j][bits[j]], t)
+	}
+	c := new(bn254.GT).Exp(pk.E, t)
+	ctr.Add(opcount.GTExp, 1)
+	c.Mul(c, m)
+	ctr.Add(opcount.GTMul, 1)
+	return &Ciphertext{ID: id, A: a, B: bs, C: c}, nil
+}
+
+// Decrypt recovers m = C · Π e(R_j, B_j) / e(A, M).
+func Decrypt(pk *PublicKey, sk *IdentityKey, ct *Ciphertext, ctr *opcount.Counter) (*bn254.GT, error) {
+	if sk.ID != ct.ID {
+		return nil, fmt.Errorf("bb: key for %q cannot decrypt ciphertext for %q", sk.ID, ct.ID)
+	}
+	if len(ct.B) != pk.NID || len(sk.R) != pk.NID {
+		return nil, fmt.Errorf("bb: dimension mismatch")
+	}
+	acc := new(bn254.GT).Set(ct.C)
+	for j := 0; j < pk.NID; j++ {
+		acc.Mul(acc, group.Pair(ctr, sk.R[j], ct.B[j]))
+		ctr.Add(opcount.GTMul, 1)
+	}
+	eAM := group.Pair(ctr, ct.A, sk.M)
+	acc.Div(acc, eAM)
+	ctr.Add(opcount.GTMul, 1)
+	return acc, nil
+}
+
+// DerivedPKE is the standard PKE obtained by fixing a single identity —
+// the plain (non-leakage-resilient) single-processor baseline of
+// experiment E1.
+type DerivedPKE struct {
+	PK *PublicKey
+	SK *IdentityKey
+	ID string
+}
+
+// NewDerivedPKE fixes the identity "pke" and extracts its key.
+func NewDerivedPKE(rng io.Reader, nID int, ctr *opcount.Counter) (*DerivedPKE, error) {
+	pk, mk, err := Gen(rng, nID, ctr)
+	if err != nil {
+		return nil, err
+	}
+	const id = "pke"
+	sk, err := Extract(rng, pk, mk, id, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &DerivedPKE{PK: pk, SK: sk, ID: id}, nil
+}
+
+// Encrypt encrypts to the fixed identity.
+func (d *DerivedPKE) Encrypt(rng io.Reader, m *bn254.GT, ctr *opcount.Counter) (*Ciphertext, error) {
+	return Encrypt(rng, d.PK, d.ID, m, ctr)
+}
+
+// Decrypt decrypts with the fixed identity key.
+func (d *DerivedPKE) Decrypt(ct *Ciphertext, ctr *opcount.Counter) (*bn254.GT, error) {
+	return Decrypt(d.PK, d.SK, ct, ctr)
+}
+
+// RandMessage samples a random GT plaintext.
+func RandMessage(rng io.Reader, pk *PublicKey) (*bn254.GT, error) {
+	u, err := scalar.Rand(rng)
+	if err != nil {
+		return nil, err
+	}
+	return new(bn254.GT).Exp(pk.E, u), nil
+}
+
+// CiphertextSize returns the encoded size in bytes (experiment E1's
+// ciphertext-size column).
+func (c *Ciphertext) CiphertextSize() int {
+	return bn254.G1Bytes + len(c.B)*bn254.G2Bytes + bn254.GTBytes
+}

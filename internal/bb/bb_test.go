@@ -1,0 +1,163 @@
+package bb
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/opcount"
+)
+
+const testNID = 8
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	pk, mk, err := Gen(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Extract(rand.Reader, pk, mk, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, "alice", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(pk, sk, ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("BB decryption failed")
+	}
+}
+
+func TestWrongIdentityRejected(t *testing.T) {
+	pk, mk, err := Gen(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skBob, err := Extract(rand.Reader, pk, mk, "bob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "alice", m, nil)
+	if _, err := Decrypt(pk, skBob, ct, nil); err == nil {
+		t.Fatal("bob's key accepted alice's ciphertext")
+	}
+}
+
+func TestWrongKeyWrongMessage(t *testing.T) {
+	// Even with a matching ID string, a key extracted under a different
+	// master must not decrypt.
+	pk, mk, err := Gen(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mk2, err := Gen(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skForged, err := Extract(rand.Reader, pk, mk2, "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mk
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "alice", m, nil)
+	got, err := Decrypt(pk, skForged, ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(m) {
+		t.Fatal("forged key decrypted correctly (vanishing probability)")
+	}
+}
+
+func TestHashIDDeterministicAndBinary(t *testing.T) {
+	a := HashID("alice", 64)
+	b := HashID("alice", 64)
+	c := HashID("bob", 64)
+	if len(a) != 64 {
+		t.Fatalf("length %d", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != 0 && a[i] != 1 {
+			t.Fatal("non-binary hash output")
+		}
+	}
+	if !same {
+		t.Fatal("HashID not deterministic")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("HashID identical for distinct identities")
+	}
+}
+
+func TestDerivedPKE(t *testing.T) {
+	d, err := NewDerivedPKE(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, d.PK)
+	ct, err := d.Encrypt(rand.Reader, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Decrypt(ct, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("derived PKE round trip failed")
+	}
+}
+
+func TestOperationCounts(t *testing.T) {
+	// BB encryption costs n+1 exponentiations in the curve groups plus
+	// one in GT — the ω(n) shape experiment E1 contrasts DLR against.
+	pk, _, err := Gen(rand.Reader, testNID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := opcount.New()
+	m, _ := RandMessage(rand.Reader, pk)
+	if _, err := Encrypt(rand.Reader, pk, "alice", m, ctr); err != nil {
+		t.Fatal(err)
+	}
+	wantExp := int64(testNID + 2) // 1 G1 + n G2 + 1 GT
+	gotExp := ctr.Get(opcount.G1Exp) + ctr.Get(opcount.G2Exp) + ctr.Get(opcount.GTExp)
+	if gotExp != wantExp {
+		t.Fatalf("encryption used %d exps, want %d", gotExp, wantExp)
+	}
+}
+
+func TestGenValidates(t *testing.T) {
+	if _, _, err := Gen(rand.Reader, 0, nil); err == nil {
+		t.Fatal("accepted nID = 0")
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	pk, _, _ := Gen(rand.Reader, testNID, nil)
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "x", m, nil)
+	want := 64 + testNID*128 + 384
+	if got := ct.CiphertextSize(); got != want {
+		t.Fatalf("ciphertext size %d, want %d", got, want)
+	}
+}

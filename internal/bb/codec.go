@@ -1,0 +1,71 @@
+package bb
+
+import (
+	"fmt"
+
+	"repro/internal/bn254"
+	"repro/internal/wire"
+)
+
+// Bytes returns the canonical ciphertext encoding
+// (ID, A, B_1..B_n, C), used both on the wire and as the message the
+// CHK transform signs.
+func (c *Ciphertext) Bytes() []byte {
+	var b wire.Builder
+	b.AppendBytes([]byte(c.ID))
+	b.AppendRaw(c.A.Bytes())
+	b.AppendUint32(uint32(len(c.B)))
+	for _, bj := range c.B {
+		b.AppendRaw(bj.Bytes())
+	}
+	b.AppendRaw(c.C.Bytes())
+	return b.Bytes()
+}
+
+// CiphertextFromBytes decodes a ciphertext encoded by Bytes.
+func CiphertextFromBytes(raw []byte) (*Ciphertext, error) {
+	p := wire.NewParser(raw)
+	id, err := p.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("bb: decoding ID: %w", err)
+	}
+	aRaw, err := p.Raw(bn254.G1Bytes)
+	if err != nil {
+		return nil, err
+	}
+	a, err := new(bn254.G1).SetBytes(aRaw)
+	if err != nil {
+		return nil, fmt.Errorf("bb: decoding A: %w", err)
+	}
+	n, err := p.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 4096 {
+		return nil, fmt.Errorf("bb: implausible identity dimension %d", n)
+	}
+	bs := make([]*bn254.G2, n)
+	for j := range bs {
+		bRaw, err := p.Raw(bn254.G2Bytes)
+		if err != nil {
+			return nil, err
+		}
+		bj, err := new(bn254.G2).SetBytes(bRaw)
+		if err != nil {
+			return nil, fmt.Errorf("bb: decoding B_%d: %w", j, err)
+		}
+		bs[j] = bj
+	}
+	cRaw, err := p.Raw(bn254.GTBytes)
+	if err != nil {
+		return nil, err
+	}
+	cElem, err := new(bn254.GT).SetBytes(cRaw)
+	if err != nil {
+		return nil, fmt.Errorf("bb: decoding C: %w", err)
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("bb: %d trailing bytes in ciphertext", p.Remaining())
+	}
+	return &Ciphertext{ID: string(id), A: a, B: bs, C: cElem}, nil
+}

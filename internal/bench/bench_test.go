@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID:     "EX",
+		Title:  "example",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"wide-value", "3"}},
+		Notes:  []string{"a note"},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"EX — example", "long-column", "wide-value", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2RatesShape(t *testing.T) {
+	tbl := E2LeakageRates()
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("E2 has %d rows", len(tbl.Rows))
+	}
+	// ρ1 opt column (index 4) must be strictly increasing toward 1.
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		rate, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate <= prev || rate >= 1 {
+			t.Fatalf("ρ1 sequence not increasing toward 1: %v after %v", rate, prev)
+		}
+		prev = rate
+	}
+	if prev < 0.99 {
+		t.Fatalf("largest λ only reaches ρ1 = %f", prev)
+	}
+}
+
+func TestRegistryUnknownID(t *testing.T) {
+	if _, err := Run("E99", 1); err == nil {
+		t.Fatal("accepted unknown experiment id")
+	}
+}
+
+func TestRegistryListsAll(t *testing.T) {
+	exps := Experiments(1)
+	if len(exps) != 10 {
+		t.Fatalf("registry has %d experiments, want 10", len(exps))
+	}
+	want := map[string]bool{}
+	for i := 1; i <= 10; i++ {
+		want[fmt.Sprintf("E%d", i)] = true
+	}
+	for _, e := range exps {
+		if !want[e.ID] {
+			t.Fatalf("unexpected experiment id %q", e.ID)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/bn254"
+	"repro/internal/dlr"
+	"repro/internal/params"
+	"repro/internal/stats"
+)
+
+// E10Ablations measures the design choices DESIGN.md §3 calls out:
+// (a) reference vs optimized pairing path, (b) ModeBasic vs
+// ModeOptimalRate secret memory and rate, (c) the §5.2 ciphertext-reuse
+// remark, and (d) the refresh-distribution invariance of Definition 3.1.
+func E10Ablations() (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "ablations of design choices",
+		Header: []string{"ablation", "variant", "measurement"},
+	}
+
+	// (a) Pairing implementation strategy.
+	{
+		p, _, err := bn254.RandG1(nil)
+		if err != nil {
+			return nil, err
+		}
+		q, _, err := bn254.RandG2(nil)
+		if err != nil {
+			return nil, err
+		}
+		var fast, slow *bn254.GT
+		fastD, _ := timeIt(func() error { fast = bn254.Pair(p, q); return nil })
+		slowD, _ := timeIt(func() error { slow = bn254.PairReference(p, q); return nil })
+		agree := fast.Equal(slow)
+		t.Rows = append(t.Rows,
+			[]string{"pairing", "optimized (twisted lines, Frobenius final exp)", ms(fastD)},
+			[]string{"pairing", "reference (generic E(Fp12), literal exponent)", ms(slowD)},
+			[]string{"pairing", "paths agree", fmt.Sprint(agree)},
+		)
+	}
+
+	// (b) P1 memory layout.
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		prm := params.MustNew(40, 256)
+		pk, p1, p2, err := dlr.Gen(rand.Reader, prm, dlr.WithMode(mode))
+		if err != nil {
+			return nil, err
+		}
+		m, _ := dlr.RandMessage(rand.Reader, pk)
+		ct, _ := dlr.Encrypt(rand.Reader, pk, m, nil)
+		decD, err := timeIt(func() error {
+			_, _, err := dlr.Decrypt(rand.Reader, p1, p2, ct)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"P1 layout", mode.String(),
+			fmt.Sprintf("secret %d B, ρ1 %.3f, dec %s",
+				len(p1.SecretBytes()), prm.Rate1(mode), ms(decD)),
+		})
+	}
+
+	// (c) Ciphertext reuse: deriving the Dec-protocol GT ciphertexts by
+	// pairing-transport of the existing fᵢ vs encrypting fresh GT
+	// ciphertexts from scratch. Measured on one HPSKE ciphertext.
+	{
+		d, err := measureTransportVsFresh()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, d...)
+	}
+
+	// (d) Refresh distribution invariance (Definition 3.1): the refreshed
+	// sharing reconstructs the identical secret every time (exact
+	// invariant), and refreshed share components look fresh (uniformity
+	// smoke test on the Φ' encodings).
+	{
+		prm := params.MustNew(40, 128)
+		_, p1, p2, err := dlr.Gen(rand.Reader, prm, dlr.WithMode(params.ModeBasic))
+		if err != nil {
+			return nil, err
+		}
+		const rounds = 24
+		phiSamples := make([][]byte, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			if _, err := dlr.Refresh(rand.Reader, p1, p2); err != nil {
+				return nil, err
+			}
+			sh, err := dlr.ExposeShareForTest(p1)
+			if err != nil {
+				return nil, err
+			}
+			phiSamples = append(phiSamples, sh.Payload.Bytes())
+		}
+		counts, err := stats.ByteBucketCounts(phiSamples, 4)
+		if err != nil {
+			return nil, err
+		}
+		stat, crit, err := stats.ChiSquareUniform(counts)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"refresh dist.", fmt.Sprintf("Φ' trailing-byte buckets over %d refreshes", rounds),
+			fmt.Sprintf("χ²=%.2f (1%% critical %.2f) — uniform: %v", stat, crit, stat <= crit),
+		})
+	}
+
+	t.Notes = append(t.Notes,
+		"claims: optimized pairing ≈ 8× the reference at identical outputs; optimal layout shrinks P1's secret memory by ~ℓ·|G2|;",
+		"transport reuse trades κ+1 pairings for κ hash-to-GT encryption operations; refresh output distribution shows no bias",
+	)
+	return t, nil
+}
+
+func measureTransportVsFresh() ([][]string, error) {
+	prm := params.MustNew(40, 256)
+	pk, p1, p2, err := dlr.Gen(rand.Reader, prm)
+	if err != nil {
+		return nil, err
+	}
+	_ = pk
+	_ = p2
+	return dlr.MeasureTransportAblation(rand.Reader, p1)
+}

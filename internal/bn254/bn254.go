@@ -1,0 +1,67 @@
+// Package bn254 implements the BN254 pairing-friendly elliptic-curve
+// groups and the optimal-ate/ate pairings over them, entirely on the Go
+// standard library. It provides the "parameters generating algorithm"
+// G(1ⁿ) of the paper (§2.1): prime-order groups G1, G2, GT of order r
+// connected by an efficiently computable, non-degenerate bilinear map
+//
+//	e : G1 × G2 → GT.
+//
+// The paper is written for symmetric (Type-1) pairings; this library uses
+// the standard asymmetric (Type-3) instantiation and fixes, once and for
+// all, which side of the pairing each scheme element lives on (see
+// package dlr). The BDDH and k-Lin assumptions the paper relies on are
+// conjectured to hold in this group.
+//
+// Curve: E(Fp): y² = x³ + 3, with the sextic D-type twist
+// E'(Fp2): y² = x³ + 3/ξ, ξ = 9+i.
+//
+// Random group elements can be sampled obliviously (without anyone
+// learning their discrete logarithms) via hashing to the curve — a
+// property the paper's §5.2 explicitly requires of the group.
+package bn254
+
+import (
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+// u is the BN parameter; p = 36u⁴+36u³+24u²+6u+1, r = 36u⁴+36u³+18u²+6u+1.
+var u = new(big.Int).SetUint64(4965661367192848881)
+
+// Order returns a copy of the (prime) order r of G1, G2 and GT.
+func Order() *big.Int { return ff.Order() }
+
+// curveB is the G1 curve constant b = 3.
+var curveB = ff.FpFromInt64(3)
+
+// twistB is the G2 curve constant b' = 3/ξ.
+var twistB = func() *ff.Fp2 {
+	var z ff.Fp2
+	z.SetFp(ff.FpFromInt64(3))
+	var xiInv ff.Fp2
+	xiInv.Inverse(ff.Xi())
+	z.Mul(&z, &xiInv)
+	return &z
+}()
+
+// g2Cofactor is #E'(Fp2)/r = 2p − r.
+var g2Cofactor = func() *big.Int {
+	c := new(big.Int).Lsh(ff.Modulus(), 1)
+	return c.Sub(c, ff.Order())
+}()
+
+// ateLoop is the ate-pairing Miller-loop length t−1 = 6u².
+var ateLoop = func() *big.Int {
+	s := new(big.Int).Mul(u, u)
+	return s.Mul(s, big.NewInt(6))
+}()
+
+// finalExpPower is (p¹²−1)/r, the full final-exponentiation exponent used
+// by the reference pairing path.
+var finalExpPower = func() *big.Int {
+	p := ff.Modulus()
+	p12 := new(big.Int).Exp(p, big.NewInt(12), nil)
+	p12.Sub(p12, big.NewInt(1))
+	return p12.Div(p12, ff.Order())
+}()

@@ -1,0 +1,208 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Edge-case tests for the curve arithmetic: identities, small scalars,
+// negatives, and the subgroup boundary conditions the protocols rely on.
+
+func TestG1SmallScalars(t *testing.T) {
+	g := G1Generator()
+	var zero G1
+	zero.ScalarMult(g, big.NewInt(0))
+	if !zero.IsInfinity() {
+		t.Fatal("[0]g ≠ ∞")
+	}
+	var one G1
+	one.ScalarMult(g, big.NewInt(1))
+	if !one.Equal(g) {
+		t.Fatal("[1]g ≠ g")
+	}
+	var two, dbl G1
+	two.ScalarMult(g, big.NewInt(2))
+	dbl.Double(g)
+	if !two.Equal(&dbl) {
+		t.Fatal("[2]g ≠ 2g")
+	}
+	// [r−1]g = −g.
+	rm1 := new(big.Int).Sub(Order(), big.NewInt(1))
+	var last, neg G1
+	last.ScalarMult(g, rm1)
+	neg.Neg(g)
+	if !last.Equal(&neg) {
+		t.Fatal("[r−1]g ≠ −g")
+	}
+}
+
+func TestG1ScalarMultReducesModOrder(t *testing.T) {
+	g := G1Generator()
+	k := big.NewInt(123456789)
+	var a, b G1
+	a.ScalarMult(g, k)
+	b.ScalarMult(g, new(big.Int).Add(k, Order()))
+	if !a.Equal(&b) {
+		t.Fatal("[k]g ≠ [k+r]g")
+	}
+	// Negative scalars reduce correctly too.
+	var c, d G1
+	c.ScalarMult(g, new(big.Int).Neg(k))
+	d.Neg(&a)
+	if !c.Equal(&d) {
+		t.Fatal("[−k]g ≠ −[k]g")
+	}
+}
+
+func TestG1DoubleOfInfinity(t *testing.T) {
+	var z G1
+	z.Double(NewG1())
+	if !z.IsInfinity() {
+		t.Fatal("2·∞ ≠ ∞")
+	}
+	var s G1
+	s.ScalarMult(NewG1(), big.NewInt(42))
+	if !s.IsInfinity() {
+		t.Fatal("[42]∞ ≠ ∞")
+	}
+}
+
+func TestG2SmallScalars(t *testing.T) {
+	g := G2Generator()
+	var zero G2
+	zero.ScalarMult(g, big.NewInt(0))
+	if !zero.IsInfinity() {
+		t.Fatal("[0]g2 ≠ ∞")
+	}
+	var one G2
+	one.ScalarMult(g, big.NewInt(1))
+	if !one.Equal(g) {
+		t.Fatal("[1]g2 ≠ g2")
+	}
+	rm1 := new(big.Int).Sub(Order(), big.NewInt(1))
+	var last, neg G2
+	last.ScalarMult(g, rm1)
+	neg.Neg(g)
+	if !last.Equal(&neg) {
+		t.Fatal("[r−1]g2 ≠ −g2")
+	}
+	var o G2
+	o.ScalarMult(g, Order())
+	if !o.IsInfinity() {
+		t.Fatal("[r]g2 ≠ ∞")
+	}
+}
+
+func TestG2AddCancellation(t *testing.T) {
+	g, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var neg, sum G2
+	neg.Neg(g)
+	sum.Add(g, &neg)
+	if !sum.IsInfinity() {
+		t.Fatal("Q + (−Q) ≠ ∞")
+	}
+	var same G2
+	same.Add(g, NewG2())
+	if !same.Equal(g) {
+		t.Fatal("Q + ∞ ≠ Q")
+	}
+}
+
+func TestPairingRightLinearity(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum G2
+	sum.Add(q1, q2)
+	lhs := Pair(p, &sum)
+	var rhs GT
+	rhs.Mul(Pair(p, q1), Pair(p, q2))
+	if !lhs.Equal(&rhs) {
+		t.Fatal("pairing not additive in G2 argument")
+	}
+}
+
+func TestPairingNegation(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var negP G1
+	negP.Neg(p)
+	var prod GT
+	prod.Mul(Pair(p, q), Pair(&negP, q))
+	if !prod.IsOne() {
+		t.Fatal("e(P,Q)·e(−P,Q) ≠ 1")
+	}
+	var negQ G2
+	negQ.Neg(q)
+	var inv GT
+	inv.Inverse(Pair(p, q))
+	if !Pair(p, &negQ).Equal(&inv) {
+		t.Fatal("e(P,−Q) ≠ e(P,Q)⁻¹")
+	}
+}
+
+func TestGTDivAndExpZero(t *testing.T) {
+	a, err := RandGT(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q GT
+	q.Div(a, a)
+	if !q.IsOne() {
+		t.Fatal("a/a ≠ 1")
+	}
+	var e0 GT
+	e0.Exp(a, big.NewInt(0))
+	if !e0.IsOne() {
+		t.Fatal("a⁰ ≠ 1")
+	}
+	var en GT
+	en.Exp(a, big.NewInt(-1))
+	var check GT
+	check.Mul(a, &en)
+	if !check.IsOne() {
+		t.Fatal("a·a⁻¹ (via Exp) ≠ 1")
+	}
+}
+
+func TestHashToG1DifferentTagsDiffer(t *testing.T) {
+	a := HashToG1("tag-a", []byte("m"))
+	b := HashToG1("tag-b", []byte("m"))
+	if a.Equal(b) {
+		t.Fatal("domain separation broken in HashToG1")
+	}
+}
+
+func TestG2SetBytesRejectsCorruptedPoint(t *testing.T) {
+	// Corrupting a valid encoding must never yield a usable point: the
+	// decoder checks both the twist equation and the r-subgroup, so any
+	// successful decode must still pass IsInSubgroup.
+	g, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := g.Bytes()
+	enc[5] ^= 0x40
+	pt, err := new(G2).SetBytes(enc)
+	if err == nil && !pt.IsInSubgroup() {
+		t.Fatal("SetBytes returned a non-subgroup point")
+	}
+}

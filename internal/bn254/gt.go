@@ -1,0 +1,123 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"repro/internal/ff"
+)
+
+// GT is an element of the order-r target group (a subgroup of Fp12*).
+// The zero value is NOT valid; obtain elements from Pair, GTOne, RandGT
+// or SetBytes.
+type GT struct {
+	v ff.Fp12
+}
+
+// GTBytes is the size of the canonical GT encoding.
+const GTBytes = ff.Fp12Bytes
+
+// GTOne returns the identity of GT.
+func GTOne() *GT {
+	var z GT
+	z.v.SetOne()
+	return &z
+}
+
+// gtGen lazily computes e(G1Generator, G2Generator), a generator of GT.
+var gtGen = struct {
+	once sync.Once
+	g    GT
+}{}
+
+// GTGenerator returns a copy of e(g, g2), a generator of GT.
+func GTGenerator() *GT {
+	gtGen.once.Do(func() {
+		gtGen.g.Set(Pair(G1Generator(), G2Generator()))
+	})
+	return new(GT).Set(&gtGen.g)
+}
+
+// RandGT returns a uniformly random GT element of unknown discrete
+// logarithm, obtained by pairing a hashed-to-G1 point with the G2
+// generator — the oblivious sampling required by the paper's §5.2.
+func RandGT(rng io.Reader) (*GT, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var seed [32]byte
+	if _, err := io.ReadFull(rng, seed[:]); err != nil {
+		return nil, fmt.Errorf("bn254: sampling GT seed: %w", err)
+	}
+	h := HashToG1("BN254-GT-SAMPLE", seed[:])
+	return Pair(h, G2Generator()), nil
+}
+
+// Set sets z = a and returns z.
+func (z *GT) Set(a *GT) *GT {
+	z.v.Set(&a.v)
+	return z
+}
+
+// SetOne sets z to the identity and returns z.
+func (z *GT) SetOne() *GT {
+	z.v.SetOne()
+	return z
+}
+
+// IsOne reports whether z is the identity.
+func (z *GT) IsOne() bool { return z.v.IsOne() }
+
+// Equal reports whether z == a.
+func (z *GT) Equal(a *GT) bool { return z.v.Equal(&a.v) }
+
+// Mul sets z = a·b and returns z.
+func (z *GT) Mul(a, b *GT) *GT {
+	z.v.Mul(&a.v, &b.v)
+	return z
+}
+
+// Inverse sets z = a⁻¹ and returns z.
+func (z *GT) Inverse(a *GT) *GT {
+	z.v.Inverse(&a.v)
+	return z
+}
+
+// Div sets z = a/b and returns z.
+func (z *GT) Div(a, b *GT) *GT {
+	var binv GT
+	binv.Inverse(b)
+	return z.Mul(a, &binv)
+}
+
+// Exp sets z = a^k and returns z. k is reduced mod r.
+func (z *GT) Exp(a *GT, k *big.Int) *GT {
+	e := new(big.Int).Mod(k, ff.Order())
+	z.v.Exp(&a.v, e)
+	return z
+}
+
+// IsInSubgroup reports whether z^r = 1.
+func (z *GT) IsInSubgroup() bool {
+	var t ff.Fp12
+	t.Exp(&z.v, ff.Order())
+	return t.IsOne()
+}
+
+// Bytes returns the canonical 384-byte encoding.
+func (z *GT) Bytes() []byte { return z.v.Bytes() }
+
+// SetBytes decodes the canonical encoding. It validates field-element
+// ranges but not subgroup membership (use IsInSubgroup when needed).
+func (z *GT) SetBytes(b []byte) (*GT, error) {
+	if _, err := z.v.SetBytes(b); err != nil {
+		return nil, fmt.Errorf("bn254: decoding GT: %w", err)
+	}
+	return z, nil
+}
+
+// String implements fmt.Stringer.
+func (z *GT) String() string { return "GT:" + z.v.String() }

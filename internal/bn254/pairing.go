@@ -1,0 +1,287 @@
+package bn254
+
+import (
+	"repro/internal/ff"
+)
+
+// Pair computes the ate pairing e(p, q) — a non-degenerate bilinear map
+// G1 × G2 → GT. Pairing with the identity on either side yields 1.
+//
+// The implementation is the ate pairing with Miller-loop length
+// t−1 = 6u², lines computed on the twist with Fp2 arithmetic and mapped
+// into Fp12 through the untwist ψ(x,y) = (x·w², y·w³), followed by the
+// fast Frobenius-decomposed final exponentiation. A structurally
+// independent slow path (PairReference) exists for cross-checking.
+func Pair(p *G1, q *G2) *GT {
+	if p.IsInfinity() || q.IsInfinity() {
+		return GTOne()
+	}
+	f := millerLoopTwisted(p, q)
+	var out GT
+	out.v.Set(finalExpFast(f))
+	return &out
+}
+
+// PairReference computes the same pairing via a generic Miller loop over
+// E(Fp12) (the curve itself, after untwisting Q) and a final
+// exponentiation by the literal exponent (p¹²−1)/r. It shares no line
+// arithmetic or Frobenius decomposition with Pair and is used by tests
+// and the E10 ablation bench.
+func PairReference(p *G1, q *G2) *GT {
+	if p.IsInfinity() || q.IsInfinity() {
+		return GTOne()
+	}
+	f := millerLoopGeneric(p, q)
+	var out GT
+	out.v.Exp(f, finalExpPower)
+	return &out
+}
+
+// lineEval holds a sparse line evaluation l(P) = e0 + e1·w + e3·w³ with
+// e0 ∈ Fp (embedded), e1, e3 ∈ Fp2.
+type lineEval struct {
+	e0, e1, e3 ff.Fp2
+}
+
+// toFp12 expands the sparse line into a full Fp12 element.
+func (l *lineEval) toFp12() *ff.Fp12 {
+	var out ff.Fp12
+	out.C0.C0.Set(&l.e0) // w⁰
+	out.C1.C0.Set(&l.e1) // w¹
+	out.C1.C1.Set(&l.e3) // w³
+	return &out
+}
+
+// doubleStep doubles t in place and returns the tangent line at the old
+// t, evaluated at p. t must not be infinity or 2-torsion.
+func doubleStep(t *G2, p *G1) lineEval {
+	// λ = 3x²/(2y) on the twist.
+	var lambda, num, den ff.Fp2
+	num.Square(&t.x)
+	var three ff.Fp2
+	three.SetFp(ff.FpFromInt64(3))
+	num.Mul(&num, &three)
+	den.Double(&t.y)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+
+	var l lineEval
+	l.e0.SetFp(&p.y)
+	var xpFp2 ff.Fp2
+	xpFp2.SetFp(&p.x)
+	l.e1.Mul(&lambda, &xpFp2)
+	l.e1.Neg(&l.e1)
+	l.e3.Mul(&lambda, &t.x)
+	l.e3.Sub(&l.e3, &t.y)
+
+	// Point update: x' = λ² − 2x; y' = λ(x − x') − y.
+	var x3, y3 ff.Fp2
+	x3.Square(&lambda)
+	var twoX ff.Fp2
+	twoX.Double(&t.x)
+	x3.Sub(&x3, &twoX)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+	return l
+}
+
+// addStep sets t = t + q in place and returns the chord line through the
+// old t and q, evaluated at p. Requires t ≠ ±q and neither infinite.
+func addStep(t, q *G2, p *G1) lineEval {
+	var lambda, num, den ff.Fp2
+	num.Sub(&q.y, &t.y)
+	den.Sub(&q.x, &t.x)
+	den.Inverse(&den)
+	lambda.Mul(&num, &den)
+
+	var l lineEval
+	l.e0.SetFp(&p.y)
+	var xpFp2 ff.Fp2
+	xpFp2.SetFp(&p.x)
+	l.e1.Mul(&lambda, &xpFp2)
+	l.e1.Neg(&l.e1)
+	l.e3.Mul(&lambda, &q.x)
+	l.e3.Sub(&l.e3, &q.y)
+
+	var x3, y3 ff.Fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &t.x)
+	x3.Sub(&x3, &q.x)
+	y3.Sub(&t.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &t.y)
+	t.x.Set(&x3)
+	t.y.Set(&y3)
+	return l
+}
+
+// millerLoopTwisted computes f_{6u², Q}(P) with all point arithmetic on
+// the twist.
+func millerLoopTwisted(p *G1, q *G2) *ff.Fp12 {
+	var f ff.Fp12
+	f.SetOne()
+	var t G2
+	t.Set(q)
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		f.Mul(&f, &f)
+		l := doubleStep(&t, p)
+		f.Mul(&f, l.toFp12())
+		if s.Bit(i) == 1 {
+			l := addStep(&t, q, p)
+			f.Mul(&f, l.toFp12())
+		}
+	}
+	return &f
+}
+
+// fp12Point is an affine point on E(Fp12): y² = x³ + 3, used by the
+// generic reference Miller loop.
+type fp12Point struct {
+	x, y ff.Fp12
+}
+
+// untwist maps a twist point into E(Fp12): ψ(x, y) = (x·w², y·w³).
+func untwist(q *G2) fp12Point {
+	var out fp12Point
+	// x·w²: w² = v, so an Fp2 element c lands in coefficient e2 (C0.C1).
+	out.x.C0.C1.Set(&q.x)
+	// y·w³: coefficient e3 (C1.C1).
+	out.y.C1.C1.Set(&q.y)
+	return out
+}
+
+// genericLine evaluates the line through a and b (tangent when a == b) at
+// the embedded point (xp, yp) and advances a to a+b. All arithmetic is in
+// Fp12.
+func genericLineAndAdd(a *fp12Point, b *fp12Point, xp, yp *ff.Fp12) *ff.Fp12 {
+	var lambda ff.Fp12
+	if a.x.Equal(&b.x) && a.y.Equal(&b.y) {
+		var num, den ff.Fp12
+		num.Square(&a.x)
+		var three ff.Fp12
+		three.SetOne()
+		three.Add(&three, &three)
+		var one ff.Fp12
+		one.SetOne()
+		three.Add(&three, &one)
+		num.Mul(&num, &three)
+		den.Add(&a.y, &a.y)
+		den.Inverse(&den)
+		lambda.Mul(&num, &den)
+	} else {
+		var num, den ff.Fp12
+		num.Sub(&b.y, &a.y)
+		den.Sub(&b.x, &a.x)
+		den.Inverse(&den)
+		lambda.Mul(&num, &den)
+	}
+	// l(P) = (yp − y_a) − λ(xp − x_a).
+	var l, t ff.Fp12
+	l.Sub(yp, &a.y)
+	t.Sub(xp, &a.x)
+	t.Mul(&t, &lambda)
+	l.Sub(&l, &t)
+
+	// a ← a + b.
+	var x3, y3 ff.Fp12
+	x3.Square(&lambda)
+	x3.Sub(&x3, &a.x)
+	x3.Sub(&x3, &b.x)
+	y3.Sub(&a.x, &x3)
+	y3.Mul(&y3, &lambda)
+	y3.Sub(&y3, &a.y)
+	a.x.Set(&x3)
+	a.y.Set(&y3)
+	return &l
+}
+
+// millerLoopGeneric computes f_{6u², ψ(Q)}(P) on E(Fp12) directly.
+func millerLoopGeneric(p *G1, q *G2) *ff.Fp12 {
+	qq := untwist(q)
+	var xp, yp ff.Fp12
+	xp.C0.C0.SetFp(&p.x)
+	yp.C0.C0.SetFp(&p.y)
+
+	var f ff.Fp12
+	f.SetOne()
+	t := fp12Point{}
+	t.x.Set(&qq.x)
+	t.y.Set(&qq.y)
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		f.Mul(&f, &f)
+		tCopy := fp12Point{}
+		tCopy.x.Set(&t.x)
+		tCopy.y.Set(&t.y)
+		l := genericLineAndAdd(&t, &tCopy, &xp, &yp)
+		f.Mul(&f, l)
+		if s.Bit(i) == 1 {
+			l := genericLineAndAdd(&t, &qq, &xp, &yp)
+			f.Mul(&f, l)
+		}
+	}
+	return &f
+}
+
+// finalExpFast raises f to (p¹²−1)/r using the easy part
+// (p⁶−1)(p²+1) followed by the Devegili–Scott hard-part addition chain.
+func finalExpFast(f *ff.Fp12) *ff.Fp12 {
+	// Easy part: t1 = f^((p⁶−1)(p²+1)).
+	var t1, inv, t2 ff.Fp12
+	t1.Conjugate(f) // f^(p⁶)
+	inv.Inverse(f)
+	t1.Mul(&t1, &inv) // f^(p⁶−1)
+	t2.FrobeniusP2(&t1)
+	t1.Mul(&t1, &t2) // ·(p²+1)
+
+	// Hard part. After the easy part t1 is unitary, so conjugation is
+	// inversion.
+	var fp, fp2, fp3 ff.Fp12
+	fp.Frobenius(&t1)
+	fp2.FrobeniusP2(&t1)
+	fp3.Frobenius(&fp2)
+
+	var fu, fu2, fu3 ff.Fp12
+	fu.Exp(&t1, u)
+	fu2.Exp(&fu, u)
+	fu3.Exp(&fu2, u)
+
+	var y3, fu2p, fu3p, y2 ff.Fp12
+	y3.Frobenius(&fu)
+	fu2p.Frobenius(&fu2)
+	fu3p.Frobenius(&fu3)
+	y2.FrobeniusP2(&fu2)
+
+	var y0 ff.Fp12
+	y0.Mul(&fp, &fp2)
+	y0.Mul(&y0, &fp3)
+
+	var y1, y4, y5, y6 ff.Fp12
+	y1.Conjugate(&t1)
+	y5.Conjugate(&fu2)
+	y3.Conjugate(&y3)
+	y4.Mul(&fu, &fu2p)
+	y4.Conjugate(&y4)
+	y6.Mul(&fu3, &fu3p)
+	y6.Conjugate(&y6)
+
+	var t0, acc ff.Fp12
+	t0.Square(&y6)
+	t0.Mul(&t0, &y4)
+	t0.Mul(&t0, &y5)
+	acc.Mul(&y3, &y5)
+	acc.Mul(&acc, &t0)
+	t0.Mul(&t0, &y2)
+	acc.Square(&acc)
+	acc.Mul(&acc, &t0)
+	acc.Square(&acc)
+	t0.Mul(&acc, &y1)
+	acc.Mul(&acc, &y0)
+	t0.Square(&t0)
+	t0.Mul(&t0, &acc)
+	return new(ff.Fp12).Set(&t0)
+}

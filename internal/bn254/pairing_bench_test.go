@@ -1,0 +1,51 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+)
+
+func BenchmarkPair(b *testing.B) {
+	p, _, _ := RandG1(nil)
+	q, _, _ := RandG2(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkPairReference(b *testing.B) {
+	p, _, _ := RandG1(nil)
+	q, _, _ := RandG2(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairReference(p, q)
+	}
+}
+
+func BenchmarkG1ScalarMult(b *testing.B) {
+	g := G1Generator()
+	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G1).ScalarMult(g, k)
+	}
+}
+
+func BenchmarkG2ScalarMult(b *testing.B) {
+	g := G2Generator()
+	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(G2).ScalarMult(g, k)
+	}
+}
+
+func BenchmarkGTExp(b *testing.B) {
+	e := GTGenerator()
+	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(GT).Exp(e, k)
+	}
+}

@@ -1,0 +1,148 @@
+package cca2
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/dibe"
+	"repro/internal/leakage"
+	"repro/internal/params"
+	"repro/internal/scalar"
+)
+
+// Oracle is the decryption oracle the CCA2 adversary queries. After the
+// challenge is issued it refuses the challenge ciphertext itself.
+type Oracle func(ct *Ciphertext) (*bn254.GT, error)
+
+// View is the CCA2 adversary's public information.
+type View struct {
+	// PK is the public-key marker (the IBE parameters are public).
+	PK *PublicKey
+	// Leak1 and Leak2 collect per-period leakage from the two devices'
+	// master shares.
+	Leak1, Leak2 [][]byte
+}
+
+// Func is a leakage function over one device's master-share memory.
+type Func func(secret []byte, view *View) []byte
+
+// Adversary drives the CCA2-CML game (§3.3): leakage periods with a
+// decryption oracle, then a challenge on which the oracle is forbidden.
+type Adversary interface {
+	// NextPeriod returns this period's leakage functions (either may be
+	// nil) and whether to continue leaking. The oracle is available.
+	NextPeriod(t int, view *View, dec Oracle) (h1, h2 Func, more bool)
+	// Messages returns the challenge pair.
+	Messages(view *View) (m0, m1 *bn254.GT)
+	// Guess receives the challenge; the oracle now rejects it.
+	Guess(ct *Ciphertext, view *View, dec Oracle) int
+}
+
+// Config parameterizes the CCA2 game.
+type Config struct {
+	Params     params.Params
+	NID        int
+	MaxPeriods int
+}
+
+// Result reports a game outcome.
+type Result struct {
+	Win              bool
+	Periods          int
+	Leaked1, Leaked2 int
+	OracleQueries    int
+}
+
+// RunGame plays the CCA2-CML game. The challenger refreshes the master
+// shares at the end of every leakage period; leakage stops before the
+// challenge, matching Definition 3.2's extension in §3.3.
+func RunGame(rng io.Reader, cfg Config, adv Adversary) (*Result, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if cfg.MaxPeriods == 0 {
+		cfg.MaxPeriods = 16
+	}
+	pk, m1, m2, err := Gen(rng, cfg.Params, cfg.NID, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	view := &View{PK: pk}
+	budget1 := leakage.NewBudget(8 * len(m1.SecretBytes())) // ρ1 ≤ 1 on master share
+	budget2 := leakage.NewBudget(8 * len(m2.SecretBytes()))
+	queries := 0
+
+	var challenge *Ciphertext
+	oracle := func(ct *Ciphertext) (*bn254.GT, error) {
+		if challenge != nil && bytes.Equal(ct.Bytes(), challenge.Bytes()) {
+			return nil, fmt.Errorf("cca2: oracle refuses the challenge ciphertext")
+		}
+		queries++
+		return Decrypt(rng, pk, m1, m2, ct)
+	}
+
+	periods := 0
+	for t := 0; t < cfg.MaxPeriods; t++ {
+		h1, h2, more := adv.NextPeriod(t, view, oracle)
+		if !more {
+			break
+		}
+		periods++
+		var l1, l2 []byte
+		if h1 != nil {
+			l1 = h1(m1.SecretBytes(), view)
+		}
+		if h2 != nil {
+			l2 = h2(m2.SecretBytes(), view)
+		}
+		if err := budget1.Charge(len(l1)*8, 0); err != nil {
+			return nil, fmt.Errorf("cca2: P1 %w", err)
+		}
+		if err := budget2.Charge(len(l2)*8, 0); err != nil {
+			return nil, fmt.Errorf("cca2: P2 %w", err)
+		}
+		view.Leak1 = append(view.Leak1, l1)
+		view.Leak2 = append(view.Leak2, l2)
+
+		if err := dibe.RefreshMaster(rng, m1, m2); err != nil {
+			return nil, fmt.Errorf("cca2: master refresh: %w", err)
+		}
+	}
+
+	m0, mOne := adv.Messages(view)
+	if m0 == nil || mOne == nil {
+		return nil, fmt.Errorf("cca2: adversary returned nil messages")
+	}
+	bit, err := randomBit(rng)
+	if err != nil {
+		return nil, err
+	}
+	mb := m0
+	if bit == 1 {
+		mb = mOne
+	}
+	challenge, err = Encrypt(rng, pk, mb, nil)
+	if err != nil {
+		return nil, err
+	}
+	guess := adv.Guess(challenge, view, oracle)
+
+	return &Result{
+		Win:           guess == bit,
+		Periods:       periods,
+		Leaked1:       budget1.Total(),
+		Leaked2:       budget2.Total(),
+		OracleQueries: queries,
+	}, nil
+}
+
+func randomBit(rng io.Reader) (int, error) {
+	k, err := scalar.Rand(rng)
+	if err != nil {
+		return 0, err
+	}
+	return int(k.Bit(0)), nil
+}

@@ -1,0 +1,268 @@
+// Package device models the paper's two computing devices (§3): each
+// runs one side of the 2-party decryption and refresh protocols over a
+// public channel. The package provides channel implementations
+// (in-process and net.Conn-backed), a transcript recorder capturing the
+// public communication comm_t that feeds both the adversary's view and
+// the communication-size experiments, and the secret-memory interface
+// the leakage model reads through.
+package device
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Channel is one endpoint of the public channel between P1 and P2. All
+// traffic on it is, by definition, visible to the adversary.
+type Channel interface {
+	// Send transmits one frame to the peer.
+	Send(m wire.Msg) error
+	// Recv blocks for the next frame from the peer.
+	Recv() (wire.Msg, error)
+	// Close releases the endpoint. Recv on the peer returns an error
+	// afterwards.
+	Close() error
+}
+
+// SecretHolder is implemented by per-device protocol states. The leakage
+// adversary is given exactly SecretBytes() as the input to its leakage
+// function — the serialized secret share plus whatever secret randomness
+// and intermediate values the device currently holds (§3.2 "inputs to
+// leakage functions").
+type SecretHolder interface {
+	// SecretBytes serializes the device's current secret memory.
+	SecretBytes() []byte
+}
+
+// localChannel is an in-process channel endpoint.
+type localChannel struct {
+	send chan<- wire.Msg
+	recv <-chan wire.Msg
+
+	mu       sync.Mutex
+	closed   bool
+	done     chan struct{}
+	peerDone chan struct{}
+}
+
+// NewLocalPair returns two connected in-process channel endpoints.
+func NewLocalPair() (Channel, Channel) {
+	ab := make(chan wire.Msg, 1)
+	ba := make(chan wire.Msg, 1)
+	a := &localChannel{send: ab, recv: ba, done: make(chan struct{})}
+	b := &localChannel{send: ba, recv: ab, done: make(chan struct{})}
+	a.peerDone = b.done
+	b.peerDone = a.done
+	return a, b
+}
+
+// Send implements Channel.
+func (c *localChannel) Send(m wire.Msg) error {
+	// Check for closure first: a buffered send would otherwise succeed
+	// even when the peer is already gone.
+	select {
+	case <-c.done:
+		return fmt.Errorf("device: send on closed channel")
+	case <-c.peerDone:
+		return fmt.Errorf("device: peer closed channel")
+	default:
+	}
+	select {
+	case c.send <- m:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("device: send on closed channel")
+	case <-c.peerDone:
+		return fmt.Errorf("device: peer closed channel")
+	}
+}
+
+// Recv implements Channel.
+func (c *localChannel) Recv() (wire.Msg, error) {
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.done:
+		return wire.Msg{}, fmt.Errorf("device: recv on closed channel")
+	case <-c.peerDone:
+		// Drain any message that raced with the close.
+		select {
+		case m := <-c.recv:
+			return m, nil
+		default:
+		}
+		return wire.Msg{}, fmt.Errorf("device: peer closed channel")
+	}
+}
+
+// Close implements Channel.
+func (c *localChannel) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+// connChannel adapts a net.Conn to Channel using the wire framing.
+type connChannel struct {
+	conn net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+}
+
+// NewConnChannel wraps a net.Conn (e.g. a TCP connection between the
+// main processor and the auxiliary smart-card device of §1.1).
+func NewConnChannel(c net.Conn) Channel { return &connChannel{conn: c} }
+
+// Send implements Channel.
+func (c *connChannel) Send(m wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.Write(c.conn, m)
+}
+
+// Recv implements Channel.
+func (c *connChannel) Recv() (wire.Msg, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return wire.Read(c.conn)
+}
+
+// Close implements Channel.
+func (c *connChannel) Close() error { return c.conn.Close() }
+
+// Recorder wraps a Channel and records the transcript — the public
+// information pub_t the adversary sees and may compute leakage functions
+// over (§3.2), and the byte counts experiment E3 reports.
+type Recorder struct {
+	inner Channel
+
+	mu        sync.Mutex
+	sent      []wire.Msg
+	received  []wire.Msg
+	bytesSent int64
+	bytesRecv int64
+}
+
+var _ Channel = (*Recorder)(nil)
+
+// NewRecorder wraps ch with transcript recording.
+func NewRecorder(ch Channel) *Recorder { return &Recorder{inner: ch} }
+
+// Send implements Channel.
+func (r *Recorder) Send(m wire.Msg) error {
+	if err := r.inner.Send(m); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent = append(r.sent, m)
+	r.bytesSent += int64(m.Size())
+	return nil
+}
+
+// Recv implements Channel.
+func (r *Recorder) Recv() (wire.Msg, error) {
+	m, err := r.inner.Recv()
+	if err != nil {
+		return m, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.received = append(r.received, m)
+	r.bytesRecv += int64(m.Size())
+	return m, nil
+}
+
+// Close implements Channel.
+func (r *Recorder) Close() error { return r.inner.Close() }
+
+// BytesSent returns the cumulative bytes sent through the recorder.
+func (r *Recorder) BytesSent() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesSent
+}
+
+// BytesRecv returns the cumulative bytes received through the recorder.
+func (r *Recorder) BytesRecv() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesRecv
+}
+
+// Transcript returns copies of the sent and received frame sequences —
+// the comm_t component of the adversary's public view.
+func (r *Recorder) Transcript() (sent, received []wire.Msg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sent = append([]wire.Msg(nil), r.sent...)
+	received = append([]wire.Msg(nil), r.received...)
+	return sent, received
+}
+
+// TranscriptBytes serializes the full transcript (both directions, in
+// frame order per direction) for inclusion in leakage-function inputs.
+func (r *Recorder) TranscriptBytes() []byte {
+	sent, received := r.Transcript()
+	var out []byte
+	for _, m := range sent {
+		out = append(out, []byte(m.Kind)...)
+		out = append(out, m.Payload...)
+	}
+	for _, m := range received {
+		out = append(out, []byte(m.Kind)...)
+		out = append(out, m.Payload...)
+	}
+	return out
+}
+
+// Reset clears the recorded transcript (e.g. at a time-period boundary).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent = nil
+	r.received = nil
+	r.bytesSent = 0
+	r.bytesRecv = 0
+}
+
+// Run executes the two sides of a 2-party protocol over a fresh
+// in-process channel pair and returns the first error from either side.
+// The channels handed to the parties are recorder-wrapped; the returned
+// recorders expose the transcript.
+func Run(p1 func(Channel) error, p2 func(Channel) error) (*Recorder, *Recorder, error) {
+	a, b := NewLocalPair()
+	ra, rb := NewRecorder(a), NewRecorder(b)
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err := p1(ra)
+		// Closing unblocks a peer still waiting in Recv if this side
+		// returned early (e.g. on error).
+		_ = a.Close()
+		errs <- err
+	}()
+	go func() {
+		defer wg.Done()
+		err := p2(rb)
+		_ = b.Close()
+		errs <- err
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ra, rb, err
+		}
+	}
+	return ra, rb, nil
+}

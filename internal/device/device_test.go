@@ -1,0 +1,146 @@
+package device
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestLocalPairPingPong(t *testing.T) {
+	_, _, err := Run(
+		func(ch Channel) error {
+			if err := ch.Send(wire.Msg{Kind: "ping", Payload: []byte("1")}); err != nil {
+				return err
+			}
+			m, err := ch.Recv()
+			if err != nil {
+				return err
+			}
+			if m.Kind != "pong" {
+				return fmt.Errorf("got %q, want pong", m.Kind)
+			}
+			return nil
+		},
+		func(ch Channel) error {
+			m, err := ch.Recv()
+			if err != nil {
+				return err
+			}
+			if m.Kind != "ping" {
+				return fmt.Errorf("got %q, want ping", m.Kind)
+			}
+			return ch.Send(wire.Msg{Kind: "pong", Payload: m.Payload})
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	_, _, err := Run(
+		func(ch Channel) error { return fmt.Errorf("p1 exploded") },
+		func(ch Channel) error { return nil },
+	)
+	if err == nil {
+		t.Fatal("Run swallowed the error")
+	}
+}
+
+func TestClosedChannelErrors(t *testing.T) {
+	a, b := NewLocalPair()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(wire.Msg{Kind: "x"}); err == nil {
+		t.Fatal("send to closed peer succeeded")
+	}
+	if _, err := a.Recv(); err == nil {
+		t.Fatal("recv from closed peer succeeded")
+	}
+}
+
+func TestRecorderTranscript(t *testing.T) {
+	ra, rb, err := Run(
+		func(ch Channel) error {
+			if err := ch.Send(wire.Msg{Kind: "a", Payload: []byte("xyz")}); err != nil {
+				return err
+			}
+			_, err := ch.Recv()
+			return err
+		},
+		func(ch Channel) error {
+			m, err := ch.Recv()
+			if err != nil {
+				return err
+			}
+			return ch.Send(wire.Msg{Kind: "b", Payload: m.Payload})
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, recv := ra.Transcript()
+	if len(sent) != 1 || len(recv) != 1 {
+		t.Fatalf("P1 transcript: %d sent, %d received", len(sent), len(recv))
+	}
+	if ra.BytesSent() == 0 || rb.BytesSent() == 0 {
+		t.Fatal("byte counters empty")
+	}
+	if !bytes.Contains(ra.TranscriptBytes(), []byte("xyz")) {
+		t.Fatal("transcript bytes missing payload")
+	}
+	ra.Reset()
+	if ra.BytesSent() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestConnChannelOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		ch := NewConnChannel(conn)
+		defer ch.Close()
+		m, err := ch.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- ch.Send(wire.Msg{Kind: "echo", Payload: m.Payload})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewConnChannel(conn)
+	defer ch.Close()
+	payload := bytes.Repeat([]byte{0x42}, 4096)
+	if err := ch.Send(wire.Msg{Kind: "data", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != "echo" || !bytes.Equal(m.Payload, payload) {
+		t.Fatal("TCP echo mismatch")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package dibe implements DLRIBE — the paper's distributed identity
+// based encryption scheme semantically secure against continual memory
+// leakage (§4.2). Both the master secret key and every identity based
+// secret key are shared between the two devices with the leakage
+// resilient sharing of package pss/hpske, and all operations on them —
+// identity-key extraction, refresh of either kind of key, and decryption
+// — are 2-party protocols of the same shape as DLR's.
+//
+// Shares:
+//
+//	master:   msk = g2^α,  P1: (a1,…,aℓ, Φ = msk·Π aᵢ^sᵢ),  P2: (s1,…,sℓ)
+//	identity: sk_ID = (R_j = g^{r_j},  M = msk·Π u_{j,b_j}^{r_j}),
+//	          P1: (R_j's, a'1,…,a'ℓ, M̃ = M·Π a'ᵢ^s'ᵢ),      P2: (s'1,…,s'ℓ)
+//
+// Extraction, master refresh and identity-key refresh are all instances
+// of one "share transform" protocol (protocol.go): P1 sends pairs
+// (fᵢ = Enc'(aᵢ), f'ᵢ = Enc'(a'ᵢ)) plus fX = Enc'(payload); P2 replies
+// Π f'ᵢ^{s'ᵢ}/fᵢ^{sᵢ} · fX under a fresh s'. Leakage bounds match
+// Remark 4.1: only master-key generation is restricted to b0 bits;
+// identity-key generation tolerates the full per-period (b1, b2).
+package dibe
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bb"
+	"repro/internal/bn254"
+	"repro/internal/group"
+	"repro/internal/hpske"
+	"repro/internal/opcount"
+	"repro/internal/params"
+	"repro/internal/pss"
+	"repro/internal/scalar"
+)
+
+// PublicKey bundles the BB public parameters with the DLR parameters.
+type PublicKey struct {
+	// BB holds (E = e(g1,g2), g2, U).
+	BB *bb.PublicKey
+	// Prm are the sharing parameters (κ, ℓ, λ, n).
+	Prm params.Params
+}
+
+// MasterP1 holds P1's master share in the clear (the Construction 5.3
+// layout) plus the scheme instances.
+type MasterP1 struct {
+	pk  *PublicKey
+	ctr *opcount.Counter
+
+	g2   group.G2
+	gt   group.GT
+	ssG2 *hpske.Scheme[*bn254.G2]
+	ssGT *hpske.Scheme[*bn254.GT]
+
+	share *pss.Share1 // (a1,…,aℓ, Φ)
+}
+
+// MasterP2 holds P2's master share s = (s1,…,sℓ).
+type MasterP2 struct {
+	pk  *PublicKey
+	ctr *opcount.Counter
+
+	g2   group.G2
+	gt   group.GT
+	ssG2 *hpske.Scheme[*bn254.G2]
+	ssGT *hpske.Scheme[*bn254.GT]
+
+	sk hpske.Key
+}
+
+// IDKeyP1 is P1's share of an identity key.
+type IDKeyP1 struct {
+	ID string
+	// R holds g^{r_j} ∈ G1.
+	R []*bn254.G1
+	// Coins are the sharing coins a'1,…,a'ℓ.
+	Coins []*bn254.G2
+	// MTilde is M·Π a'ᵢ^{s'ᵢ}.
+	MTilde *bn254.G2
+
+	pk   *PublicKey
+	ctr  *opcount.Counter
+	g2   group.G2
+	gt   group.GT
+	ssG2 *hpske.Scheme[*bn254.G2]
+	ssGT *hpske.Scheme[*bn254.GT]
+}
+
+// IDKeyP2 is P2's share of an identity key: s' = (s'1,…,s'ℓ).
+type IDKeyP2 struct {
+	ID string
+
+	pk   *PublicKey
+	ctr  *opcount.Counter
+	g2   group.G2
+	gt   group.GT
+	ssG2 *hpske.Scheme[*bn254.G2]
+	ssGT *hpske.Scheme[*bn254.GT]
+
+	sk hpske.Key
+}
+
+// Gen runs master key generation: BB parameters plus the Π_ss sharing of
+// msk = g2^α between the devices. The dealer is trusted (footnote 5) and
+// the master generation phase is the only one restricted to b0 leakage
+// bits (Remark 4.1).
+func Gen(rng io.Reader, prm params.Params, nID int, ctr1, ctr2 *opcount.Counter) (*PublicKey, *MasterP1, *MasterP2, error) {
+	bbPK, bbMK, err := bb.Gen(rng, nID, nil)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dibe: generating BB parameters: %w", err)
+	}
+	pk := &PublicKey{BB: bbPK, Prm: prm}
+
+	ss, err := pss.New(group.G2{}, prm.Ell)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sh1, sh2, err := ss.Share(rng, bbMK.MSK)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	m1, err := newMasterP1(pk, ctr1, sh1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m2, err := newMasterP2(pk, ctr2, sh2)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pk, m1, m2, nil
+}
+
+func schemes(prm params.Params, ctr *opcount.Counter) (group.G2, group.GT, *hpske.Scheme[*bn254.G2], *hpske.Scheme[*bn254.GT], error) {
+	g2 := group.G2{Ctr: ctr}
+	gt := group.GT{Ctr: ctr}
+	ssG2, err := hpske.New[*bn254.G2](g2, prm.Kappa)
+	if err != nil {
+		return g2, gt, nil, nil, err
+	}
+	ssGT, err := hpske.New[*bn254.GT](gt, prm.Kappa)
+	if err != nil {
+		return g2, gt, nil, nil, err
+	}
+	return g2, gt, ssG2, ssGT, nil
+}
+
+func newMasterP1(pk *PublicKey, ctr *opcount.Counter, sh1 *pss.Share1) (*MasterP1, error) {
+	g2, gt, ssG2, ssGT, err := schemes(pk.Prm, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &MasterP1{pk: pk, ctr: ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT, share: sh1.Clone()}, nil
+}
+
+func newMasterP2(pk *PublicKey, ctr *opcount.Counter, sh2 pss.Share2) (*MasterP2, error) {
+	g2, gt, ssG2, ssGT, err := schemes(pk.Prm, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &MasterP2{pk: pk, ctr: ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT, sk: hpske.Key(sh2)}, nil
+}
+
+// Encrypt encrypts m ∈ GT to identity id (plain BB encryption — the
+// sender is not involved in the distribution).
+func Encrypt(rng io.Reader, pk *PublicKey, id string, m *bn254.GT, ctr *opcount.Counter) (*bb.Ciphertext, error) {
+	return bb.Encrypt(rng, pk.BB, id, m, ctr)
+}
+
+// RandMessage samples a random GT plaintext.
+func RandMessage(rng io.Reader, pk *PublicKey) (*bn254.GT, error) {
+	return bb.RandMessage(rng, pk.BB)
+}
+
+// SecretBytes serializes P1's master secret memory (the plaintext share).
+func (m *MasterP1) SecretBytes() []byte {
+	var out []byte
+	for _, a := range m.share.Coins {
+		out = append(out, a.Bytes()...)
+	}
+	out = append(out, m.share.Payload.Bytes()...)
+	return out
+}
+
+// SecretBytes serializes P2's master secret memory.
+func (m *MasterP2) SecretBytes() []byte { return m.sk.Bytes() }
+
+// SecretBytes serializes P1's identity-key secret memory.
+func (k *IDKeyP1) SecretBytes() []byte {
+	var out []byte
+	for _, r := range k.R {
+		out = append(out, r.Bytes()...)
+	}
+	for _, a := range k.Coins {
+		out = append(out, a.Bytes()...)
+	}
+	out = append(out, k.MTilde.Bytes()...)
+	return out
+}
+
+// SecretBytes serializes P2's identity-key secret memory.
+func (k *IDKeyP2) SecretBytes() []byte { return k.sk.Bytes() }
+
+// RerandomizeR locally re-randomizes the r_j exponents of an identity
+// key share: r_j ← r_j + δ_j updates R_j and folds Π u_{j,b_j}^{δ_j}
+// into M̃. This is P1-local (no protocol needed) and complements the
+// 2-party share refresh so that every component of sk_ID changes across
+// periods.
+func (k *IDKeyP1) RerandomizeR(rng io.Reader) error {
+	bits := bb.HashID(k.ID, k.pk.BB.NID)
+	for j := range k.R {
+		delta, err := scalar.Rand(rng)
+		if err != nil {
+			return err
+		}
+		step := new(bn254.G1).ScalarBaseMult(delta)
+		k.ctr.Add(opcount.G1Exp, 1)
+		k.R[j] = new(bn254.G1).Add(k.R[j], step)
+		k.ctr.Add(opcount.G1Mul, 1)
+		k.MTilde = k.g2.Mul(k.MTilde, k.g2.Exp(k.pk.BB.U[j][bits[j]], delta))
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package dibe
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/opcount"
+	"repro/internal/params"
+)
+
+const testNID = 8
+
+func testSetup(t *testing.T) (*PublicKey, *MasterP1, *MasterP2) {
+	t.Helper()
+	prm := params.MustNew(40, 128)
+	pk, m1, m2, err := Gen(rand.Reader, prm, testNID, nil, nil)
+	if err != nil {
+		t.Fatalf("Gen: %v", err)
+	}
+	return pk, m1, m2
+}
+
+func TestExtractAndDecrypt(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	k1, k2, err := Extract(rand.Reader, m1, m2, "alice@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, "alice@example.com", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(rand.Reader, k1, k2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("distributed IBE decryption returned wrong message")
+	}
+}
+
+func TestWrongIdentityKeyFails(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	k1, k2, err := Extract(rand.Reader, m1, m2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "bob", m, nil)
+	if _, err := Decrypt(rand.Reader, k1, k2, ct); err == nil {
+		t.Fatal("key for alice decrypted ciphertext for bob")
+	}
+}
+
+func TestMasterRefreshPreservesExtraction(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	for i := 0; i < 3; i++ {
+		if err := RefreshMaster(rand.Reader, m1, m2); err != nil {
+			t.Fatalf("master refresh %d: %v", i, err)
+		}
+	}
+	// Keys extracted after refreshes still decrypt.
+	k1, k2, err := Extract(rand.Reader, m1, m2, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "carol", m, nil)
+	got, err := Decrypt(rand.Reader, k1, k2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("extraction broken after master refresh")
+	}
+}
+
+func TestIdentityKeyRefresh(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	k1, k2, err := Extract(rand.Reader, m1, m2, "dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "dave", m, nil)
+
+	s1Before := append([]byte(nil), k1.SecretBytes()...)
+	s2Before := append([]byte(nil), k2.SecretBytes()...)
+	for i := 0; i < 3; i++ {
+		if err := RefreshIDKey(rand.Reader, k1, k2); err != nil {
+			t.Fatalf("identity refresh %d: %v", i, err)
+		}
+		got, err := Decrypt(rand.Reader, k1, k2, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("wrong message after identity refresh %d", i)
+		}
+	}
+	if bytes.Equal(s1Before, k1.SecretBytes()) {
+		t.Fatal("identity refresh left P1's share unchanged")
+	}
+	if bytes.Equal(s2Before, k2.SecretBytes()) {
+		t.Fatal("identity refresh left P2's share unchanged")
+	}
+}
+
+func TestOldKeysSurviveNewExtractions(t *testing.T) {
+	// Extracting for a new identity must not disturb existing identity
+	// keys or the master share.
+	pk, m1, m2 := testSetup(t)
+	kA1, kA2, err := Extract(rand.Reader, m1, m2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Extract(rand.Reader, m1, m2, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "alice", m, nil)
+	got, err := Decrypt(rand.Reader, kA1, kA2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("alice's key broken by bob's extraction")
+	}
+}
+
+func TestMasterSecretBytesChangeOnRefresh(t *testing.T) {
+	_, m1, m2 := testSetup(t)
+	s1 := append([]byte(nil), m1.SecretBytes()...)
+	s2 := append([]byte(nil), m2.SecretBytes()...)
+	if err := RefreshMaster(rand.Reader, m1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, m1.SecretBytes()) || bytes.Equal(s2, m2.SecretBytes()) {
+		t.Fatal("master refresh did not change both shares")
+	}
+}
+
+// TestP2SimplicityInDIBE: P2 does no pairings in any DIBE protocol
+// either.
+func TestP2SimplicityInDIBE(t *testing.T) {
+	ctr1, ctr2 := opcount.New(), opcount.New()
+	prm := params.MustNew(40, 128)
+	pk, m1, m2, err := Gen(rand.Reader, prm, testNID, ctr1, ctr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2, err := Extract(rand.Reader, m1, m2, "eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RefreshMaster(rand.Reader, m1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := RefreshIDKey(rand.Reader, k1, k2); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "eve", m, nil)
+	if _, err := Decrypt(rand.Reader, k1, k2, ct); err != nil {
+		t.Fatal(err)
+	}
+	if n := ctr2.Get(opcount.Pairing); n != 0 {
+		t.Fatalf("P2 performed %d pairings in DIBE protocols", n)
+	}
+	if ctr1.Get(opcount.Pairing) == 0 {
+		t.Fatal("P1 pairing counter not wired")
+	}
+}

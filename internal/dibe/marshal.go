@@ -1,0 +1,246 @@
+package dibe
+
+import (
+	"fmt"
+
+	"repro/internal/bb"
+	"repro/internal/bn254"
+	"repro/internal/hpske"
+	"repro/internal/opcount"
+	"repro/internal/params"
+	"repro/internal/pss"
+	"repro/internal/scalar"
+	"repro/internal/wire"
+)
+
+// Serialization of the public key and all four share states, so DIBE
+// deployments can persist and distribute device state like DLR's cmd
+// tools do.
+
+// MarshalPublicKey encodes the DIBE public key.
+func MarshalPublicKey(pk *PublicKey) []byte {
+	var b wire.Builder
+	b.AppendUint32(uint32(pk.Prm.N))
+	b.AppendUint32(uint32(pk.Prm.Lambda))
+	b.AppendUint32(uint32(pk.BB.NID))
+	b.AppendRaw(pk.BB.E.Bytes())
+	b.AppendRaw(pk.BB.G2Base.Bytes())
+	for _, row := range pk.BB.U {
+		b.AppendRaw(row[0].Bytes())
+		b.AppendRaw(row[1].Bytes())
+	}
+	return b.Bytes()
+}
+
+// UnmarshalPublicKey decodes a DIBE public key.
+func UnmarshalPublicKey(raw []byte) (*PublicKey, error) {
+	p := wire.NewParser(raw)
+	n, err := p.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	lambda, err := p.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	nID, err := p.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nID == 0 || nID > 4096 {
+		return nil, fmt.Errorf("dibe: implausible identity dimension %d", nID)
+	}
+	prm, err := params.New(int(n), int(lambda))
+	if err != nil {
+		return nil, err
+	}
+	eRaw, err := p.Raw(bn254.GTBytes)
+	if err != nil {
+		return nil, err
+	}
+	e, err := new(bn254.GT).SetBytes(eRaw)
+	if err != nil {
+		return nil, err
+	}
+	g2Raw, err := p.Raw(bn254.G2Bytes)
+	if err != nil {
+		return nil, err
+	}
+	g2Base, err := new(bn254.G2).SetBytes(g2Raw)
+	if err != nil {
+		return nil, err
+	}
+	u := make([][2]*bn254.G2, nID)
+	for j := range u {
+		for k := 0; k < 2; k++ {
+			raw, err := p.Raw(bn254.G2Bytes)
+			if err != nil {
+				return nil, err
+			}
+			pt, err := new(bn254.G2).SetBytes(raw)
+			if err != nil {
+				return nil, err
+			}
+			u[j][k] = pt
+		}
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("dibe: trailing bytes in public key")
+	}
+	return &PublicKey{
+		BB:  &bb.PublicKey{NID: int(nID), E: e, G2Base: g2Base, U: u},
+		Prm: prm,
+	}, nil
+}
+
+// Marshal encodes P1's master share.
+func (m *MasterP1) Marshal() []byte {
+	var b wire.Builder
+	for _, a := range m.share.Coins {
+		b.AppendRaw(a.Bytes())
+	}
+	b.AppendRaw(m.share.Payload.Bytes())
+	return b.Bytes()
+}
+
+// UnmarshalMasterP1 decodes a master P1 share.
+func UnmarshalMasterP1(pk *PublicKey, raw []byte, ctr *opcount.Counter) (*MasterP1, error) {
+	want := (pk.Prm.Ell + 1) * bn254.G2Bytes
+	if len(raw) != want {
+		return nil, fmt.Errorf("dibe: master share is %d bytes, want %d", len(raw), want)
+	}
+	coins := make([]*bn254.G2, pk.Prm.Ell)
+	for i := range coins {
+		pt, err := new(bn254.G2).SetBytes(raw[i*bn254.G2Bytes : (i+1)*bn254.G2Bytes])
+		if err != nil {
+			return nil, err
+		}
+		coins[i] = pt
+	}
+	phi, err := new(bn254.G2).SetBytes(raw[pk.Prm.Ell*bn254.G2Bytes:])
+	if err != nil {
+		return nil, err
+	}
+	return newMasterP1(pk, ctr, &pss.Share1{Coins: coins, Payload: phi})
+}
+
+// Marshal encodes P2's master share.
+func (m *MasterP2) Marshal() []byte { return m.sk.Bytes() }
+
+// UnmarshalMasterP2 decodes a master P2 share.
+func UnmarshalMasterP2(pk *PublicKey, raw []byte, ctr *opcount.Counter) (*MasterP2, error) {
+	sk, err := scalar.FromBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(sk) != pk.Prm.Ell {
+		return nil, fmt.Errorf("dibe: master key share has %d entries, want ℓ = %d", len(sk), pk.Prm.Ell)
+	}
+	return newMasterP2(pk, ctr, pss.Share2(sk))
+}
+
+// Marshal encodes an identity key P1 share.
+func (k *IDKeyP1) Marshal() []byte {
+	var b wire.Builder
+	b.AppendBytes([]byte(k.ID))
+	for _, r := range k.R {
+		b.AppendRaw(r.Bytes())
+	}
+	for _, a := range k.Coins {
+		b.AppendRaw(a.Bytes())
+	}
+	b.AppendRaw(k.MTilde.Bytes())
+	return b.Bytes()
+}
+
+// UnmarshalIDKeyP1 decodes an identity key P1 share.
+func UnmarshalIDKeyP1(pk *PublicKey, raw []byte, ctr *opcount.Counter) (*IDKeyP1, error) {
+	p := wire.NewParser(raw)
+	id, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	rPts := make([]*bn254.G1, pk.BB.NID)
+	for j := range rPts {
+		chunk, err := p.Raw(bn254.G1Bytes)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := new(bn254.G1).SetBytes(chunk)
+		if err != nil {
+			return nil, err
+		}
+		rPts[j] = pt
+	}
+	coins := make([]*bn254.G2, pk.Prm.Ell)
+	for i := range coins {
+		chunk, err := p.Raw(bn254.G2Bytes)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := new(bn254.G2).SetBytes(chunk)
+		if err != nil {
+			return nil, err
+		}
+		coins[i] = pt
+	}
+	mRaw, err := p.Raw(bn254.G2Bytes)
+	if err != nil {
+		return nil, err
+	}
+	mTilde, err := new(bn254.G2).SetBytes(mRaw)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("dibe: trailing bytes in identity key share")
+	}
+	g2, gt, ssG2, ssGT, err := schemes(pk.Prm, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &IDKeyP1{
+		ID: string(id), R: rPts, Coins: coins, MTilde: mTilde,
+		pk: pk, ctr: ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT,
+	}, nil
+}
+
+// Marshal encodes an identity key P2 share.
+func (k *IDKeyP2) Marshal() []byte {
+	var b wire.Builder
+	b.AppendBytes([]byte(k.ID))
+	b.AppendBytes(k.sk.Bytes())
+	return b.Bytes()
+}
+
+// UnmarshalIDKeyP2 decodes an identity key P2 share.
+func UnmarshalIDKeyP2(pk *PublicKey, raw []byte, ctr *opcount.Counter) (*IDKeyP2, error) {
+	p := wire.NewParser(raw)
+	id, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	skRaw, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	sk, err := scalar.FromBytes(skRaw)
+	if err != nil {
+		return nil, err
+	}
+	if len(sk) != pk.Prm.Ell {
+		return nil, fmt.Errorf("dibe: identity key share has %d entries, want ℓ = %d", len(sk), pk.Prm.Ell)
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("dibe: trailing bytes in identity key share")
+	}
+	g2, gt, ssG2, ssGT, err := schemes(pk.Prm, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &IDKeyP2{
+		ID: string(id),
+		pk: pk, ctr: ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT,
+		sk: hpske.Key(sk),
+	}, nil
+}

@@ -1,0 +1,110 @@
+package dibe
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	pk, _, _ := testSetup(t)
+	back, err := UnmarshalPublicKey(MarshalPublicKey(pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.BB.E.Equal(pk.BB.E) || back.BB.NID != pk.BB.NID || back.Prm != pk.Prm {
+		t.Fatal("public key round trip failed")
+	}
+	for j := range pk.BB.U {
+		if !back.BB.U[j][0].Equal(pk.BB.U[j][0]) || !back.BB.U[j][1].Equal(pk.BB.U[j][1]) {
+			t.Fatalf("U row %d mismatch", j)
+		}
+	}
+	if _, err := UnmarshalPublicKey(MarshalPublicKey(pk)[:20]); err == nil {
+		t.Fatal("accepted truncated public key")
+	}
+}
+
+func TestMasterMarshalRoundTrip(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	r1, err := UnmarshalMasterP1(pk, m1.Marshal(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := UnmarshalMasterP2(pk, m2.Marshal(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restored masters must extract working identity keys.
+	k1, k2, err := Extract(rand.Reader, r1, r2, "restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "restored", m, nil)
+	got, err := Decrypt(rand.Reader, k1, k2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("restored master shares extract broken keys")
+	}
+}
+
+func TestIDKeyMarshalRoundTrip(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	k1, k2, err := Extract(rand.Reader, m1, m2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := UnmarshalIDKeyP1(pk, k1.Marshal(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := UnmarshalIDKeyP2(pk, k2.Marshal(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID != "alice" || r2.ID != "alice" {
+		t.Fatal("identity lost in round trip")
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, "alice", m, nil)
+	got, err := Decrypt(rand.Reader, r1, r2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("restored identity key shares decrypt incorrectly")
+	}
+	// Restored shares must also refresh.
+	if err := RefreshIDKey(rand.Reader, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decrypt(rand.Reader, r1, r2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("restored shares broken after refresh")
+	}
+}
+
+func TestMarshalRejectsCorruption(t *testing.T) {
+	pk, m1, m2 := testSetup(t)
+	if _, err := UnmarshalMasterP1(pk, m1.Marshal()[:64], nil); err == nil {
+		t.Fatal("accepted truncated master P1")
+	}
+	if _, err := UnmarshalMasterP2(pk, m2.Marshal()[:16], nil); err == nil {
+		t.Fatal("accepted truncated master P2")
+	}
+	k1, k2, err := Extract(rand.Reader, m1, m2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalIDKeyP1(pk, k1.Marshal()[:40], nil); err == nil {
+		t.Fatal("accepted truncated identity P1")
+	}
+	if _, err := UnmarshalIDKeyP2(pk, k2.Marshal()[:4], nil); err == nil {
+		t.Fatal("accepted truncated identity P2")
+	}
+}

@@ -1,0 +1,423 @@
+package dibe
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bb"
+	"repro/internal/bn254"
+	"repro/internal/device"
+	"repro/internal/group"
+	"repro/internal/hpske"
+	"repro/internal/opcount"
+	"repro/internal/scalar"
+	"repro/internal/wire"
+)
+
+// Protocol frame kinds. Extraction, master refresh and identity-key
+// refresh all use the share-transform shape; decryption mirrors DLR's.
+const (
+	kindExt1  = "dibe.ext1"
+	kindExt2  = "dibe.ext2"
+	kindMRef1 = "dibe.mref1"
+	kindMRef2 = "dibe.mref2"
+	kindIRef1 = "dibe.iref1"
+	kindIRef2 = "dibe.iref2"
+	kindDec1  = "dibe.dec1"
+	kindDec2  = "dibe.dec2"
+)
+
+// transformP1 runs P1's side of the share-transform protocol: given the
+// current coins (a1,…,aℓ) and a payload X (Φ, Φ·W, or M̃), it samples a
+// fresh skcomm and fresh oblivious coins a'ᵢ, sends
+// (fᵢ, f'ᵢ) pairs plus fX, and returns the new coins together with
+// X' = Dec'(reply) = X · Π a'ᵢ^{s'ᵢ} / Π aᵢ^{sᵢ}.
+func transformP1(rng io.Reader, ch device.Channel, m *MasterP1Like, coins []*bn254.G2, payload *bn254.G2, kind1, kind2 string) ([]*bn254.G2, *bn254.G2, error) {
+	skcomm, err := m.ssG2.GenKey(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	ell := m.pk.Prm.Ell
+	newCoins := make([]*bn254.G2, ell)
+	cts := make([]*hpske.Ciphertext[*bn254.G2], 0, 2*ell+1)
+	for i := 0; i < ell; i++ {
+		f, err := m.ssG2.Encrypt(rng, skcomm, coins[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		aPrime, err := m.g2.Rand(rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		newCoins[i] = aPrime
+		fPrime, err := m.ssG2.Encrypt(rng, skcomm, aPrime)
+		if err != nil {
+			return nil, nil, err
+		}
+		cts = append(cts, f, fPrime)
+	}
+	fX, err := m.ssG2.Encrypt(rng, skcomm, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	cts = append(cts, fX)
+
+	raw, err := hpske.EncodeList(m.ssG2, cts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ch.Send(wire.Msg{Kind: kind1, Payload: raw}); err != nil {
+		return nil, nil, err
+	}
+	reply, err := ch.Recv()
+	if err != nil {
+		return nil, nil, err
+	}
+	if reply.Kind != kind2 {
+		return nil, nil, fmt.Errorf("dibe: expected %s, got %s", kind2, reply.Kind)
+	}
+	fs, err := hpske.DecodeList(m.ssG2, reply.Payload, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	xPrime, err := m.ssG2.Decrypt(skcomm, fs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return newCoins, xPrime, nil
+}
+
+// MasterP1Like carries the scheme handles transformP1 needs; both
+// MasterP1 and IDKeyP1 convert to it.
+type MasterP1Like struct {
+	pk *PublicKey
+	g2 interface {
+		Rand(io.Reader) (*bn254.G2, error)
+	}
+	ssG2 *hpske.Scheme[*bn254.G2]
+}
+
+func (m *MasterP1) like() *MasterP1Like { return &MasterP1Like{pk: m.pk, g2: m.g2, ssG2: m.ssG2} }
+func (k *IDKeyP1) like() *MasterP1Like  { return &MasterP1Like{pk: k.pk, g2: k.g2, ssG2: k.ssG2} }
+
+// transformP2 runs P2's side: sample a fresh s', reply
+// Π f'ᵢ^{s'ᵢ}/fᵢ^{sᵢ} · fX, and return s'.
+func transformP2(msg wire.Msg, ss *hpske.Scheme[*bn254.G2], curKey hpske.Key, ell int, replyKind string) (hpske.Key, wire.Msg, error) {
+	cts, err := hpske.DecodeList(ss, msg.Payload, 2*ell+1)
+	if err != nil {
+		return nil, wire.Msg{}, err
+	}
+	sPrime, err := scalar.RandVector(nil, ell)
+	if err != nil {
+		return nil, wire.Msg{}, err
+	}
+	acc := ss.One()
+	for i := 0; i < ell; i++ {
+		up, err := ss.Pow(cts[2*i+1], sPrime[i])
+		if err != nil {
+			return nil, wire.Msg{}, err
+		}
+		down, err := ss.Pow(cts[2*i], curKey[i])
+		if err != nil {
+			return nil, wire.Msg{}, err
+		}
+		term, err := ss.Div(up, down)
+		if err != nil {
+			return nil, wire.Msg{}, err
+		}
+		acc, err = ss.Mul(acc, term)
+		if err != nil {
+			return nil, wire.Msg{}, err
+		}
+	}
+	acc, err = ss.Mul(acc, cts[2*ell])
+	if err != nil {
+		return nil, wire.Msg{}, err
+	}
+	raw, err := hpske.EncodeList(ss, []*hpske.Ciphertext[*bn254.G2]{acc})
+	if err != nil {
+		return nil, wire.Msg{}, err
+	}
+	return hpske.Key(sPrime), wire.Msg{Kind: replyKind, Payload: raw}, nil
+}
+
+// RunExtract executes P1's side of distributed identity-key extraction
+// for id: P1 samples the r_j locally, folds W = Π u_{j,b_j}^{r_j} into
+// the transform payload Φ·W, and obtains
+// M̃ = msk·W·Π a'ᵢ^{s'ᵢ} = M·Π a'ᵢ^{s'ᵢ}.
+func (m *MasterP1) RunExtract(rng io.Reader, ch device.Channel, id string) (*IDKeyP1, error) {
+	bits := bb.HashID(id, m.pk.BB.NID)
+	nID := m.pk.BB.NID
+	rs, err := scalar.RandVector(rng, nID)
+	if err != nil {
+		return nil, err
+	}
+	rPts := make([]*bn254.G1, nID)
+	payload := new(bn254.G2).Set(m.share.Payload) // Φ
+	for j := 0; j < nID; j++ {
+		rPts[j] = new(bn254.G1).ScalarBaseMult(rs[j])
+		m.ctr.Add(opcount.G1Exp, 1)
+		payload = m.g2.Mul(payload, m.g2.Exp(m.pk.BB.U[j][bits[j]], rs[j]))
+	}
+	coins, mTilde, err := transformP1(rng, ch, m.like(), m.share.Coins, payload, kindExt1, kindExt2)
+	if err != nil {
+		return nil, fmt.Errorf("dibe: extract: %w", err)
+	}
+	g2, gt, ssG2, ssGT, err := schemes(m.pk.Prm, m.ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &IDKeyP1{
+		ID: id, R: rPts, Coins: coins, MTilde: mTilde,
+		pk: m.pk, ctr: m.ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT,
+	}, nil
+}
+
+// ServeExtract executes P2's side of extraction and returns its share of
+// the new identity key. P2's master share is NOT consumed.
+func (m *MasterP2) ServeExtract(ch device.Channel, id string) (*IDKeyP2, error) {
+	msg, err := ch.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if msg.Kind != kindExt1 {
+		return nil, fmt.Errorf("dibe: expected %s, got %s", kindExt1, msg.Kind)
+	}
+	sPrime, reply, err := transformP2(msg, m.ssG2, m.sk, m.pk.Prm.Ell, kindExt2)
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.Send(reply); err != nil {
+		return nil, err
+	}
+	g2, gt, ssG2, ssGT, err := schemes(m.pk.Prm, m.ctr)
+	if err != nil {
+		return nil, err
+	}
+	return &IDKeyP2{ID: id, pk: m.pk, ctr: m.ctr, g2: g2, gt: gt, ssG2: ssG2, ssGT: ssGT, sk: sPrime}, nil
+}
+
+// RunMasterRefresh executes P1's side of master-share refresh (the DLR
+// Ref protocol on the master shares).
+func (m *MasterP1) RunMasterRefresh(rng io.Reader, ch device.Channel) error {
+	coins, phiPrime, err := transformP1(rng, ch, m.like(), m.share.Coins, m.share.Payload, kindMRef1, kindMRef2)
+	if err != nil {
+		return fmt.Errorf("dibe: master refresh: %w", err)
+	}
+	m.share.Coins = coins
+	m.share.Payload = phiPrime
+	return nil
+}
+
+// ServeMasterRefresh executes P2's side of master-share refresh,
+// replacing its master share.
+func (m *MasterP2) ServeMasterRefresh(ch device.Channel) error {
+	msg, err := ch.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Kind != kindMRef1 {
+		return fmt.Errorf("dibe: expected %s, got %s", kindMRef1, msg.Kind)
+	}
+	sPrime, reply, err := transformP2(msg, m.ssG2, m.sk, m.pk.Prm.Ell, kindMRef2)
+	if err != nil {
+		return err
+	}
+	if err := ch.Send(reply); err != nil {
+		return err
+	}
+	m.sk = sPrime
+	return nil
+}
+
+// RunRefresh executes P1's side of identity-key refresh: the r_j are
+// re-randomized locally, then the (a', s') sharing is refreshed by the
+// share-transform protocol.
+func (k *IDKeyP1) RunRefresh(rng io.Reader, ch device.Channel) error {
+	if err := k.RerandomizeR(rng); err != nil {
+		return err
+	}
+	coins, mTilde, err := transformP1(rng, ch, k.like(), k.Coins, k.MTilde, kindIRef1, kindIRef2)
+	if err != nil {
+		return fmt.Errorf("dibe: identity-key refresh: %w", err)
+	}
+	k.Coins = coins
+	k.MTilde = mTilde
+	return nil
+}
+
+// ServeRefresh executes P2's side of identity-key refresh.
+func (k *IDKeyP2) ServeRefresh(ch device.Channel) error {
+	msg, err := ch.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Kind != kindIRef1 {
+		return fmt.Errorf("dibe: expected %s, got %s", kindIRef1, msg.Kind)
+	}
+	sPrime, reply, err := transformP2(msg, k.ssG2, k.sk, k.pk.Prm.Ell, kindIRef2)
+	if err != nil {
+		return err
+	}
+	if err := ch.Send(reply); err != nil {
+		return err
+	}
+	k.sk = sPrime
+	return nil
+}
+
+// RunDec executes P1's side of distributed decryption of a BB ciphertext
+// (A, B_1..B_n, C): P1 computes V = Π e(R_j, B_j) locally, sends GT
+// ciphertexts (d1,…,dℓ, dM, dCV) with dCV = Enc'(C·V), and decrypts
+// P2's combination to m = C·V / e(A, M).
+func (k *IDKeyP1) RunDec(rng io.Reader, ch device.Channel, ct *bb.Ciphertext) (*bn254.GT, error) {
+	if ct.ID != k.ID {
+		return nil, fmt.Errorf("dibe: key for %q cannot decrypt ciphertext for %q", k.ID, ct.ID)
+	}
+	if len(ct.B) != k.pk.BB.NID {
+		return nil, fmt.Errorf("dibe: ciphertext has %d identity components, want %d", len(ct.B), k.pk.BB.NID)
+	}
+	skcomm, err := k.ssG2.GenKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	v := bn254.GTOne()
+	for j := range ct.B {
+		v.Mul(v, group.Pair(k.ctr, k.R[j], ct.B[j]))
+	}
+
+	ell := k.pk.Prm.Ell
+	cts := make([]*hpske.Ciphertext[*bn254.GT], 0, ell+2)
+	for i := 0; i < ell; i++ {
+		f, err := k.ssG2.Encrypt(rng, skcomm, k.Coins[i])
+		if err != nil {
+			return nil, err
+		}
+		cts = append(cts, hpske.Transport(k.ctr, ct.A, f))
+	}
+	fM, err := k.ssG2.Encrypt(rng, skcomm, k.MTilde)
+	if err != nil {
+		return nil, err
+	}
+	cts = append(cts, hpske.Transport(k.ctr, ct.A, fM))
+	cv := new(bn254.GT).Mul(ct.C, v)
+	dCV, err := k.ssGT.Encrypt(rng, skcomm, cv)
+	if err != nil {
+		return nil, err
+	}
+	cts = append(cts, dCV)
+
+	raw, err := hpske.EncodeList(k.ssGT, cts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.Send(wire.Msg{Kind: kindDec1, Payload: raw}); err != nil {
+		return nil, err
+	}
+	reply, err := ch.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != kindDec2 {
+		return nil, fmt.Errorf("dibe: expected %s, got %s", kindDec2, reply.Kind)
+	}
+	fs, err := hpske.DecodeList(k.ssGT, reply.Payload, 1)
+	if err != nil {
+		return nil, err
+	}
+	return k.ssGT.Decrypt(skcomm, fs[0])
+}
+
+// ServeDec executes P2's side of distributed decryption:
+// c' = dCV · Π dᵢ^{s'ᵢ} / dM.
+func (k *IDKeyP2) ServeDec(ch device.Channel) error {
+	msg, err := ch.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Kind != kindDec1 {
+		return fmt.Errorf("dibe: expected %s, got %s", kindDec1, msg.Kind)
+	}
+	ell := k.pk.Prm.Ell
+	cts, err := hpske.DecodeList(k.ssGT, msg.Payload, ell+2)
+	if err != nil {
+		return err
+	}
+	acc := cts[ell+1] // dCV
+	for i := 0; i < ell; i++ {
+		pw, err := k.ssGT.Pow(cts[i], k.sk[i])
+		if err != nil {
+			return err
+		}
+		acc, err = k.ssGT.Mul(acc, pw)
+		if err != nil {
+			return err
+		}
+	}
+	acc, err = k.ssGT.Div(acc, cts[ell])
+	if err != nil {
+		return err
+	}
+	raw, err := hpske.EncodeList(k.ssGT, []*hpske.Ciphertext[*bn254.GT]{acc})
+	if err != nil {
+		return err
+	}
+	return ch.Send(wire.Msg{Kind: kindDec2, Payload: raw})
+}
+
+// Extract runs the full 2-party extraction in-process.
+func Extract(rng io.Reader, m1 *MasterP1, m2 *MasterP2, id string) (*IDKeyP1, *IDKeyP2, error) {
+	var k1 *IDKeyP1
+	var k2 *IDKeyP2
+	_, _, err := device.Run(
+		func(ch device.Channel) error {
+			var err error
+			k1, err = m1.RunExtract(rng, ch, id)
+			return err
+		},
+		func(ch device.Channel) error {
+			var err error
+			k2, err = m2.ServeExtract(ch, id)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k1, k2, nil
+}
+
+// Decrypt runs the full 2-party identity decryption in-process.
+func Decrypt(rng io.Reader, k1 *IDKeyP1, k2 *IDKeyP2, ct *bb.Ciphertext) (*bn254.GT, error) {
+	var m *bn254.GT
+	_, _, err := device.Run(
+		func(ch device.Channel) error {
+			var err error
+			m, err = k1.RunDec(rng, ch, ct)
+			return err
+		},
+		k2.ServeDec,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RefreshMaster runs the full 2-party master refresh in-process.
+func RefreshMaster(rng io.Reader, m1 *MasterP1, m2 *MasterP2) error {
+	_, _, err := device.Run(
+		func(ch device.Channel) error { return m1.RunMasterRefresh(rng, ch) },
+		m2.ServeMasterRefresh,
+	)
+	return err
+}
+
+// RefreshIDKey runs the full 2-party identity-key refresh in-process.
+func RefreshIDKey(rng io.Reader, k1 *IDKeyP1, k2 *IDKeyP2) error {
+	_, _, err := device.Run(
+		func(ch device.Channel) error { return k1.RunRefresh(rng, ch) },
+		k2.ServeRefresh,
+	)
+	return err
+}

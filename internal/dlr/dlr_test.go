@@ -1,0 +1,265 @@
+package dlr
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+	"repro/internal/params"
+)
+
+// testParams keeps protocol runs fast: n = 40, λ = 128 → κ = 2, ℓ = 14.
+func testParams(t *testing.T) params.Params {
+	t.Helper()
+	return params.MustNew(40, 128)
+}
+
+func genTest(t *testing.T, mode params.Mode) (*PublicKey, *P1, *P2) {
+	t.Helper()
+	pk, p1, p2, err := Gen(rand.Reader, testParams(t), WithMode(mode))
+	if err != nil {
+		t.Fatalf("Gen: %v", err)
+	}
+	return pk, p1, p2
+}
+
+func TestEncryptDecryptBasicMode(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeBasic)
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Decrypt(rand.Reader, p1, p2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption protocol returned wrong message")
+	}
+	if stats.BytesP1 == 0 || stats.BytesP2 == 0 {
+		t.Fatal("protocol transcript empty")
+	}
+}
+
+func TestEncryptDecryptOptimalMode(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decrypt(rand.Reader, p1, p2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("optimal-rate decryption returned wrong message")
+	}
+}
+
+func TestRefreshPreservesDecryption(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pk, p1, p2 := genTest(t, mode)
+			m, _ := RandMessage(rand.Reader, pk)
+			ct, _ := Encrypt(rand.Reader, pk, m, nil)
+			for i := 0; i < 3; i++ {
+				if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+					t.Fatalf("refresh %d: %v", i, err)
+				}
+				if err := p1.BeginPeriod(rand.Reader); err != nil {
+					t.Fatalf("begin period %d: %v", i, err)
+				}
+				got, _, err := Decrypt(rand.Reader, p1, p2, ct)
+				if err != nil {
+					t.Fatalf("decrypt after refresh %d: %v", i, err)
+				}
+				if !got.Equal(m) {
+					t.Fatalf("wrong message after refresh %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRefreshInvariant checks Definition 3.1's consistency requirement
+// directly: after any number of refreshes the shares still reconstruct
+// the same msk = g2^α, i.e. Φ·Π aᵢ^{−sᵢ} is invariant.
+func TestRefreshInvariant(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, p1, p2 := genTest(t, mode)
+			recon := func() *bn254.G2 {
+				sh1, err := p1.sharePlain()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sk2 := p2.shareSK2()
+				acc := sh1.Payload
+				g2 := p1.g2
+				for i, a := range sh1.Coins {
+					acc = g2.Mul(acc, g2.Inv(g2.Exp(a, sk2[i])))
+				}
+				return acc
+			}
+			msk0 := recon()
+			for i := 0; i < 4; i++ {
+				if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+					t.Fatal(err)
+				}
+				if !recon().Equal(msk0) {
+					t.Fatalf("refresh %d changed the shared secret", i)
+				}
+			}
+		})
+	}
+}
+
+// TestRefreshChangesShares checks that refresh actually replaces both
+// devices' secret memories (erasure + fresh shares).
+func TestRefreshChangesShares(t *testing.T) {
+	_, p1, p2 := genTest(t, params.ModeOptimalRate)
+	s1Before := append([]byte(nil), p1.SecretBytes()...)
+	s2Before := append([]byte(nil), p2.SecretBytes()...)
+	if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.BeginPeriod(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s2Before, p2.SecretBytes()) {
+		t.Fatal("P2's share unchanged by refresh")
+	}
+	if bytes.Equal(s1Before, p1.SecretBytes()) {
+		t.Fatal("P1's secret memory unchanged by period rotation")
+	}
+}
+
+func TestMultipleMessages(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	for i := 0; i < 3; i++ {
+		m, _ := RandMessage(rand.Reader, pk)
+		ct, _ := Encrypt(rand.Reader, pk, m, nil)
+		got, _, err := Decrypt(rand.Reader, p1, p2, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+func TestCiphertextBytesRoundTrip(t *testing.T) {
+	pk, _, _ := genTest(t, params.ModeOptimalRate)
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, m, nil)
+	back, err := CiphertextFromBytes(ct.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.A.Equal(ct.A) || !back.B.Equal(ct.B) {
+		t.Fatal("ciphertext round trip failed")
+	}
+	if _, err := CiphertextFromBytes(ct.Bytes()[:10]); err == nil {
+		t.Fatal("accepted truncated ciphertext")
+	}
+}
+
+// TestP2DoesNoPairings verifies the "simplicity of P2" claim (§1.1): the
+// auxiliary device performs no pairings and no G1 operations — only
+// exponentiations and multiplications on received elements.
+func TestP2DoesNoPairings(t *testing.T) {
+	ctr1, ctr2 := opcount.New(), opcount.New()
+	pk, p1, p2, err := Gen(rand.Reader, testParams(t), WithCounters(ctr1, ctr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, m, nil)
+	if _, _, err := Decrypt(rand.Reader, p1, p2, ct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+		t.Fatal(err)
+	}
+	if n := ctr2.Get(opcount.Pairing); n != 0 {
+		t.Fatalf("P2 performed %d pairings; the paper promises zero", n)
+	}
+	if n := ctr2.Get(opcount.G1Exp); n != 0 {
+		t.Fatalf("P2 performed %d G1 exponentiations", n)
+	}
+	if ctr1.Get(opcount.Pairing) == 0 {
+		t.Fatal("P1 performed no pairings; counter wiring broken")
+	}
+	if ctr2.Get(opcount.G2Exp) == 0 && ctr2.Get(opcount.GTExp) == 0 {
+		t.Fatal("P2 performed no exponentiations; counter wiring broken")
+	}
+}
+
+func TestEncryptionCostMatchesPaper(t *testing.T) {
+	// §1.2.1: "encryption requires a single pairing operation (which can
+	// be provided as part of the public key) and two exponentiations".
+	ctr := opcount.New()
+	pk, _, _ := genTest(t, params.ModeOptimalRate)
+	m, _ := RandMessage(rand.Reader, pk)
+	ctr.Reset()
+	if _, err := Encrypt(rand.Reader, pk, m, ctr); err != nil {
+		t.Fatal(err)
+	}
+	exps := ctr.Get(opcount.G1Exp) + ctr.Get(opcount.G2Exp) + ctr.Get(opcount.GTExp)
+	if exps != 2 {
+		t.Fatalf("encryption used %d exponentiations, want 2", exps)
+	}
+	if ctr.Get(opcount.Pairing) != 0 {
+		t.Fatal("encryption performed a pairing; e(g1,g2) should come from pk")
+	}
+}
+
+func TestHybridRoundTrip(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	msg := []byte("attack at dawn — signed, the distributed key holders")
+	h, err := EncryptBytes(rand.Reader, pk, msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := h.Bytes()
+	back, err := HybridCiphertextFromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptBytesProtocol(rand.Reader, p1, p2, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("hybrid round trip corrupted message")
+	}
+}
+
+func TestHybridTamperDetection(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	h, err := EncryptBytes(rand.Reader, pk, []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sealed[0] ^= 1
+	if _, err := DecryptBytesProtocol(rand.Reader, p1, p2, h); err == nil {
+		t.Fatal("tampered DEM accepted")
+	}
+}
+
+func TestGenValidatesMode(t *testing.T) {
+	if _, _, _, err := Gen(rand.Reader, testParams(t), WithMode(params.Mode(42))); err == nil {
+		t.Fatal("Gen accepted unknown mode")
+	}
+}

@@ -1,0 +1,120 @@
+package dlr
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+	"repro/internal/wire"
+)
+
+// HybridCiphertext is a KEM/DEM encryption of an arbitrary byte string:
+// the DLR ciphertext encapsulates a random GT element whose hash keys
+// AES-256-GCM over the payload. This is how applications encrypt real
+// data with a scheme whose native message space is GT.
+type HybridCiphertext struct {
+	// KEM is the DLR encryption of the GT session element.
+	KEM *Ciphertext
+	// Nonce is the GCM nonce.
+	Nonce []byte
+	// Sealed is the GCM ciphertext+tag of the payload.
+	Sealed []byte
+}
+
+// Bytes returns the canonical encoding.
+func (h *HybridCiphertext) Bytes() []byte {
+	var b wire.Builder
+	b.AppendBytes(h.KEM.Bytes())
+	b.AppendBytes(h.Nonce)
+	b.AppendBytes(h.Sealed)
+	return b.Bytes()
+}
+
+// HybridCiphertextFromBytes decodes a hybrid ciphertext.
+func HybridCiphertextFromBytes(raw []byte) (*HybridCiphertext, error) {
+	p := wire.NewParser(raw)
+	kemRaw, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	kem, err := CiphertextFromBytes(kemRaw)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := p.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("dlr: trailing bytes in hybrid ciphertext")
+	}
+	return &HybridCiphertext{
+		KEM:    kem,
+		Nonce:  append([]byte(nil), nonce...),
+		Sealed: append([]byte(nil), sealed...),
+	}, nil
+}
+
+// sessionAEAD derives an AES-256-GCM instance from a GT session element.
+func sessionAEAD(k *bn254.GT) (cipher.AEAD, error) {
+	key := sha256.Sum256(k.Bytes())
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("dlr: deriving DEM key: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// EncryptBytes hybrid-encrypts msg under pk.
+func EncryptBytes(rng io.Reader, pk *PublicKey, msg []byte, ctr *opcount.Counter) (*HybridCiphertext, error) {
+	session, err := RandMessage(rng, pk)
+	if err != nil {
+		return nil, err
+	}
+	kem, err := Encrypt(rng, pk, session, ctr)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := sessionAEAD(session)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, fmt.Errorf("dlr: sampling nonce: %w", err)
+	}
+	sealed := aead.Seal(nil, nonce, msg, nil)
+	return &HybridCiphertext{KEM: kem, Nonce: nonce, Sealed: sealed}, nil
+}
+
+// DecryptBytes recovers the payload after the 2-party protocol has
+// produced the GT session element for h.KEM.
+func DecryptBytes(h *HybridCiphertext, session *bn254.GT) ([]byte, error) {
+	aead, err := sessionAEAD(session)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := aead.Open(nil, h.Nonce, h.Sealed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dlr: AEAD open failed (wrong session element or tampered ciphertext): %w", err)
+	}
+	return msg, nil
+}
+
+// DecryptBytesProtocol runs the in-process 2-party decryption of the KEM
+// and opens the DEM.
+func DecryptBytesProtocol(rng io.Reader, p1 *P1, p2 *P2, h *HybridCiphertext) ([]byte, error) {
+	session, _, err := Decrypt(rng, p1, p2, h.KEM)
+	if err != nil {
+		return nil, err
+	}
+	return DecryptBytes(h, session)
+}

@@ -1,0 +1,85 @@
+package dlr
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	pk, _, _ := genTest(t, params.ModeOptimalRate)
+	back, err := UnmarshalPublicKey(MarshalPublicKey(pk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.E.Equal(pk.E) || back.Params != pk.Params {
+		t.Fatal("public key round trip failed")
+	}
+	if _, err := UnmarshalPublicKey(MarshalPublicKey(pk)[:8]); err == nil {
+		t.Fatal("accepted truncated public key")
+	}
+}
+
+func TestStateMarshalRoundTrip(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pk, p1, p2 := genTest(t, mode)
+			raw1, err := p1.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw2 := p2.Marshal()
+
+			r1, err := UnmarshalP1(pk, raw1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := UnmarshalP2(pk, raw2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The restored devices must decrypt and refresh correctly.
+			m, _ := RandMessage(rand.Reader, pk)
+			ct, _ := Encrypt(rand.Reader, pk, m, nil)
+			got, _, err := Decrypt(rand.Reader, r1, r2, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(m) {
+				t.Fatal("restored devices decrypt incorrectly")
+			}
+			if _, err := Refresh(rand.Reader, r1, r2); err != nil {
+				t.Fatal(err)
+			}
+			got, _, err = Decrypt(rand.Reader, r1, r2, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(m) {
+				t.Fatal("restored devices broken after refresh")
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	raw1, err := p1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalP1(pk, raw1[:len(raw1)/2], nil); err == nil {
+		t.Fatal("accepted truncated P1 state")
+	}
+	raw2 := p2.Marshal()
+	if _, err := UnmarshalP2(pk, raw2[:4], nil); err == nil {
+		t.Fatal("accepted truncated P2 state")
+	}
+	// Wrong parameters: pk with different λ cannot load this state.
+	otherPK := &PublicKey{E: pk.E, Params: params.MustNew(40, 2048)}
+	if _, err := UnmarshalP2(otherPK, raw2, nil); err == nil {
+		t.Fatal("accepted P2 state under mismatched parameters")
+	}
+}

@@ -1,0 +1,102 @@
+package dlr
+
+import (
+	"crypto/rand"
+	"net"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/params"
+)
+
+// TestFullLifecycleOverTCP runs the complete deployment flow over a real
+// TCP connection: P2 serves, P1 drives decryption, refresh, another
+// period rotation and a second decryption — then both states survive a
+// marshal/unmarshal round trip and still interoperate.
+func TestFullLifecycleOverTCP(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serveDone := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			serveDone <- err
+			return
+		}
+		ch := device.NewConnChannel(conn)
+		defer ch.Close()
+		serveDone <- p2.ServeLoop(ch)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := device.NewConnChannel(conn)
+
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Period 0: decrypt, refresh.
+	got, err := p1.RunDec(rand.Reader, ch, ct)
+	if err != nil {
+		t.Fatalf("TCP decryption: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("wrong message over TCP")
+	}
+	if err := p1.RunRef(rand.Reader, ch); err != nil {
+		t.Fatalf("TCP refresh: %v", err)
+	}
+	if err := p1.BeginPeriod(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+
+	// Period 1: decrypt again with refreshed shares.
+	got, err = p1.RunDec(rand.Reader, ch, ct)
+	if err != nil {
+		t.Fatalf("TCP decryption after refresh: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("wrong message after refresh over TCP")
+	}
+
+	// Close the connection; the server loop should end with an error
+	// (connection closed), which ServeLoop reports.
+	_ = ch.Close()
+	if err := <-serveDone; err == nil {
+		t.Fatal("ServeLoop returned nil after connection close")
+	}
+
+	// State persistence midway through the lifetime.
+	raw1, err := p1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := UnmarshalP1(pk, raw1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := UnmarshalP2(pk, p2.Marshal(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := Decrypt(rand.Reader, r1, r2, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(m) {
+		t.Fatal("restored mid-lifetime states decrypt incorrectly")
+	}
+}

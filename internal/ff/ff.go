@@ -1,0 +1,75 @@
+// Package ff implements the finite-field tower underlying the BN254
+// pairing group used by this library:
+//
+//	Fp    — the 254-bit prime base field,
+//	Fp2   — Fp[i]/(i²+1),
+//	Fp6   — Fp2[v]/(v³−ξ) with ξ = 9+i,
+//	Fp12  — Fp6[w]/(w²−v).
+//
+// The tower follows the standard BN254 construction. All arithmetic is
+// big.Int based; the package favours obvious correctness over speed and
+// derives every tower constant (Frobenius coefficients, square-root
+// exponents) programmatically from the modulus rather than hardcoding
+// magic values.
+//
+// Method signatures follow the math/big convention: the receiver is the
+// destination and is returned, e.g. z.Add(x, y) sets z = x+y and returns
+// z. Receivers may alias operands.
+package ff
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Sizes of the canonical big-endian encodings, in bytes.
+const (
+	FpBytes   = 32
+	Fp2Bytes  = 2 * FpBytes
+	Fp6Bytes  = 3 * Fp2Bytes
+	Fp12Bytes = 2 * Fp6Bytes
+)
+
+// p is the BN254 base-field modulus
+// 36u⁴+36u³+24u²+6u+1 with u = 4965661367192848881.
+var p = mustParse("21888242871839275222246405745257275088696311157297823662689037894645226208583")
+
+// r is the order of G1, G2 and GT: 36u⁴+36u³+18u²+6u+1.
+var r = mustParse("21888242871839275222246405745257275088548364400416034343698204186575808495617")
+
+// pMinus2 is the inversion exponent (Fermat).
+var pMinus2 = new(big.Int).Sub(p, big.NewInt(2))
+
+// sqrtExp is (p+1)/4; valid because p ≡ 3 (mod 4).
+var sqrtExp = func() *big.Int {
+	e := new(big.Int).Add(p, big.NewInt(1))
+	return e.Rsh(e, 2)
+}()
+
+func mustParse(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic(fmt.Sprintf("ff: bad integer literal %q", s))
+	}
+	return v
+}
+
+// Modulus returns a copy of the base-field modulus p.
+func Modulus() *big.Int { return new(big.Int).Set(p) }
+
+// Order returns a copy of the group order r (the scalar-field modulus).
+func Order() *big.Int { return new(big.Int).Set(r) }
+
+// randInt returns a uniformly random integer in [0, m).
+func randInt(rng io.Reader, m *big.Int) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	v, err := rand.Int(rng, m)
+	if err != nil {
+		return nil, fmt.Errorf("ff: sampling randomness: %w", err)
+	}
+	return v, nil
+}

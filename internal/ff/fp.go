@@ -1,0 +1,343 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// Fp is an element of the prime base field GF(p), stored as four 64-bit
+// little-endian limbs in Montgomery form (v = a·2²⁵⁶ mod p). The zero
+// value is the field's zero element and is ready to use.
+type Fp struct {
+	v [4]uint64
+}
+
+// Montgomery backend constants, all derived from p at start-up.
+var (
+	// q holds the little-endian limbs of the modulus p.
+	q = toLimbs(p)
+	// qInvNeg = −p⁻¹ mod 2⁶⁴.
+	qInvNeg = func() uint64 {
+		two64 := new(big.Int).Lsh(bigOne, 64)
+		inv := new(big.Int).ModInverse(p, two64)
+		inv.Neg(inv)
+		inv.Mod(inv, two64)
+		return inv.Uint64()
+	}()
+	// rSquare = 2⁵¹² mod p in limbs (converts into Montgomery form).
+	rSquare = toLimbs(new(big.Int).Mod(new(big.Int).Lsh(bigOne, 512), p))
+	// montOne = 2²⁵⁶ mod p in limbs (the Montgomery form of 1).
+	montOne = toLimbs(new(big.Int).Mod(new(big.Int).Lsh(bigOne, 256), p))
+)
+
+var bigOne = big.NewInt(1)
+
+func toLimbs(x *big.Int) [4]uint64 {
+	var out [4]uint64
+	b := make([]byte, 32)
+	x.FillBytes(b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[i] |= uint64(b[31-8*i-j]) << (8 * j)
+		}
+	}
+	return out
+}
+
+func fromLimbs(l [4]uint64) *big.Int {
+	b := make([]byte, 32)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			b[31-8*i-j] = byte(l[i] >> (8 * j))
+		}
+	}
+	return new(big.Int).SetBytes(b)
+}
+
+// geqQ reports whether the raw limb value t ≥ p.
+func geqQ(t *[4]uint64) bool {
+	for i := 3; i >= 0; i-- {
+		if t[i] > q[i] {
+			return true
+		}
+		if t[i] < q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// subQ sets t = t − p (caller guarantees t ≥ p).
+func subQ(t *[4]uint64) {
+	var b uint64
+	t[0], b = bits.Sub64(t[0], q[0], 0)
+	t[1], b = bits.Sub64(t[1], q[1], b)
+	t[2], b = bits.Sub64(t[2], q[2], b)
+	t[3], _ = bits.Sub64(t[3], q[3], b)
+}
+
+// montMul sets z = x·y·2⁻²⁵⁶ mod p (CIOS Montgomery multiplication).
+func montMul(z, x, y *[4]uint64) {
+	var t [5]uint64
+	var tExtra uint64 // 65th bit of the running accumulator
+
+	for i := 0; i < 4; i++ {
+		// t += x[i]·y
+		var c uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(x[i], y[j])
+			var carry uint64
+			lo, carry = bits.Add64(lo, t[j], 0)
+			hi += carry
+			lo, carry = bits.Add64(lo, c, 0)
+			hi += carry
+			t[j] = lo
+			c = hi
+		}
+		var carry uint64
+		t[4], carry = bits.Add64(t[4], c, 0)
+		tExtra = carry
+
+		// m = t[0]·(−p⁻¹) mod 2⁶⁴; t = (t + m·p)/2⁶⁴.
+		m := t[0] * qInvNeg
+		hi, lo := bits.Mul64(m, q[0])
+		_, carry = bits.Add64(lo, t[0], 0)
+		c = hi + carry
+		for j := 1; j < 4; j++ {
+			hi, lo := bits.Mul64(m, q[j])
+			var cr uint64
+			lo, cr = bits.Add64(lo, t[j], 0)
+			hi += cr
+			lo, cr = bits.Add64(lo, c, 0)
+			hi += cr
+			t[j-1] = lo
+			c = hi
+		}
+		t[3], carry = bits.Add64(t[4], c, 0)
+		t[4] = tExtra + carry
+	}
+
+	var res [4]uint64
+	copy(res[:], t[:4])
+	if t[4] != 0 || geqQ(&res) {
+		subQ(&res)
+	}
+	*z = res
+}
+
+// NewFp returns x mod p as a field element.
+func NewFp(x *big.Int) *Fp {
+	var z Fp
+	z.SetBig(x)
+	return &z
+}
+
+// FpFromInt64 returns the field element for the given small integer.
+func FpFromInt64(x int64) *Fp { return NewFp(big.NewInt(x)) }
+
+// RandFp returns a uniformly random field element read from rng
+// (crypto/rand if rng is nil).
+func RandFp(rng io.Reader) (*Fp, error) {
+	v, err := randInt(rng, p)
+	if err != nil {
+		return nil, err
+	}
+	return NewFp(v), nil
+}
+
+// Set sets z = x and returns z.
+func (z *Fp) Set(x *Fp) *Fp {
+	z.v = x.v
+	return z
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp) SetZero() *Fp {
+	z.v = [4]uint64{}
+	return z
+}
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp) SetOne() *Fp {
+	z.v = montOne
+	return z
+}
+
+// SetBig sets z = x mod p and returns z.
+func (z *Fp) SetBig(x *big.Int) *Fp {
+	red := new(big.Int).Mod(x, p)
+	raw := toLimbs(red)
+	montMul(&z.v, &raw, &rSquare)
+	return z
+}
+
+// Big returns a copy of z as a big.Int in [0, p).
+func (z *Fp) Big() *big.Int {
+	one := [4]uint64{1}
+	var std [4]uint64
+	montMul(&std, &z.v, &one)
+	return fromLimbs(std)
+}
+
+// IsZero reports whether z == 0.
+func (z *Fp) IsZero() bool { return z.v == [4]uint64{} }
+
+// IsOne reports whether z == 1.
+func (z *Fp) IsOne() bool { return z.v == montOne }
+
+// Equal reports whether z == x.
+func (z *Fp) Equal(x *Fp) bool { return z.v == x.v }
+
+// Add sets z = x + y and returns z.
+func (z *Fp) Add(x, y *Fp) *Fp {
+	var t [4]uint64
+	var c uint64
+	t[0], c = bits.Add64(x.v[0], y.v[0], 0)
+	t[1], c = bits.Add64(x.v[1], y.v[1], c)
+	t[2], c = bits.Add64(x.v[2], y.v[2], c)
+	t[3], c = bits.Add64(x.v[3], y.v[3], c)
+	if c != 0 || geqQ(&t) {
+		subQ(&t)
+	}
+	z.v = t
+	return z
+}
+
+// Sub sets z = x − y and returns z.
+func (z *Fp) Sub(x, y *Fp) *Fp {
+	var t [4]uint64
+	var b uint64
+	t[0], b = bits.Sub64(x.v[0], y.v[0], 0)
+	t[1], b = bits.Sub64(x.v[1], y.v[1], b)
+	t[2], b = bits.Sub64(x.v[2], y.v[2], b)
+	t[3], b = bits.Sub64(x.v[3], y.v[3], b)
+	if b != 0 {
+		var c uint64
+		t[0], c = bits.Add64(t[0], q[0], 0)
+		t[1], c = bits.Add64(t[1], q[1], c)
+		t[2], c = bits.Add64(t[2], q[2], c)
+		t[3], _ = bits.Add64(t[3], q[3], c)
+	}
+	z.v = t
+	return z
+}
+
+// Neg sets z = −x and returns z.
+func (z *Fp) Neg(x *Fp) *Fp {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	var t [4]uint64
+	var b uint64
+	t[0], b = bits.Sub64(q[0], x.v[0], 0)
+	t[1], b = bits.Sub64(q[1], x.v[1], b)
+	t[2], b = bits.Sub64(q[2], x.v[2], b)
+	t[3], _ = bits.Sub64(q[3], x.v[3], b)
+	z.v = t
+	return z
+}
+
+// Mul sets z = x·y and returns z.
+func (z *Fp) Mul(x, y *Fp) *Fp {
+	montMul(&z.v, &x.v, &y.v)
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp) Square(x *Fp) *Fp { return z.Mul(x, x) }
+
+// Double sets z = 2x and returns z.
+func (z *Fp) Double(x *Fp) *Fp { return z.Add(x, x) }
+
+// MulInt64 sets z = c·x for a small non-negative constant c and returns
+// z, using only limb additions.
+func (z *Fp) MulInt64(x *Fp, c int64) *Fp {
+	if c < 0 {
+		var nx Fp
+		nx.Neg(x)
+		return z.MulInt64(&nx, -c)
+	}
+	var acc Fp
+	var base Fp
+	base.Set(x)
+	for c > 0 {
+		if c&1 == 1 {
+			acc.Add(&acc, &base)
+		}
+		c >>= 1
+		if c > 0 {
+			base.Double(&base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+func (z *Fp) Inverse(x *Fp) *Fp {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+	inv := new(big.Int).ModInverse(x.Big(), p)
+	return z.SetBig(inv)
+}
+
+// Exp sets z = x^e (e interpreted as an arbitrary-precision integer;
+// negative exponents invert) and returns z.
+func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
+	var base Fp
+	base.Set(x)
+	exp := e
+	if e.Sign() < 0 {
+		base.Inverse(&base)
+		exp = new(big.Int).Neg(e)
+	}
+	var acc Fp
+	acc.SetOne()
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if exp.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// Sqrt sets z to a square root of x if one exists and reports whether it
+// does. Uses the p ≡ 3 (mod 4) shortcut z = x^((p+1)/4).
+func (z *Fp) Sqrt(x *Fp) (*Fp, bool) {
+	var cand Fp
+	cand.Exp(x, sqrtExp)
+	var check Fp
+	check.Square(&cand)
+	if !check.Equal(x) {
+		return z, false
+	}
+	z.Set(&cand)
+	return z, true
+}
+
+// Bytes returns the canonical 32-byte big-endian encoding of z.
+func (z *Fp) Bytes() []byte {
+	out := make([]byte, FpBytes)
+	z.Big().FillBytes(out)
+	return out
+}
+
+// SetBytes decodes a canonical 32-byte big-endian encoding. It rejects
+// values ≥ p.
+func (z *Fp) SetBytes(b []byte) (*Fp, error) {
+	if len(b) != FpBytes {
+		return nil, fmt.Errorf("ff: Fp encoding must be %d bytes, got %d", FpBytes, len(b))
+	}
+	var v big.Int
+	v.SetBytes(b)
+	if v.Cmp(p) >= 0 {
+		return nil, fmt.Errorf("ff: Fp encoding is not reduced")
+	}
+	return z.SetBig(&v), nil
+}
+
+// String implements fmt.Stringer.
+func (z *Fp) String() string { return z.Big().String() }

@@ -1,0 +1,235 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// Fp12 is an element c0 + c1·w of Fp6[w]/(w²−v). The zero value is the
+// zero element.
+type Fp12 struct {
+	C0, C1 Fp6
+}
+
+// RandFp12 returns a uniformly random element.
+func RandFp12(rng io.Reader) (*Fp12, error) {
+	c0, err := RandFp6(rng)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := RandFp6(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Fp12{C0: *c0, C1: *c1}, nil
+}
+
+// Set sets z = x and returns z.
+func (z *Fp12) Set(x *Fp12) *Fp12 {
+	z.C0.Set(&x.C0)
+	z.C1.Set(&x.C1)
+	return z
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp12) SetZero() *Fp12 {
+	z.C0.SetZero()
+	z.C1.SetZero()
+	return z
+}
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp12) SetOne() *Fp12 {
+	z.C0.SetOne()
+	z.C1.SetZero()
+	return z
+}
+
+// IsZero reports whether z == 0.
+func (z *Fp12) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp12) IsOne() bool { return z.C0.IsOne() && z.C1.IsZero() }
+
+// Equal reports whether z == x.
+func (z *Fp12) Equal(x *Fp12) bool { return z.C0.Equal(&x.C0) && z.C1.Equal(&x.C1) }
+
+// Add sets z = x + y and returns z.
+func (z *Fp12) Add(x, y *Fp12) *Fp12 {
+	z.C0.Add(&x.C0, &y.C0)
+	z.C1.Add(&x.C1, &y.C1)
+	return z
+}
+
+// Sub sets z = x − y and returns z.
+func (z *Fp12) Sub(x, y *Fp12) *Fp12 {
+	z.C0.Sub(&x.C0, &y.C0)
+	z.C1.Sub(&x.C1, &y.C1)
+	return z
+}
+
+// Neg sets z = −x and returns z.
+func (z *Fp12) Neg(x *Fp12) *Fp12 {
+	z.C0.Neg(&x.C0)
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Mul sets z = x·y and returns z (Karatsuba over the quadratic extension,
+// with w² = v).
+func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
+	var t0, t1, t2, r0, r1 Fp6
+	t0.Mul(&x.C0, &y.C0)
+	t1.Mul(&x.C1, &y.C1)
+
+	// r1 = (a0+a1)(b0+b1) − t0 − t1.
+	var s, u Fp6
+	s.Add(&x.C0, &x.C1)
+	u.Add(&y.C0, &y.C1)
+	r1.Mul(&s, &u)
+	r1.Sub(&r1, &t0)
+	r1.Sub(&r1, &t1)
+
+	// r0 = t0 + v·t1.
+	t2.MulByV(&t1)
+	r0.Add(&t0, &t2)
+
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
+
+// Conjugate sets z = c0 − c1·w and returns z. For elements of the
+// cyclotomic subgroup (e.g. pairing outputs) this equals both inversion
+// and the p⁶-power Frobenius.
+func (z *Fp12) Conjugate(x *Fp12) *Fp12 {
+	z.C0.Set(&x.C0)
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+func (z *Fp12) Inverse(x *Fp12) *Fp12 {
+	// 1/(a0 + a1 w) = (a0 − a1 w)/(a0² − v·a1²).
+	var t0, t1 Fp6
+	t0.Square(&x.C0)
+	t1.Square(&x.C1)
+	t1.MulByV(&t1)
+	t0.Sub(&t0, &t1)
+	t0.Inverse(&t0)
+	var r0, r1 Fp6
+	r0.Mul(&x.C0, &t0)
+	r1.Neg(&x.C1)
+	r1.Mul(&r1, &t0)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
+
+// Exp sets z = x^e and returns z. Negative exponents invert.
+func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
+	var base Fp12
+	base.Set(x)
+	exp := e
+	if e.Sign() < 0 {
+		base.Inverse(&base)
+		exp = new(big.Int).Neg(e)
+	}
+	var acc Fp12
+	acc.SetOne()
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if exp.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// coeffs returns the six Fp2 coordinates of z in the w-basis
+// z = Σ_{j=0..5} e_j·w^j (using v = w²).
+func (z *Fp12) coeffs() [6]*Fp2 {
+	return [6]*Fp2{&z.C0.C0, &z.C1.C0, &z.C0.C1, &z.C1.C1, &z.C0.C2, &z.C1.C2}
+}
+
+// frobeniusGamma holds γ_j = ξ^(j·(p−1)/6) for j = 0..5, derived from the
+// modulus at first use.
+var frobeniusGamma = struct {
+	once sync.Once
+	g    [6]Fp2
+}{}
+
+func gammas() *[6]Fp2 {
+	frobeniusGamma.once.Do(func() {
+		e := new(big.Int).Sub(p, big.NewInt(1))
+		e.Div(e, big.NewInt(6))
+		var base Fp2
+		base.Exp(xi, e) // ξ^((p−1)/6)
+		frobeniusGamma.g[0].SetOne()
+		for j := 1; j < 6; j++ {
+			frobeniusGamma.g[j].Mul(&frobeniusGamma.g[j-1], &base)
+		}
+	})
+	return &frobeniusGamma.g
+}
+
+// Frobenius sets z = x^p and returns z.
+func (z *Fp12) Frobenius(x *Fp12) *Fp12 {
+	g := gammas()
+	var out Fp12
+	src := x.coeffs()
+	dst := out.coeffs()
+	for j := 0; j < 6; j++ {
+		dst[j].Conjugate(src[j])
+		dst[j].Mul(dst[j], &g[j])
+	}
+	return z.Set(&out)
+}
+
+// FrobeniusP2 sets z = x^(p²) and returns z.
+func (z *Fp12) FrobeniusP2(x *Fp12) *Fp12 {
+	var t Fp12
+	t.Frobenius(x)
+	return z.Frobenius(&t)
+}
+
+// FrobeniusP3 sets z = x^(p³) and returns z.
+func (z *Fp12) FrobeniusP3(x *Fp12) *Fp12 {
+	var t Fp12
+	t.FrobeniusP2(x)
+	return z.Frobenius(&t)
+}
+
+// Bytes returns the canonical 384-byte encoding (C0 ‖ C1).
+func (z *Fp12) Bytes() []byte {
+	out := make([]byte, 0, Fp12Bytes)
+	out = append(out, z.C0.Bytes()...)
+	out = append(out, z.C1.Bytes()...)
+	return out
+}
+
+// SetBytes decodes the canonical 384-byte encoding.
+func (z *Fp12) SetBytes(b []byte) (*Fp12, error) {
+	if len(b) != Fp12Bytes {
+		return nil, fmt.Errorf("ff: Fp12 encoding must be %d bytes, got %d", Fp12Bytes, len(b))
+	}
+	if _, err := z.C0.SetBytes(b[:Fp6Bytes]); err != nil {
+		return nil, err
+	}
+	if _, err := z.C1.SetBytes(b[Fp6Bytes:]); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// String implements fmt.Stringer (hex digest of the canonical encoding,
+// for debugging).
+func (z *Fp12) String() string {
+	b := z.Bytes()
+	return fmt.Sprintf("Fp12(%x…)", b[:8])
+}

@@ -1,0 +1,238 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Fp2 is an element c0 + c1·i of Fp[i]/(i²+1). The zero value is the zero
+// element.
+type Fp2 struct {
+	C0, C1 Fp
+}
+
+// xi is the Fp6/Fp2 tower constant ξ = 9 + i.
+var xi = &Fp2{C0: *FpFromInt64(9), C1: *FpFromInt64(1)}
+
+// Xi returns a copy of the tower constant ξ = 9+i.
+func Xi() *Fp2 { return new(Fp2).Set(xi) }
+
+// RandFp2 returns a uniformly random element.
+func RandFp2(rng io.Reader) (*Fp2, error) {
+	c0, err := RandFp(rng)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := RandFp(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Fp2{C0: *c0, C1: *c1}, nil
+}
+
+// Set sets z = x and returns z.
+func (z *Fp2) Set(x *Fp2) *Fp2 {
+	z.C0.Set(&x.C0)
+	z.C1.Set(&x.C1)
+	return z
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp2) SetZero() *Fp2 {
+	z.C0.SetZero()
+	z.C1.SetZero()
+	return z
+}
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp2) SetOne() *Fp2 {
+	z.C0.SetOne()
+	z.C1.SetZero()
+	return z
+}
+
+// SetFp sets z to the base-field element x embedded in Fp2.
+func (z *Fp2) SetFp(x *Fp) *Fp2 {
+	z.C0.Set(x)
+	z.C1.SetZero()
+	return z
+}
+
+// IsZero reports whether z == 0.
+func (z *Fp2) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp2) IsOne() bool { return z.C0.IsOne() && z.C1.IsZero() }
+
+// Equal reports whether z == x.
+func (z *Fp2) Equal(x *Fp2) bool { return z.C0.Equal(&x.C0) && z.C1.Equal(&x.C1) }
+
+// Add sets z = x + y and returns z.
+func (z *Fp2) Add(x, y *Fp2) *Fp2 {
+	z.C0.Add(&x.C0, &y.C0)
+	z.C1.Add(&x.C1, &y.C1)
+	return z
+}
+
+// Sub sets z = x − y and returns z.
+func (z *Fp2) Sub(x, y *Fp2) *Fp2 {
+	z.C0.Sub(&x.C0, &y.C0)
+	z.C1.Sub(&x.C1, &y.C1)
+	return z
+}
+
+// Neg sets z = −x and returns z.
+func (z *Fp2) Neg(x *Fp2) *Fp2 {
+	z.C0.Neg(&x.C0)
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Double sets z = 2x and returns z.
+func (z *Fp2) Double(x *Fp2) *Fp2 { return z.Add(x, x) }
+
+// Mul sets z = x·y and returns z.
+func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
+	// (a0 + a1 i)(b0 + b1 i) = a0b0 − a1b1 + (a0b1 + a1b0) i.
+	var t0, t1, r0, r1 Fp
+	t0.Mul(&x.C0, &y.C0)
+	t1.Mul(&x.C1, &y.C1)
+	r0.Sub(&t0, &t1)
+	var u0, u1 Fp
+	u0.Mul(&x.C0, &y.C1)
+	u1.Mul(&x.C1, &y.C0)
+	r1.Add(&u0, &u1)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp2) Square(x *Fp2) *Fp2 { return z.Mul(x, x) }
+
+// MulFp sets z = x scaled by the base-field element c and returns z.
+func (z *Fp2) MulFp(x *Fp2, c *Fp) *Fp2 {
+	z.C0.Mul(&x.C0, c)
+	z.C1.Mul(&x.C1, c)
+	return z
+}
+
+// MulXi sets z = ξ·x with ξ = 9+i and returns z.
+func (z *Fp2) MulXi(x *Fp2) *Fp2 { return z.Mul(x, xi) }
+
+// Conjugate sets z = c0 − c1·i and returns z. This is the Frobenius map
+// on Fp2 (since p ≡ 3 mod 4 implies i^p = −i).
+func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
+	z.C0.Set(&x.C0)
+	z.C1.Neg(&x.C1)
+	return z
+}
+
+// Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+func (z *Fp2) Inverse(x *Fp2) *Fp2 {
+	// 1/(a+bi) = (a−bi)/(a²+b²).
+	var norm, t Fp
+	norm.Square(&x.C0)
+	t.Square(&x.C1)
+	norm.Add(&norm, &t)
+	norm.Inverse(&norm)
+	var r0, r1 Fp
+	r0.Mul(&x.C0, &norm)
+	r1.Neg(&x.C1)
+	r1.Mul(&r1, &norm)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
+
+// Exp sets z = x^e and returns z. Negative exponents invert.
+func (z *Fp2) Exp(x *Fp2, e *big.Int) *Fp2 {
+	var base Fp2
+	base.Set(x)
+	exp := e
+	if e.Sign() < 0 {
+		base.Inverse(&base)
+		exp = new(big.Int).Neg(e)
+	}
+	var acc Fp2
+	acc.SetOne()
+	for i := exp.BitLen() - 1; i >= 0; i-- {
+		acc.Square(&acc)
+		if exp.Bit(i) == 1 {
+			acc.Mul(&acc, &base)
+		}
+	}
+	return z.Set(&acc)
+}
+
+// Sqrt sets z to a square root of x if one exists and reports whether it
+// does. Implements the complex-method square root valid for p ≡ 3 (mod 4).
+func (z *Fp2) Sqrt(x *Fp2) (*Fp2, bool) {
+	if x.IsZero() {
+		z.SetZero()
+		return z, true
+	}
+	// a1 = x^((p−3)/4); α = a1²·x; x0 = a1·x.
+	exp := new(big.Int).Sub(p, big.NewInt(3))
+	exp.Rsh(exp, 2)
+	var a1, alpha, x0 Fp2
+	a1.Exp(x, exp)
+	alpha.Square(&a1)
+	alpha.Mul(&alpha, x)
+	x0.Mul(&a1, x)
+
+	var minusOne Fp2
+	minusOne.SetOne()
+	minusOne.Neg(&minusOne)
+
+	var cand Fp2
+	if alpha.Equal(&minusOne) {
+		// z = i·x0.
+		cand.C0.Neg(&x0.C1)
+		cand.C1.Set(&x0.C0)
+	} else {
+		// b = (1+α)^((p−1)/2); z = b·x0.
+		var b Fp2
+		b.SetOne()
+		b.Add(&b, &alpha)
+		half := new(big.Int).Sub(p, big.NewInt(1))
+		half.Rsh(half, 1)
+		b.Exp(&b, half)
+		cand.Mul(&b, &x0)
+	}
+	var check Fp2
+	check.Square(&cand)
+	if !check.Equal(x) {
+		return z, false
+	}
+	z.Set(&cand)
+	return z, true
+}
+
+// Bytes returns the canonical 64-byte encoding (C0 ‖ C1, big-endian).
+func (z *Fp2) Bytes() []byte {
+	out := make([]byte, 0, Fp2Bytes)
+	out = append(out, z.C0.Bytes()...)
+	out = append(out, z.C1.Bytes()...)
+	return out
+}
+
+// SetBytes decodes the canonical 64-byte encoding.
+func (z *Fp2) SetBytes(b []byte) (*Fp2, error) {
+	if len(b) != Fp2Bytes {
+		return nil, fmt.Errorf("ff: Fp2 encoding must be %d bytes, got %d", Fp2Bytes, len(b))
+	}
+	if _, err := z.C0.SetBytes(b[:FpBytes]); err != nil {
+		return nil, err
+	}
+	if _, err := z.C1.SetBytes(b[FpBytes:]); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// String implements fmt.Stringer.
+func (z *Fp2) String() string {
+	return fmt.Sprintf("(%s + %s·i)", z.C0.String(), z.C1.String())
+}

@@ -1,0 +1,219 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fp6 is an element c0 + c1·v + c2·v² of Fp2[v]/(v³−ξ). The zero value is
+// the zero element.
+type Fp6 struct {
+	C0, C1, C2 Fp2
+}
+
+// RandFp6 returns a uniformly random element.
+func RandFp6(rng io.Reader) (*Fp6, error) {
+	var z Fp6
+	for _, c := range []*Fp2{&z.C0, &z.C1, &z.C2} {
+		e, err := RandFp2(rng)
+		if err != nil {
+			return nil, err
+		}
+		c.Set(e)
+	}
+	return &z, nil
+}
+
+// Set sets z = x and returns z.
+func (z *Fp6) Set(x *Fp6) *Fp6 {
+	z.C0.Set(&x.C0)
+	z.C1.Set(&x.C1)
+	z.C2.Set(&x.C2)
+	return z
+}
+
+// SetZero sets z = 0 and returns z.
+func (z *Fp6) SetZero() *Fp6 {
+	z.C0.SetZero()
+	z.C1.SetZero()
+	z.C2.SetZero()
+	return z
+}
+
+// SetOne sets z = 1 and returns z.
+func (z *Fp6) SetOne() *Fp6 {
+	z.C0.SetOne()
+	z.C1.SetZero()
+	z.C2.SetZero()
+	return z
+}
+
+// SetFp2 sets z to the Fp2 element x embedded in Fp6.
+func (z *Fp6) SetFp2(x *Fp2) *Fp6 {
+	z.C0.Set(x)
+	z.C1.SetZero()
+	z.C2.SetZero()
+	return z
+}
+
+// IsZero reports whether z == 0.
+func (z *Fp6) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() && z.C2.IsZero() }
+
+// IsOne reports whether z == 1.
+func (z *Fp6) IsOne() bool { return z.C0.IsOne() && z.C1.IsZero() && z.C2.IsZero() }
+
+// Equal reports whether z == x.
+func (z *Fp6) Equal(x *Fp6) bool {
+	return z.C0.Equal(&x.C0) && z.C1.Equal(&x.C1) && z.C2.Equal(&x.C2)
+}
+
+// Add sets z = x + y and returns z.
+func (z *Fp6) Add(x, y *Fp6) *Fp6 {
+	z.C0.Add(&x.C0, &y.C0)
+	z.C1.Add(&x.C1, &y.C1)
+	z.C2.Add(&x.C2, &y.C2)
+	return z
+}
+
+// Sub sets z = x − y and returns z.
+func (z *Fp6) Sub(x, y *Fp6) *Fp6 {
+	z.C0.Sub(&x.C0, &y.C0)
+	z.C1.Sub(&x.C1, &y.C1)
+	z.C2.Sub(&x.C2, &y.C2)
+	return z
+}
+
+// Neg sets z = −x and returns z.
+func (z *Fp6) Neg(x *Fp6) *Fp6 {
+	z.C0.Neg(&x.C0)
+	z.C1.Neg(&x.C1)
+	z.C2.Neg(&x.C2)
+	return z
+}
+
+// Mul sets z = x·y and returns z (schoolbook with the v³ = ξ reduction).
+func (z *Fp6) Mul(x, y *Fp6) *Fp6 {
+	var t0, t1, t2 Fp2
+	t0.Mul(&x.C0, &y.C0)
+	t1.Mul(&x.C1, &y.C1)
+	t2.Mul(&x.C2, &y.C2)
+
+	// c0 = t0 + ξ·((a1+a2)(b1+b2) − t1 − t2)
+	var r0, s, u Fp2
+	s.Add(&x.C1, &x.C2)
+	u.Add(&y.C1, &y.C2)
+	r0.Mul(&s, &u)
+	r0.Sub(&r0, &t1)
+	r0.Sub(&r0, &t2)
+	r0.MulXi(&r0)
+	r0.Add(&r0, &t0)
+
+	// c1 = (a0+a1)(b0+b1) − t0 − t1 + ξ·t2
+	var r1 Fp2
+	s.Add(&x.C0, &x.C1)
+	u.Add(&y.C0, &y.C1)
+	r1.Mul(&s, &u)
+	r1.Sub(&r1, &t0)
+	r1.Sub(&r1, &t1)
+	var xit2 Fp2
+	xit2.MulXi(&t2)
+	r1.Add(&r1, &xit2)
+
+	// c2 = (a0+a2)(b0+b2) − t0 − t2 + t1
+	var r2 Fp2
+	s.Add(&x.C0, &x.C2)
+	u.Add(&y.C0, &y.C2)
+	r2.Mul(&s, &u)
+	r2.Sub(&r2, &t0)
+	r2.Sub(&r2, &t2)
+	r2.Add(&r2, &t1)
+
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	z.C2.Set(&r2)
+	return z
+}
+
+// Square sets z = x² and returns z.
+func (z *Fp6) Square(x *Fp6) *Fp6 { return z.Mul(x, x) }
+
+// MulFp2 sets z = x scaled coordinate-wise by the Fp2 element c.
+func (z *Fp6) MulFp2(x *Fp6, c *Fp2) *Fp6 {
+	z.C0.Mul(&x.C0, c)
+	z.C1.Mul(&x.C1, c)
+	z.C2.Mul(&x.C2, c)
+	return z
+}
+
+// MulByV sets z = v·x = (ξ·c2, c0, c1) and returns z.
+func (z *Fp6) MulByV(x *Fp6) *Fp6 {
+	var r0 Fp2
+	r0.MulXi(&x.C2)
+	c0, c1 := new(Fp2).Set(&x.C0), new(Fp2).Set(&x.C1)
+	z.C0.Set(&r0)
+	z.C1.Set(c0)
+	z.C2.Set(c1)
+	return z
+}
+
+// Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+func (z *Fp6) Inverse(x *Fp6) *Fp6 {
+	// Standard cubic-extension inversion:
+	//   A = a0² − ξ·a1·a2, B = ξ·a2² − a0·a1, C = a1² − a0·a2,
+	//   F = a0·A + ξ·a2·B + ξ·a1·C, z = (A, B, C)/F.
+	var a, b, c, t Fp2
+	a.Square(&x.C0)
+	t.Mul(&x.C1, &x.C2)
+	t.MulXi(&t)
+	a.Sub(&a, &t)
+
+	b.Square(&x.C2)
+	b.MulXi(&b)
+	t.Mul(&x.C0, &x.C1)
+	b.Sub(&b, &t)
+
+	c.Square(&x.C1)
+	t.Mul(&x.C0, &x.C2)
+	c.Sub(&c, &t)
+
+	var f, u Fp2
+	f.Mul(&x.C0, &a)
+	u.Mul(&x.C2, &b)
+	u.MulXi(&u)
+	f.Add(&f, &u)
+	u.Mul(&x.C1, &c)
+	u.MulXi(&u)
+	f.Add(&f, &u)
+	f.Inverse(&f)
+
+	z.C0.Mul(&a, &f)
+	z.C1.Mul(&b, &f)
+	z.C2.Mul(&c, &f)
+	return z
+}
+
+// Bytes returns the canonical 192-byte encoding (C0 ‖ C1 ‖ C2).
+func (z *Fp6) Bytes() []byte {
+	out := make([]byte, 0, Fp6Bytes)
+	out = append(out, z.C0.Bytes()...)
+	out = append(out, z.C1.Bytes()...)
+	out = append(out, z.C2.Bytes()...)
+	return out
+}
+
+// SetBytes decodes the canonical 192-byte encoding.
+func (z *Fp6) SetBytes(b []byte) (*Fp6, error) {
+	if len(b) != Fp6Bytes {
+		return nil, fmt.Errorf("ff: Fp6 encoding must be %d bytes, got %d", Fp6Bytes, len(b))
+	}
+	if _, err := z.C0.SetBytes(b[:Fp2Bytes]); err != nil {
+		return nil, err
+	}
+	if _, err := z.C1.SetBytes(b[Fp2Bytes : 2*Fp2Bytes]); err != nil {
+		return nil, err
+	}
+	if _, err := z.C2.SetBytes(b[2*Fp2Bytes:]); err != nil {
+		return nil, err
+	}
+	return z, nil
+}

@@ -1,0 +1,96 @@
+package ff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// TestMontgomeryDifferential cross-checks every limb-level operation
+// against big.Int arithmetic on random inputs.
+func TestMontgomeryDifferential(t *testing.T) {
+	check := func(rawA, rawB [32]byte) bool {
+		a := new(big.Int).Mod(new(big.Int).SetBytes(rawA[:]), p)
+		b := new(big.Int).Mod(new(big.Int).SetBytes(rawB[:]), p)
+		fa, fb := NewFp(a), NewFp(b)
+
+		var sum, diff, prod, neg Fp
+		sum.Add(fa, fb)
+		diff.Sub(fa, fb)
+		prod.Mul(fa, fb)
+		neg.Neg(fa)
+
+		wantSum := new(big.Int).Add(a, b)
+		wantSum.Mod(wantSum, p)
+		wantDiff := new(big.Int).Sub(a, b)
+		wantDiff.Mod(wantDiff, p)
+		wantProd := new(big.Int).Mul(a, b)
+		wantProd.Mod(wantProd, p)
+		wantNeg := new(big.Int).Neg(a)
+		wantNeg.Mod(wantNeg, p)
+
+		return sum.Big().Cmp(wantSum) == 0 &&
+			diff.Big().Cmp(wantDiff) == 0 &&
+			prod.Big().Cmp(wantProd) == 0 &&
+			neg.Big().Cmp(wantNeg) == 0
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMontgomeryEdgeCases(t *testing.T) {
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	cases := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), pm1,
+		new(big.Int).Rsh(p, 1),
+	}
+	for _, a := range cases {
+		for _, b := range cases {
+			fa, fb := NewFp(a), NewFp(b)
+			var prod Fp
+			prod.Mul(fa, fb)
+			want := new(big.Int).Mul(a, b)
+			want.Mod(want, p)
+			if prod.Big().Cmp(want) != 0 {
+				t.Fatalf("mul(%v, %v) = %v, want %v", a, b, prod.Big(), want)
+			}
+			var sum Fp
+			sum.Add(fa, fb)
+			wantS := new(big.Int).Add(a, b)
+			wantS.Mod(wantS, p)
+			if sum.Big().Cmp(wantS) != 0 {
+				t.Fatalf("add(%v, %v) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestMontgomeryRoundTrip(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		v, err := rand.Int(rand.Reader, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if NewFp(v).Big().Cmp(v) != 0 {
+			t.Fatalf("Montgomery round trip failed for %v", v)
+		}
+	}
+}
+
+func TestMulInt64MatchesMul(t *testing.T) {
+	a, err := RandFp(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []int64{0, 1, 2, 3, 4, 8, 13, 255, -3} {
+		var viaInt, viaMul Fp
+		viaInt.MulInt64(a, c)
+		viaMul.Mul(a, NewFp(big.NewInt(c)))
+		if !viaInt.Equal(&viaMul) {
+			t.Fatalf("MulInt64(a, %d) disagrees with Mul", c)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package ff
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func randFpT(t *testing.T) *Fp {
+	t.Helper()
+	x, err := RandFp(rand.Reader)
+	if err != nil {
+		t.Fatalf("RandFp: %v", err)
+	}
+	return x
+}
+
+func TestFpModulusProperties(t *testing.T) {
+	if !p.ProbablyPrime(32) {
+		t.Fatal("p is not prime")
+	}
+	if !r.ProbablyPrime(32) {
+		t.Fatal("r is not prime")
+	}
+	if p.BitLen() != 254 {
+		t.Fatalf("p has %d bits, want 254", p.BitLen())
+	}
+	if new(big.Int).Mod(p, big.NewInt(4)).Int64() != 3 {
+		t.Fatal("p ≢ 3 (mod 4); square-root shortcuts are invalid")
+	}
+	if new(big.Int).Mod(p, big.NewInt(6)).Int64() != 1 {
+		t.Fatal("p ≢ 1 (mod 6); Frobenius constants are invalid")
+	}
+}
+
+func TestFpFieldAxioms(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, b, c := randFpT(t), randFpT(t), randFpT(t)
+
+		// Commutativity and associativity of addition and multiplication.
+		var l, r1 Fp
+		if !l.Add(a, b).Equal(r1.Add(b, a)) {
+			t.Fatal("addition not commutative")
+		}
+		var x, y Fp
+		x.Add(a, b)
+		x.Add(&x, c)
+		y.Add(b, c)
+		y.Add(a, &y)
+		if !x.Equal(&y) {
+			t.Fatal("addition not associative")
+		}
+		x.Mul(a, b)
+		x.Mul(&x, c)
+		y.Mul(b, c)
+		y.Mul(a, &y)
+		if !x.Equal(&y) {
+			t.Fatal("multiplication not associative")
+		}
+
+		// Distributivity.
+		x.Add(a, b)
+		x.Mul(&x, c)
+		var ac, bc Fp
+		ac.Mul(a, c)
+		bc.Mul(b, c)
+		y.Add(&ac, &bc)
+		if !x.Equal(&y) {
+			t.Fatal("multiplication not distributive over addition")
+		}
+
+		// Inverses.
+		if !a.IsZero() {
+			var inv, one Fp
+			inv.Inverse(a)
+			one.Mul(a, &inv)
+			if !one.IsOne() {
+				t.Fatal("a·a⁻¹ ≠ 1")
+			}
+		}
+		var negSum Fp
+		var na Fp
+		na.Neg(a)
+		negSum.Add(a, &na)
+		if !negSum.IsZero() {
+			t.Fatal("a + (−a) ≠ 0")
+		}
+	}
+}
+
+func TestFpAliasing(t *testing.T) {
+	a, b := randFpT(t), randFpT(t)
+	want := new(Fp).Mul(a, b)
+	got := new(Fp).Set(a)
+	got.Mul(got, b)
+	if !got.Equal(want) {
+		t.Fatal("z.Mul(z, b) disagrees with fresh destination")
+	}
+	want = new(Fp).Add(a, a)
+	got = new(Fp).Set(a)
+	got.Add(got, got)
+	if !got.Equal(want) {
+		t.Fatal("z.Add(z, z) disagrees with fresh destination")
+	}
+}
+
+func TestFpSqrt(t *testing.T) {
+	found := 0
+	for i := 0; i < 40; i++ {
+		a := randFpT(t)
+		var sq Fp
+		sq.Square(a)
+		var root Fp
+		if _, ok := root.Sqrt(&sq); !ok {
+			t.Fatal("square reported as non-residue")
+		}
+		var back Fp
+		back.Square(&root)
+		if !back.Equal(&sq) {
+			t.Fatal("sqrt(a²)² ≠ a²")
+		}
+		// Roughly half of random elements should be non-residues.
+		var any Fp
+		if _, ok := any.Sqrt(a); ok {
+			found++
+		}
+	}
+	if found == 0 || found == 40 {
+		t.Fatalf("residue count %d/40 implausible", found)
+	}
+}
+
+func TestFpExpMatchesBig(t *testing.T) {
+	a := randFpT(t)
+	e, err := rand.Int(rand.Reader, Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Fp
+	got.Exp(a, e)
+	want := new(big.Int).Exp(a.Big(), e, Modulus())
+	if got.Big().Cmp(want) != 0 {
+		t.Fatal("Exp disagrees with big.Int.Exp")
+	}
+	// Negative exponent: a^(−e)·a^e = 1.
+	var inv, prod Fp
+	inv.Exp(a, new(big.Int).Neg(e))
+	prod.Mul(&got, &inv)
+	if !prod.IsOne() {
+		t.Fatal("a^e · a^(−e) ≠ 1")
+	}
+}
+
+func TestFpBytesRoundTrip(t *testing.T) {
+	f := func(raw [32]byte) bool {
+		a := NewFp(new(big.Int).SetBytes(raw[:]))
+		enc := a.Bytes()
+		if len(enc) != FpBytes {
+			return false
+		}
+		var back Fp
+		if _, err := back.SetBytes(enc); err != nil {
+			return false
+		}
+		return back.Equal(a) && bytes.Equal(back.Bytes(), enc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpSetBytesRejectsUnreduced(t *testing.T) {
+	enc := make([]byte, FpBytes)
+	Modulus().FillBytes(enc)
+	var z Fp
+	if _, err := z.SetBytes(enc); err == nil {
+		t.Fatal("SetBytes accepted p itself")
+	}
+	if _, err := z.SetBytes(enc[:31]); err == nil {
+		t.Fatal("SetBytes accepted short input")
+	}
+}

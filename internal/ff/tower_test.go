@@ -1,0 +1,258 @@
+package ff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func randFp2T(t *testing.T) *Fp2 {
+	t.Helper()
+	x, err := RandFp2(rand.Reader)
+	if err != nil {
+		t.Fatalf("RandFp2: %v", err)
+	}
+	return x
+}
+
+func randFp6T(t *testing.T) *Fp6 {
+	t.Helper()
+	x, err := RandFp6(rand.Reader)
+	if err != nil {
+		t.Fatalf("RandFp6: %v", err)
+	}
+	return x
+}
+
+func randFp12T(t *testing.T) *Fp12 {
+	t.Helper()
+	x, err := RandFp12(rand.Reader)
+	if err != nil {
+		t.Fatalf("RandFp12: %v", err)
+	}
+	return x
+}
+
+func TestFp2FieldLaws(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		a, b, c := randFp2T(t), randFp2T(t), randFp2T(t)
+		var x, y Fp2
+		x.Mul(a, b)
+		x.Mul(&x, c)
+		y.Mul(b, c)
+		y.Mul(a, &y)
+		if !x.Equal(&y) {
+			t.Fatal("Fp2 multiplication not associative")
+		}
+		x.Add(a, b)
+		x.Mul(&x, c)
+		var t1, t2 Fp2
+		t1.Mul(a, c)
+		t2.Mul(b, c)
+		y.Add(&t1, &t2)
+		if !x.Equal(&y) {
+			t.Fatal("Fp2 not distributive")
+		}
+		if !a.IsZero() {
+			var inv Fp2
+			inv.Inverse(a)
+			inv.Mul(&inv, a)
+			if !inv.IsOne() {
+				t.Fatal("Fp2 inverse broken")
+			}
+		}
+	}
+}
+
+func TestFp2ISquaredIsMinusOne(t *testing.T) {
+	i := &Fp2{C0: *FpFromInt64(0), C1: *FpFromInt64(1)}
+	var sq Fp2
+	sq.Square(i)
+	var minusOne Fp2
+	minusOne.SetOne()
+	minusOne.Neg(&minusOne)
+	if !sq.Equal(&minusOne) {
+		t.Fatal("i² ≠ −1")
+	}
+}
+
+func TestFp2ConjugateIsFrobenius(t *testing.T) {
+	a := randFp2T(t)
+	var conj, pow Fp2
+	conj.Conjugate(a)
+	pow.Exp(a, Modulus())
+	if !conj.Equal(&pow) {
+		t.Fatal("conjugate ≠ a^p on Fp2")
+	}
+}
+
+func TestFp2Sqrt(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a := randFp2T(t)
+		var sq, root, back Fp2
+		sq.Square(a)
+		if _, ok := root.Sqrt(&sq); !ok {
+			t.Fatal("square reported as non-residue in Fp2")
+		}
+		back.Square(&root)
+		if !back.Equal(&sq) {
+			t.Fatal("Fp2 sqrt round-trip failed")
+		}
+	}
+}
+
+func TestFp2MulXi(t *testing.T) {
+	a := randFp2T(t)
+	var viaMul, viaXi Fp2
+	viaMul.Mul(a, Xi())
+	viaXi.MulXi(a)
+	if !viaMul.Equal(&viaXi) {
+		t.Fatal("MulXi disagrees with Mul by ξ")
+	}
+}
+
+func TestFp6FieldLaws(t *testing.T) {
+	for i := 0; i < 15; i++ {
+		a, b, c := randFp6T(t), randFp6T(t), randFp6T(t)
+		var x, y Fp6
+		x.Mul(a, b)
+		x.Mul(&x, c)
+		y.Mul(b, c)
+		y.Mul(a, &y)
+		if !x.Equal(&y) {
+			t.Fatal("Fp6 multiplication not associative")
+		}
+		if !a.IsZero() {
+			var inv Fp6
+			inv.Inverse(a)
+			inv.Mul(&inv, a)
+			if !inv.IsOne() {
+				t.Fatal("Fp6 inverse broken")
+			}
+		}
+	}
+}
+
+func TestFp6VCubedIsXi(t *testing.T) {
+	var v Fp6
+	v.C1.SetOne() // v
+	var v3 Fp6
+	v3.Mul(&v, &v)
+	v3.Mul(&v3, &v)
+	var want Fp6
+	want.SetFp2(Xi())
+	if !v3.Equal(&want) {
+		t.Fatal("v³ ≠ ξ")
+	}
+	// MulByV agrees with multiplication by v.
+	a := randFp6T(t)
+	var byV, byMul Fp6
+	byV.MulByV(a)
+	byMul.Mul(a, &v)
+	if !byV.Equal(&byMul) {
+		t.Fatal("MulByV disagrees with Mul by v")
+	}
+}
+
+func TestFp12FieldLaws(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		a, b, c := randFp12T(t), randFp12T(t), randFp12T(t)
+		var x, y Fp12
+		x.Mul(a, b)
+		x.Mul(&x, c)
+		y.Mul(b, c)
+		y.Mul(a, &y)
+		if !x.Equal(&y) {
+			t.Fatal("Fp12 multiplication not associative")
+		}
+		if !a.IsZero() {
+			var inv Fp12
+			inv.Inverse(a)
+			inv.Mul(&inv, a)
+			if !inv.IsOne() {
+				t.Fatal("Fp12 inverse broken")
+			}
+		}
+	}
+}
+
+func TestFp12WSquaredIsV(t *testing.T) {
+	var w Fp12
+	w.C1.SetOne() // w
+	var w2 Fp12
+	w2.Square(&w)
+	var v Fp12
+	v.C0.C1.SetOne() // v embedded in Fp12
+	if !w2.Equal(&v) {
+		t.Fatal("w² ≠ v")
+	}
+	// w⁶ = ξ.
+	var w6 Fp12
+	w6.Square(&w2)   // w⁴
+	w6.Mul(&w6, &w2) // w⁶
+	var xiEmb Fp12
+	xiEmb.C0.SetFp2(Xi())
+	if !w6.Equal(&xiEmb) {
+		t.Fatal("w⁶ ≠ ξ")
+	}
+}
+
+func TestFp12FrobeniusMatchesExp(t *testing.T) {
+	a := randFp12T(t)
+	var frob, pow Fp12
+	frob.Frobenius(a)
+	pow.Exp(a, Modulus())
+	if !frob.Equal(&pow) {
+		t.Fatal("Frobenius(a) ≠ a^p")
+	}
+	var frob2, pow2 Fp12
+	frob2.FrobeniusP2(a)
+	p2 := new(big.Int).Mul(Modulus(), Modulus())
+	pow2.Exp(a, p2)
+	if !frob2.Equal(&pow2) {
+		t.Fatal("FrobeniusP2(a) ≠ a^(p²)")
+	}
+}
+
+func TestFp12FrobeniusOrder(t *testing.T) {
+	a := randFp12T(t)
+	cur := new(Fp12).Set(a)
+	for i := 0; i < 12; i++ {
+		cur.Frobenius(cur)
+	}
+	if !cur.Equal(a) {
+		t.Fatal("Frobenius does not have order 12")
+	}
+}
+
+func TestFp12ExpLaws(t *testing.T) {
+	a := randFp12T(t)
+	e1, _ := rand.Int(rand.Reader, Order())
+	e2, _ := rand.Int(rand.Reader, Order())
+	var x, y, lhs, rhs Fp12
+	x.Exp(a, e1)
+	y.Exp(a, e2)
+	lhs.Mul(&x, &y)
+	rhs.Exp(a, new(big.Int).Add(e1, e2))
+	if !lhs.Equal(&rhs) {
+		t.Fatal("a^e1 · a^e2 ≠ a^(e1+e2)")
+	}
+}
+
+func TestTowerBytesRoundTrip(t *testing.T) {
+	a2 := randFp2T(t)
+	var b2 Fp2
+	if _, err := b2.SetBytes(a2.Bytes()); err != nil || !b2.Equal(a2) {
+		t.Fatalf("Fp2 round trip failed: %v", err)
+	}
+	a6 := randFp6T(t)
+	var b6 Fp6
+	if _, err := b6.SetBytes(a6.Bytes()); err != nil || !b6.Equal(a6) {
+		t.Fatalf("Fp6 round trip failed: %v", err)
+	}
+	a12 := randFp12T(t)
+	var b12 Fp12
+	if _, err := b12.SetBytes(a12.Bytes()); err != nil || !b12.Equal(a12) {
+		t.Fatalf("Fp12 round trip failed: %v", err)
+	}
+}

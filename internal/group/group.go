@@ -1,0 +1,235 @@
+// Package group presents the bn254 groups behind a uniform generic
+// interface so that the schemes (Π_ss, Π_comm/HPSKE, DLR, DLRIBE) can be
+// written once over an abstract prime-order group, exactly as the paper
+// states them. Adapters optionally carry an opcount.Counter so every
+// group operation a scheme performs is measurable (experiments E1, E6).
+package group
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+)
+
+// Group is a multiplicative prime-order group of order r. E is the
+// element type. Rand must sample elements obliviously — without anyone
+// (including the sampler) learning the discrete logarithm — which the
+// paper's §5.2 requires of the groups it uses.
+type Group[E any] interface {
+	// Identity returns the group identity.
+	Identity() E
+	// Generator returns the fixed group generator.
+	Generator() E
+	// Mul returns a·b.
+	Mul(a, b E) E
+	// Inv returns a⁻¹.
+	Inv(a E) E
+	// Exp returns a^k.
+	Exp(a E, k *big.Int) E
+	// Rand samples a uniform element of unknown discrete logarithm.
+	Rand(rng io.Reader) (E, error)
+	// Equal reports whether a == b.
+	Equal(a, b E) bool
+	// Bytes returns the canonical encoding of a.
+	Bytes(a E) []byte
+	// FromBytes decodes an element, validating group membership.
+	FromBytes(b []byte) (E, error)
+	// ElementLen is the canonical encoding size in bytes.
+	ElementLen() int
+	// Name identifies the group for diagnostics.
+	Name() string
+}
+
+// G1 adapts bn254.G1 (written additively) to the multiplicative Group
+// interface. Ctr may be nil.
+type G1 struct {
+	Ctr *opcount.Counter
+}
+
+var _ Group[*bn254.G1] = G1{}
+
+// Identity implements Group.
+func (g G1) Identity() *bn254.G1 { return bn254.NewG1() }
+
+// Generator implements Group.
+func (g G1) Generator() *bn254.G1 { return bn254.G1Generator() }
+
+// Mul implements Group.
+func (g G1) Mul(a, b *bn254.G1) *bn254.G1 {
+	g.Ctr.Add(opcount.G1Mul, 1)
+	return new(bn254.G1).Add(a, b)
+}
+
+// Inv implements Group.
+func (g G1) Inv(a *bn254.G1) *bn254.G1 { return new(bn254.G1).Neg(a) }
+
+// Exp implements Group.
+func (g G1) Exp(a *bn254.G1, k *big.Int) *bn254.G1 {
+	g.Ctr.Add(opcount.G1Exp, 1)
+	return new(bn254.G1).ScalarMult(a, k)
+}
+
+// Rand implements Group (hash-to-curve; no known discrete log).
+func (g G1) Rand(rng io.Reader) (*bn254.G1, error) {
+	seed, err := readSeed(rng)
+	if err != nil {
+		return nil, err
+	}
+	g.Ctr.Add(opcount.HashToG, 1)
+	return bn254.HashToG1("group.G1.Rand", seed), nil
+}
+
+// Equal implements Group.
+func (g G1) Equal(a, b *bn254.G1) bool { return a.Equal(b) }
+
+// Bytes implements Group.
+func (g G1) Bytes(a *bn254.G1) []byte { return a.Bytes() }
+
+// FromBytes implements Group.
+func (g G1) FromBytes(b []byte) (*bn254.G1, error) { return new(bn254.G1).SetBytes(b) }
+
+// ElementLen implements Group.
+func (g G1) ElementLen() int { return bn254.G1Bytes }
+
+// Name implements Group.
+func (g G1) Name() string { return "G1" }
+
+// G2 adapts bn254.G2. Ctr may be nil.
+type G2 struct {
+	Ctr *opcount.Counter
+}
+
+var _ Group[*bn254.G2] = G2{}
+
+// Identity implements Group.
+func (g G2) Identity() *bn254.G2 { return bn254.NewG2() }
+
+// Generator implements Group.
+func (g G2) Generator() *bn254.G2 { return bn254.G2Generator() }
+
+// Mul implements Group.
+func (g G2) Mul(a, b *bn254.G2) *bn254.G2 {
+	g.Ctr.Add(opcount.G2Mul, 1)
+	return new(bn254.G2).Add(a, b)
+}
+
+// Inv implements Group.
+func (g G2) Inv(a *bn254.G2) *bn254.G2 { return new(bn254.G2).Neg(a) }
+
+// Exp implements Group.
+func (g G2) Exp(a *bn254.G2, k *big.Int) *bn254.G2 {
+	g.Ctr.Add(opcount.G2Exp, 1)
+	return new(bn254.G2).ScalarMult(a, k)
+}
+
+// Rand implements Group (hash-to-twist + cofactor clearing).
+func (g G2) Rand(rng io.Reader) (*bn254.G2, error) {
+	seed, err := readSeed(rng)
+	if err != nil {
+		return nil, err
+	}
+	g.Ctr.Add(opcount.HashToG, 1)
+	return bn254.HashToG2("group.G2.Rand", seed), nil
+}
+
+// Equal implements Group.
+func (g G2) Equal(a, b *bn254.G2) bool { return a.Equal(b) }
+
+// Bytes implements Group.
+func (g G2) Bytes(a *bn254.G2) []byte { return a.Bytes() }
+
+// FromBytes implements Group.
+func (g G2) FromBytes(b []byte) (*bn254.G2, error) { return new(bn254.G2).SetBytes(b) }
+
+// ElementLen implements Group.
+func (g G2) ElementLen() int { return bn254.G2Bytes }
+
+// Name implements Group.
+func (g G2) Name() string { return "G2" }
+
+// GT adapts bn254.GT. Ctr may be nil.
+type GT struct {
+	Ctr *opcount.Counter
+}
+
+var _ Group[*bn254.GT] = GT{}
+
+// Identity implements Group.
+func (g GT) Identity() *bn254.GT { return bn254.GTOne() }
+
+// Generator implements Group.
+func (g GT) Generator() *bn254.GT { return bn254.GTGenerator() }
+
+// Mul implements Group.
+func (g GT) Mul(a, b *bn254.GT) *bn254.GT {
+	g.Ctr.Add(opcount.GTMul, 1)
+	return new(bn254.GT).Mul(a, b)
+}
+
+// Inv implements Group.
+func (g GT) Inv(a *bn254.GT) *bn254.GT {
+	g.Ctr.Add(opcount.GTInv, 1)
+	return new(bn254.GT).Inverse(a)
+}
+
+// Exp implements Group.
+func (g GT) Exp(a *bn254.GT, k *big.Int) *bn254.GT {
+	g.Ctr.Add(opcount.GTExp, 1)
+	return new(bn254.GT).Exp(a, k)
+}
+
+// Rand implements Group (pairing of a hashed point; no known dlog).
+func (g GT) Rand(rng io.Reader) (*bn254.GT, error) {
+	g.Ctr.Add(opcount.HashToG, 1)
+	g.Ctr.Add(opcount.Pairing, 1)
+	return bn254.RandGT(rng)
+}
+
+// Equal implements Group.
+func (g GT) Equal(a, b *bn254.GT) bool { return a.Equal(b) }
+
+// Bytes implements Group.
+func (g GT) Bytes(a *bn254.GT) []byte { return a.Bytes() }
+
+// FromBytes implements Group.
+func (g GT) FromBytes(b []byte) (*bn254.GT, error) { return new(bn254.GT).SetBytes(b) }
+
+// ElementLen implements Group.
+func (g GT) ElementLen() int { return bn254.GTBytes }
+
+// Name implements Group.
+func (g GT) Name() string { return "GT" }
+
+// Pair computes e(a, b), counting the operation on ctr (nil-safe).
+func Pair(ctr *opcount.Counter, a *bn254.G1, b *bn254.G2) *bn254.GT {
+	ctr.Add(opcount.Pairing, 1)
+	return bn254.Pair(a, b)
+}
+
+func readSeed(rng io.Reader) ([]byte, error) {
+	seed := make([]byte, 32)
+	if rng == nil {
+		return nil, fmt.Errorf("group: nil rng; pass crypto/rand.Reader explicitly")
+	}
+	if _, err := io.ReadFull(rng, seed); err != nil {
+		return nil, fmt.Errorf("group: reading seed: %w", err)
+	}
+	return seed, nil
+}
+
+// ProdExp returns Π aᵢ^kᵢ over the given group — the multi-exponentiation
+// pattern both Π_ss and Π_comm decryption use.
+func ProdExp[E any](g Group[E], as []E, ks []*big.Int) (E, error) {
+	var zero E
+	if len(as) != len(ks) {
+		return zero, fmt.Errorf("group: ProdExp length mismatch %d vs %d", len(as), len(ks))
+	}
+	acc := g.Identity()
+	for i := range as {
+		acc = g.Mul(acc, g.Exp(as[i], ks[i]))
+	}
+	return acc, nil
+}

@@ -1,0 +1,119 @@
+package group
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+	"repro/internal/scalar"
+)
+
+// groupLaws exercises the Group contract generically.
+func groupLaws[E any](t *testing.T, g Group[E]) {
+	t.Helper()
+	a, err := g.Rand(rand.Reader)
+	if err != nil {
+		t.Fatalf("%s: Rand: %v", g.Name(), err)
+	}
+	b, err := g.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g.Mul(a, g.Identity()), a) {
+		t.Fatalf("%s: a·1 ≠ a", g.Name())
+	}
+	if !g.Equal(g.Mul(a, g.Inv(a)), g.Identity()) {
+		t.Fatalf("%s: a·a⁻¹ ≠ 1", g.Name())
+	}
+	if !g.Equal(g.Mul(a, b), g.Mul(b, a)) {
+		t.Fatalf("%s: not commutative", g.Name())
+	}
+	// (a^k1)^k2 = a^(k1·k2).
+	k1, _ := scalar.Rand(nil)
+	k2, _ := scalar.Rand(nil)
+	lhs := g.Exp(g.Exp(a, k1), k2)
+	rhs := g.Exp(a, scalar.Mul(k1, k2))
+	if !g.Equal(lhs, rhs) {
+		t.Fatalf("%s: exp composition broken", g.Name())
+	}
+	// Order: a^r = 1.
+	if !g.Equal(g.Exp(a, scalar.Order()), g.Identity()) {
+		t.Fatalf("%s: a^r ≠ 1", g.Name())
+	}
+	// Serialization round trip.
+	enc := g.Bytes(a)
+	if len(enc) != g.ElementLen() {
+		t.Fatalf("%s: encoding length %d ≠ ElementLen %d", g.Name(), len(enc), g.ElementLen())
+	}
+	back, err := g.FromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back, a) {
+		t.Fatalf("%s: bytes round trip failed", g.Name())
+	}
+}
+
+func TestG1Laws(t *testing.T) { groupLaws[*bn254.G1](t, G1{}) }
+func TestG2Laws(t *testing.T) { groupLaws[*bn254.G2](t, G2{}) }
+func TestGTLaws(t *testing.T) { groupLaws[*bn254.GT](t, GT{}) }
+
+func TestOpCounting(t *testing.T) {
+	ctr := opcount.New()
+	g := G2{Ctr: ctr}
+	a, err := g.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Exp(a, big.NewInt(5))
+	g.Mul(a, a)
+	if got := ctr.Get(opcount.G2Exp); got != 1 {
+		t.Fatalf("counted %d G2 exps, want 1", got)
+	}
+	if got := ctr.Get(opcount.G2Mul); got != 1 {
+		t.Fatalf("counted %d G2 muls, want 1", got)
+	}
+	if got := ctr.Get(opcount.HashToG); got != 1 {
+		t.Fatalf("counted %d hashes, want 1", got)
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	g := GT{}
+	a, err := g.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Exp(a, big.NewInt(3)) // must not panic with nil counter
+}
+
+func TestProdExp(t *testing.T) {
+	g := G2{}
+	base := g.Generator()
+	as := []*bn254.G2{g.Exp(base, big.NewInt(2)), g.Exp(base, big.NewInt(3))}
+	ks := []*big.Int{big.NewInt(5), big.NewInt(7)}
+	got, err := ProdExp[*bn254.G2](g, as, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Exp(base, big.NewInt(2*5+3*7))
+	if !g.Equal(got, want) {
+		t.Fatal("ProdExp wrong")
+	}
+	if _, err := ProdExp[*bn254.G2](g, as, ks[:1]); err == nil {
+		t.Fatal("ProdExp accepted mismatched lengths")
+	}
+}
+
+func TestPairHelperCounts(t *testing.T) {
+	ctr := opcount.New()
+	e := Pair(ctr, bn254.G1Generator(), bn254.G2Generator())
+	if e.IsOne() {
+		t.Fatal("pairing degenerate")
+	}
+	if ctr.Get(opcount.Pairing) != 1 {
+		t.Fatal("pairing not counted")
+	}
+}

@@ -1,0 +1,52 @@
+package hpske
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// EncodeList serializes a list of ciphertexts with a count prefix, for
+// transmission as a protocol frame payload.
+func EncodeList[E any](s *Scheme[E], cts []*Ciphertext[E]) ([]byte, error) {
+	var b wire.Builder
+	b.AppendUint32(uint32(len(cts)))
+	for i, ct := range cts {
+		enc, err := s.Bytes(ct)
+		if err != nil {
+			return nil, fmt.Errorf("hpske: encoding ciphertext %d: %w", i, err)
+		}
+		b.AppendRaw(enc)
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeList parses a list serialized by EncodeList, enforcing an exact
+// expected count.
+func DecodeList[E any](s *Scheme[E], payload []byte, want int) ([]*Ciphertext[E], error) {
+	p := wire.NewParser(payload)
+	n, err := p.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != want {
+		return nil, fmt.Errorf("hpske: got %d ciphertexts, want %d", n, want)
+	}
+	size := (s.Kappa + 1) * s.G.ElementLen()
+	out := make([]*Ciphertext[E], n)
+	for i := range out {
+		raw, err := p.Raw(size)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := s.FromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("hpske: decoding ciphertext %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	if !p.Done() {
+		return nil, fmt.Errorf("hpske: %d trailing bytes in ciphertext list", p.Remaining())
+	}
+	return out, nil
+}

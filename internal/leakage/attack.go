@@ -1,0 +1,291 @@
+package leakage
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/dlr"
+	"repro/internal/group"
+	"repro/internal/hpske"
+	"repro/internal/params"
+	"repro/internal/scalar"
+)
+
+// RandomGuessAdversary plays the game without leaking anything and
+// guesses at random — the 1/2-advantage floor every scheme must sit at.
+type RandomGuessAdversary struct {
+	rng    io.Reader
+	m0, m1 *bn254.GT
+}
+
+// NewRandomGuessAdversary returns a no-leakage coin-flipping adversary.
+func NewRandomGuessAdversary(rng io.Reader) *RandomGuessAdversary {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	return &RandomGuessAdversary{rng: rng}
+}
+
+// GenLeakage implements Adversary.
+func (a *RandomGuessAdversary) GenLeakage() Func { return nil }
+
+// NextPeriod implements Adversary: no leakage, straight to challenge.
+func (a *RandomGuessAdversary) NextPeriod(t int, view *View) (PeriodFuncs, bool) {
+	return PeriodFuncs{}, false
+}
+
+// Messages implements Adversary.
+func (a *RandomGuessAdversary) Messages(view *View) (*bn254.GT, *bn254.GT) {
+	a.m0, _ = bn254.RandGT(a.rng)
+	a.m1, _ = bn254.RandGT(a.rng)
+	return a.m0, a.m1
+}
+
+// Guess implements Adversary.
+func (a *RandomGuessAdversary) Guess(ct *dlr.Ciphertext, view *View) int {
+	b, _ := randomBit(a.rng)
+	return b
+}
+
+// KeyRecoveryAdversary mounts the cross-period attack that motivates
+// refresh (experiment E5):
+//
+//	period 0:   leak P2's entire share s (allowed — ρ2 = 1).
+//	period ≥ 1: the P1 leakage function — which may depend on leakage
+//	            from *earlier* periods — embeds s, computes
+//	            msk = Φ · Π aᵢ^(−sᵢ) inside the leakage function, and
+//	            leaks the next ChunkBits bits of msk's encoding.
+//
+// Against a deployment that never refreshes, s stays valid, the chunks
+// are consistent, and after ⌈|msk|/ChunkBits⌉ periods the adversary
+// holds msk = g2^α and decrypts the challenge outright: it wins with
+// probability 1 while respecting every leakage bound. Against the real
+// scheme, the share P1 holds at period t corresponds to a *different* s
+// than the one leaked at period 0 — refresh invalidates it — so the
+// chunks are garbage and the adversary is reduced to guessing.
+//
+// This is precisely the paper's point: bounded leakage per period plus
+// refresh defeats an adversary that unbounded cumulative leakage would
+// let win.
+type KeyRecoveryAdversary struct {
+	// Prm/Mode must match the game configuration.
+	Prm  params.Params
+	Mode params.Mode
+	// ChunkBits is the per-period msk leak width; must be ≤ λ and a
+	// multiple of 8.
+	ChunkBits int
+
+	// MatchedChallenge reports (after Guess) whether the assembled msk
+	// actually decrypted the challenge to one of the chosen messages —
+	// i.e. whether key recovery succeeded, as opposed to a lucky coin
+	// flip.
+	MatchedChallenge bool
+
+	rng    io.Reader
+	m0, m1 *bn254.GT
+}
+
+// NewKeyRecoveryAdversary returns the attack adversary. chunkBits
+// defaults to λ rounded down to a byte multiple.
+func NewKeyRecoveryAdversary(rng io.Reader, prm params.Params, mode params.Mode, chunkBits int) (*KeyRecoveryAdversary, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if chunkBits == 0 {
+		chunkBits = prm.Lambda / 8 * 8
+	}
+	if chunkBits <= 0 || chunkBits%8 != 0 {
+		return nil, fmt.Errorf("leakage: chunkBits must be a positive multiple of 8, got %d", chunkBits)
+	}
+	if chunkBits > prm.Lambda {
+		return nil, fmt.Errorf("leakage: chunkBits %d exceeds λ = %d", chunkBits, prm.Lambda)
+	}
+	return &KeyRecoveryAdversary{Prm: prm, Mode: mode, ChunkBits: chunkBits, rng: rng}, nil
+}
+
+// mskEncodingBytes is the size of a G2 element encoding.
+const mskEncodingBytes = bn254.G2Bytes
+
+// GenLeakage implements Adversary.
+func (a *KeyRecoveryAdversary) GenLeakage() Func { return nil }
+
+// NextPeriod implements Adversary.
+func (a *KeyRecoveryAdversary) NextPeriod(t int, view *View) (PeriodFuncs, bool) {
+	neededPeriods := 1 + (mskEncodingBytes*8+a.ChunkBits-1)/a.ChunkBits
+	if t >= neededPeriods {
+		return PeriodFuncs{}, false
+	}
+	if t == 0 {
+		// Leak P2's entire share.
+		return PeriodFuncs{
+			H2: func(secret []byte, _ *View) []byte {
+				return append([]byte(nil), secret...)
+			},
+		}, true
+	}
+	// Period ≥ 1: leak the next chunk of msk, computed inside the
+	// leakage function from P1's current secret memory and the share s
+	// obtained from period 0's leakage (earlier-period leakage is part
+	// of the adversary's — and hence the function's — view).
+	chunkBytes := a.ChunkBits / 8
+	off := (t - 1) * chunkBytes
+	prm, mode := a.Prm, a.Mode
+	h1 := func(secret []byte, view *View) []byte {
+		msk := recoverMSK(prm, mode, secret, view)
+		if msk == nil {
+			return make([]byte, min(chunkBytes, mskEncodingBytes-off))
+		}
+		enc := msk.Bytes()
+		if off >= len(enc) {
+			return nil
+		}
+		end := min(off+chunkBytes, len(enc))
+		return append([]byte(nil), enc[off:end]...)
+	}
+	return PeriodFuncs{H1: h1}, true
+}
+
+// recoverMSK computes Φ·Π aᵢ^(−sᵢ) from P1's secret memory (plus public
+// memory in ModeOptimalRate) and the s leaked at period 0. Returns nil
+// when the inputs don't parse.
+func recoverMSK(prm params.Params, mode params.Mode, secret []byte, view *View) *bn254.G2 {
+	if len(view.Periods) == 0 {
+		return nil
+	}
+	sBytes := view.Periods[0].Leak2
+	s, err := scalar.FromBytes(sBytes)
+	if err != nil || len(s) != prm.Ell {
+		return nil
+	}
+	coins, phi, err := parseShare1(prm, mode, secret, view)
+	if err != nil {
+		return nil
+	}
+	g2 := group.G2{}
+	acc := phi
+	for i, ai := range coins {
+		acc = g2.Mul(acc, g2.Inv(g2.Exp(ai, s[i])))
+	}
+	return acc
+}
+
+// parseShare1 extracts (a1,…,aℓ, Φ) from P1's memory. In ModeBasic they
+// sit in the secret serialization directly; in ModeOptimalRate the
+// secret holds skcomm and the share is decrypted from P1's public
+// memory.
+func parseShare1(prm params.Params, mode params.Mode, secret []byte, view *View) ([]*bn254.G2, *bn254.G2, error) {
+	switch mode {
+	case params.ModeBasic:
+		want := (prm.Ell+1)*bn254.G2Bytes + prm.Kappa*32
+		if len(secret) != want {
+			return nil, nil, fmt.Errorf("leakage: P1 secret is %d bytes, want %d", len(secret), want)
+		}
+		coins := make([]*bn254.G2, prm.Ell)
+		for i := range coins {
+			pt, err := new(bn254.G2).SetBytes(secret[i*bn254.G2Bytes : (i+1)*bn254.G2Bytes])
+			if err != nil {
+				return nil, nil, err
+			}
+			coins[i] = pt
+		}
+		phi, err := new(bn254.G2).SetBytes(secret[prm.Ell*bn254.G2Bytes : (prm.Ell+1)*bn254.G2Bytes])
+		if err != nil {
+			return nil, nil, err
+		}
+		return coins, phi, nil
+
+	case params.ModeOptimalRate:
+		if len(secret) != prm.Kappa*32 {
+			return nil, nil, fmt.Errorf("leakage: P1 secret is %d bytes, want κ·32 = %d", len(secret), prm.Kappa*32)
+		}
+		skcomm, err := scalar.FromBytes(secret)
+		if err != nil {
+			return nil, nil, err
+		}
+		pub := view.Periods[len(view.Periods)-1].PublicMem1
+		ss, err := hpske.New[*bn254.G2](group.G2{}, prm.Kappa)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctSize := (prm.Kappa + 1) * bn254.G2Bytes
+		if len(pub) != (prm.Ell+1)*ctSize {
+			return nil, nil, fmt.Errorf("leakage: P1 public memory is %d bytes, want %d", len(pub), (prm.Ell+1)*ctSize)
+		}
+		elems := make([]*bn254.G2, prm.Ell+1)
+		for i := range elems {
+			ct, err := ss.FromBytes(pub[i*ctSize : (i+1)*ctSize])
+			if err != nil {
+				return nil, nil, err
+			}
+			pt, err := ss.Decrypt(hpske.Key(skcomm), ct)
+			if err != nil {
+				return nil, nil, err
+			}
+			elems[i] = pt
+		}
+		return elems[:prm.Ell], elems[prm.Ell], nil
+
+	default:
+		return nil, nil, fmt.Errorf("leakage: unknown mode %v", mode)
+	}
+}
+
+// Messages implements Adversary.
+func (a *KeyRecoveryAdversary) Messages(view *View) (*bn254.GT, *bn254.GT) {
+	a.m0, _ = bn254.RandGT(a.rng)
+	a.m1, _ = bn254.RandGT(a.rng)
+	return a.m0, a.m1
+}
+
+// Guess implements Adversary: assemble the leaked msk chunks; on success
+// decrypt the challenge as m = B/e(A, msk) and compare against m0/m1,
+// otherwise flip a coin.
+func (a *KeyRecoveryAdversary) Guess(ct *dlr.Ciphertext, view *View) int {
+	enc := make([]byte, 0, mskEncodingBytes)
+	if len(view.Periods) > 1 {
+		for _, pv := range view.Periods[1:] {
+			enc = append(enc, pv.Leak1...)
+		}
+	}
+	if len(enc) >= mskEncodingBytes {
+		if msk, err := new(bn254.G2).SetBytes(enc[:mskEncodingBytes]); err == nil {
+			eAm := bn254.Pair(ct.A, msk)
+			m := new(bn254.GT).Div(ct.B, eAm)
+			switch {
+			case m.Equal(a.m0):
+				a.MatchedChallenge = true
+				return 0
+			case m.Equal(a.m1):
+				a.MatchedChallenge = true
+				return 1
+			}
+		}
+	}
+	b, _ := randomBit(a.rng)
+	return b
+}
+
+// WinRate plays n independent games with fresh adversaries produced by
+// mkAdv and returns the empirical win probability.
+func WinRate(rng io.Reader, cfg Config, mkAdv func() (Adversary, error), n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("leakage: n must be positive")
+	}
+	wins := 0
+	for i := 0; i < n; i++ {
+		adv, err := mkAdv()
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunCPAGame(rng, cfg, adv)
+		if err != nil {
+			return 0, err
+		}
+		if res.Win {
+			wins++
+		}
+	}
+	return float64(wins) / float64(n), nil
+}

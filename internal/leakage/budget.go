@@ -1,0 +1,51 @@
+// Package leakage makes the paper's continual-memory-leakage model
+// executable: length-bounded leakage functions over serialized secret
+// memory, the per-period budget accounting of §3.2, the CPA-CML security
+// game of Definition 3.2 (and its CCA2 extension), and a library of
+// concrete adversaries — including the cross-period key-recovery attack
+// that succeeds against a non-refreshing deployment and fails against
+// the real scheme (experiment E5).
+package leakage
+
+import "fmt"
+
+// Budget enforces the length-shrinking rule of §3.2 for one device: the
+// leakage obtained while a given share is in memory — the current
+// period's steady-state function h_i^t plus the previous period's
+// refresh function h_i^{(t−1),Ref} — may total at most Bound bits:
+//
+//	L_i^t + |ℓ_i^t| + |ℓ_i^{t,Ref}| ≤ b_i,  L_i^{t+1} ← |ℓ_i^{t,Ref}|.
+type Budget struct {
+	// Bound is b_i in bits.
+	Bound int
+	// carried is L_i^t: the refresh-leakage bits charged to the share
+	// that carried over into this period.
+	carried int
+	// total accumulates lifetime leaked bits (for reporting only).
+	total int
+}
+
+// NewBudget returns a budget with bound b bits.
+func NewBudget(b int) *Budget { return &Budget{Bound: b} }
+
+// Charge records a period's leakage: steady bits from h_i^t and refresh
+// bits from h_i^{t,Ref}. It returns an error — and charges nothing — if
+// the period would exceed the bound.
+func (b *Budget) Charge(steadyBits, refreshBits int) error {
+	if steadyBits < 0 || refreshBits < 0 {
+		return fmt.Errorf("leakage: negative leakage length")
+	}
+	if b.carried+steadyBits+refreshBits > b.Bound {
+		return fmt.Errorf("leakage: budget exceeded: carried %d + steady %d + refresh %d > bound %d",
+			b.carried, steadyBits, refreshBits, b.Bound)
+	}
+	b.total += steadyBits + refreshBits
+	b.carried = refreshBits
+	return nil
+}
+
+// Carried returns the bits carried into the current period.
+func (b *Budget) Carried() int { return b.carried }
+
+// Total returns the lifetime leaked bits.
+func (b *Budget) Total() int { return b.total }

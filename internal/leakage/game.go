@@ -1,0 +1,285 @@
+package leakage
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/dlr"
+	"repro/internal/params"
+	"repro/internal/scalar"
+)
+
+// View is the adversary's public information: everything §3.2 lets it
+// see — the public key, per-period communication transcripts, the public
+// memory contents, the background decryption inputs/outputs, and all
+// leakage obtained in earlier periods.
+type View struct {
+	// PK is the public key encoding.
+	PK []byte
+	// Periods holds one record per completed time period.
+	Periods []PeriodView
+	// GenLeakage is the key-generation leakage ℓ^Gen (may be nil).
+	GenLeakage []byte
+}
+
+// PeriodView is the public record of one time period.
+type PeriodView struct {
+	// Transcript is the serialized communication to/from both devices
+	// (comm_t), covering the decryption and refresh protocols.
+	Transcript []byte
+	// PublicMem1 is P1's public memory (the encrypted share in
+	// ModeOptimalRate).
+	PublicMem1 []byte
+	// Ciphertext and Message are the background decryption's
+	// input/output (pub_t's (c, m) component).
+	Ciphertext, Message []byte
+	// Leak1, Leak1Ref, Leak2, Leak2Ref are the leakage values returned
+	// to the adversary for this period.
+	Leak1, Leak1Ref, Leak2, Leak2Ref []byte
+}
+
+// Func is a polynomial-time computable leakage function. It receives the
+// serialized secret memory of one device plus the public view, and its
+// output length is charged against the device's budget. A nil Func leaks
+// nothing.
+type Func func(secret []byte, view *View) []byte
+
+// PeriodFuncs is the tuple (h_1^t, h_1^{t,Ref}, h_2^t, h_2^{t,Ref}).
+type PeriodFuncs struct {
+	H1, H1Ref, H2, H2Ref Func
+}
+
+// Adversary drives the CPA-CML game of Definition 3.2.
+type Adversary interface {
+	// GenLeakage returns h^Gen, or nil to skip key-generation leakage.
+	GenLeakage() Func
+	// NextPeriod is called at the start of period t with the view so
+	// far. Returning more = false moves the game to the challenge phase.
+	NextPeriod(t int, view *View) (funcs PeriodFuncs, more bool)
+	// Messages returns the challenge pair (m0, m1).
+	Messages(view *View) (m0, m1 *bn254.GT)
+	// Guess receives the challenge ciphertext and returns the guessed
+	// bit.
+	Guess(ct *dlr.Ciphertext, view *View) int
+}
+
+// Sampler is the ciphertext distribution C(n, pk, t) for the background
+// decryption run at each period. It returns a ciphertext and the
+// underlying plaintext.
+type Sampler func(rng io.Reader, pk *dlr.PublicKey, t int) (*dlr.Ciphertext, *bn254.GT, error)
+
+// RandomMessageSampler encrypts a fresh uniform message each period.
+func RandomMessageSampler(rng io.Reader, pk *dlr.PublicKey, t int) (*dlr.Ciphertext, *bn254.GT, error) {
+	m, err := dlr.RandMessage(rng, pk)
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := dlr.Encrypt(rng, pk, m, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ct, m, nil
+}
+
+// Config parameterizes a game run.
+type Config struct {
+	// Params are the scheme parameters.
+	Params params.Params
+	// Mode is P1's memory layout.
+	Mode params.Mode
+	// RefreshEnabled runs the Ref protocol (and P1's period key
+	// rotation) at the end of every period — the actual scheme. With it
+	// disabled the game models the naive deployment the paper's
+	// adversary defeats (experiment E5's baseline).
+	RefreshEnabled bool
+	// Sampler draws the background decryption ciphertexts; nil uses
+	// RandomMessageSampler. SkipBackgroundDec omits the background
+	// decryption entirely (cheaper; used by benches that don't exercise
+	// decryption-time leakage).
+	Sampler           Sampler
+	SkipBackgroundDec bool
+	// DecryptionsPerPeriod runs that many background decryptions per
+	// period (default 1). The paper notes the multi-execution extension
+	// is immediate (§3.3); the budget accounting is unchanged because
+	// decryption adds no secret state beyond the share and skcomm.
+	DecryptionsPerPeriod int
+	// MaxPeriods aborts runaway adversaries (default 64).
+	MaxPeriods int
+}
+
+// Result reports the outcome of one game.
+type Result struct {
+	// Win reports whether the adversary guessed the challenge bit.
+	Win bool
+	// Periods is the number of leakage periods played.
+	Periods int
+	// Leaked1 and Leaked2 are total leaked bits per device.
+	Leaked1, Leaked2 int
+	// ChallengeBit is the challenger's bit b (for diagnostics).
+	ChallengeBit int
+}
+
+// RunCPAGame plays the semantic-security game of Definition 3.2 between
+// the built-in challenger and adv, returning the outcome. It returns an
+// error (not a Result) if the adversary violates a budget or a protocol
+// step fails — Definition 3.2's challenger "aborts".
+func RunCPAGame(rng io.Reader, cfg Config, adv Adversary) (*Result, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = RandomMessageSampler
+	}
+	if cfg.MaxPeriods == 0 {
+		cfg.MaxPeriods = 64
+	}
+
+	// Key generation phase. The dealer's secret randomness rGen is the
+	// essential secret state: α and the Π_ss key (everything else is
+	// recomputable from it plus public data).
+	pk, p1, p2, genSecret, err := genWithSecret(rng, cfg.Params, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	view := &View{PK: pk.Bytes()}
+
+	b0 := NewBudget(cfg.Params.B0())
+	if h := adv.GenLeakage(); h != nil {
+		l := h(genSecret, view)
+		if err := b0.Charge(len(l)*8, 0); err != nil {
+			return nil, fmt.Errorf("leakage: key-generation %w", err)
+		}
+		view.GenLeakage = l
+	}
+
+	budget1 := NewBudget(pk.Params.B1())
+	// P2's bound is its full share (ρ2 = 1), measured on the actual
+	// serialization so the accounting is mechanically exact.
+	budget2 := NewBudget(8 * len(p2.SecretBytes()))
+
+	periods := 0
+	for t := 0; t < cfg.MaxPeriods; t++ {
+		funcs, more := adv.NextPeriod(t, view)
+		if !more {
+			break
+		}
+		periods++
+
+		pv := PeriodView{PublicMem1: p1.PublicShareBytes()}
+
+		// Steady-state secret snapshots (the inputs to h_i^t).
+		s1Pre := append([]byte(nil), p1.SecretBytes()...)
+		s2Pre := append([]byte(nil), p2.SecretBytes()...)
+
+		// Background decryptions (the Dec executions of Definition 3.2;
+		// one per period unless configured otherwise).
+		if !cfg.SkipBackgroundDec {
+			runs := cfg.DecryptionsPerPeriod
+			if runs <= 0 {
+				runs = 1
+			}
+			for r := 0; r < runs; r++ {
+				ct, m, err := cfg.Sampler(rng, pk, t)
+				if err != nil {
+					return nil, fmt.Errorf("leakage: sampling background ciphertext: %w", err)
+				}
+				got, _, err := dlr.Decrypt(rng, p1, p2, ct)
+				if err != nil {
+					return nil, fmt.Errorf("leakage: background decryption: %w", err)
+				}
+				if !got.Equal(m) {
+					return nil, fmt.Errorf("leakage: background decryption returned wrong message")
+				}
+				pv.Ciphertext = append(pv.Ciphertext, ct.Bytes()...)
+				pv.Message = append(pv.Message, m.Bytes()...)
+			}
+		}
+
+		// Refresh (and next-period key rotation).
+		if cfg.RefreshEnabled {
+			if _, err := dlr.Refresh(rng, p1, p2); err != nil {
+				return nil, fmt.Errorf("leakage: refresh: %w", err)
+			}
+			if err := p1.BeginPeriod(rng); err != nil {
+				return nil, fmt.Errorf("leakage: period rotation: %w", err)
+			}
+		}
+		s1Post := p1.SecretBytes()
+		s2Post := p2.SecretBytes()
+
+		// Evaluate the leakage functions. Refresh-time functions see the
+		// doubled secret memory: outgoing share ‖ incoming share.
+		apply := func(h Func, secret []byte) []byte {
+			if h == nil {
+				return nil
+			}
+			return h(secret, view)
+		}
+		pv.Leak1 = apply(funcs.H1, s1Pre)
+		pv.Leak2 = apply(funcs.H2, s2Pre)
+		if cfg.RefreshEnabled {
+			pv.Leak1Ref = apply(funcs.H1Ref, append(append([]byte(nil), s1Pre...), s1Post...))
+			pv.Leak2Ref = apply(funcs.H2Ref, append(append([]byte(nil), s2Pre...), s2Post...))
+		}
+
+		if err := budget1.Charge(len(pv.Leak1)*8, len(pv.Leak1Ref)*8); err != nil {
+			return nil, fmt.Errorf("leakage: P1 %w", err)
+		}
+		if err := budget2.Charge(len(pv.Leak2)*8, len(pv.Leak2Ref)*8); err != nil {
+			return nil, fmt.Errorf("leakage: P2 %w", err)
+		}
+		view.Periods = append(view.Periods, pv)
+	}
+
+	// Challenge phase.
+	m0, m1 := adv.Messages(view)
+	if m0 == nil || m1 == nil {
+		return nil, fmt.Errorf("leakage: adversary returned nil challenge messages")
+	}
+	bit, err := randomBit(rng)
+	if err != nil {
+		return nil, err
+	}
+	mb := m0
+	if bit == 1 {
+		mb = m1
+	}
+	ct, err := dlr.Encrypt(rng, pk, mb, nil)
+	if err != nil {
+		return nil, err
+	}
+	guess := adv.Guess(ct, view)
+
+	return &Result{
+		Win:          guess == bit,
+		Periods:      periods,
+		Leaked1:      budget1.Total(),
+		Leaked2:      budget2.Total(),
+		ChallengeBit: bit,
+	}, nil
+}
+
+// genWithSecret runs dlr.Gen while exposing the dealer's essential
+// secret randomness for the key-generation leakage phase.
+func genWithSecret(rng io.Reader, prm params.Params, mode params.Mode) (*dlr.PublicKey, *dlr.P1, *dlr.P2, []byte, error) {
+	// The dealer's α and the share key are not exported by dlr.Gen; the
+	// game treats the two devices' initial secrets as the essential
+	// randomness, which is equivalent (they determine the dealer's view
+	// up to recomputable public data).
+	pk, p1, p2, err := dlr.Gen(rng, prm, dlr.WithMode(mode))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	genSecret := append(append([]byte(nil), p1.SecretBytes()...), p2.SecretBytes()...)
+	return pk, p1, p2, genSecret, nil
+}
+
+func randomBit(rng io.Reader) (int, error) {
+	k, err := scalar.Rand(rng)
+	if err != nil {
+		return 0, err
+	}
+	return int(k.Bit(0)), nil
+}

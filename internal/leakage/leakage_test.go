@@ -1,0 +1,293 @@
+package leakage
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/dlr"
+	"repro/internal/params"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Charge(60, 30); err != nil {
+		t.Fatal(err)
+	}
+	if b.Carried() != 30 {
+		t.Fatalf("carried %d, want 30", b.Carried())
+	}
+	// Next period: 30 carried + 60 + 20 > 100 must fail.
+	if err := b.Charge(60, 20); err == nil {
+		t.Fatal("budget accepted over-bound period")
+	}
+	// 30 carried + 60 + 10 = 100 is exactly allowed.
+	if err := b.Charge(60, 10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 160 {
+		t.Fatalf("total %d, want 160", b.Total())
+	}
+	if err := b.Charge(-1, 0); err == nil {
+		t.Fatal("accepted negative leakage")
+	}
+}
+
+// attackParams gives a fast attack configuration: λ = 1024 lets the
+// whole msk encoding leak in a single period.
+func attackParams(t *testing.T) params.Params {
+	t.Helper()
+	return params.MustNew(40, 1024)
+}
+
+func TestRandomAdversaryCompletes(t *testing.T) {
+	cfg := Config{
+		Params:            attackParams(t),
+		Mode:              params.ModeOptimalRate,
+		RefreshEnabled:    true,
+		SkipBackgroundDec: true,
+	}
+	res, err := RunCPAGame(rand.Reader, cfg, NewRandomGuessAdversary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 0 {
+		t.Fatalf("random adversary played %d periods, want 0", res.Periods)
+	}
+	if res.Leaked1 != 0 || res.Leaked2 != 0 {
+		t.Fatal("random adversary leaked bits")
+	}
+}
+
+// TestKeyRecoveryBreaksNoRefresh is experiment E5's core claim, negative
+// direction: with refresh disabled, the bounded-leakage adversary fully
+// recovers msk and decrypts the challenge outright.
+func TestKeyRecoveryBreaksNoRefresh(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			prm := attackParams(t)
+			adv, err := NewKeyRecoveryAdversary(nil, prm, mode, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Params:            prm,
+				Mode:              mode,
+				RefreshEnabled:    false,
+				SkipBackgroundDec: true,
+			}
+			res, err := RunCPAGame(rand.Reader, cfg, adv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !adv.MatchedChallenge {
+				t.Fatal("adversary failed to recover msk against non-refreshing deployment")
+			}
+			if !res.Win {
+				t.Fatal("adversary recovered msk but lost the game")
+			}
+			if res.Periods != 2 {
+				t.Fatalf("attack took %d periods, want 2 (share leak + msk leak)", res.Periods)
+			}
+		})
+	}
+}
+
+// TestKeyRecoveryFailsWithRefresh is E5's positive direction: the same
+// adversary against the actual scheme (refresh on) never reassembles
+// msk — the share it leaked at period 0 has been refreshed away.
+func TestKeyRecoveryFailsWithRefresh(t *testing.T) {
+	prm := attackParams(t)
+	adv, err := NewKeyRecoveryAdversary(nil, prm, params.ModeOptimalRate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Params:            prm,
+		Mode:              params.ModeOptimalRate,
+		RefreshEnabled:    true,
+		SkipBackgroundDec: true,
+	}
+	if _, err := RunCPAGame(rand.Reader, cfg, adv); err != nil {
+		t.Fatal(err)
+	}
+	if adv.MatchedChallenge {
+		t.Fatal("adversary recovered msk despite refresh — the scheme is broken")
+	}
+}
+
+// TestOverBudgetAborts checks the challenger aborts (errors) when a
+// leakage function exceeds its device's bound.
+func TestOverBudgetAborts(t *testing.T) {
+	prm := attackParams(t)
+	greedy := &funcAdversary{
+		inner: NewRandomGuessAdversary(nil),
+		funcs: PeriodFuncs{
+			H1: func(secret []byte, _ *View) []byte {
+				// λ+8 bits: one byte over P1's bound.
+				return make([]byte, prm.Lambda/8+1)
+			},
+		},
+		periods: 1,
+	}
+	cfg := Config{
+		Params:            prm,
+		Mode:              params.ModeOptimalRate,
+		RefreshEnabled:    true,
+		SkipBackgroundDec: true,
+	}
+	if _, err := RunCPAGame(rand.Reader, cfg, greedy); err == nil {
+		t.Fatal("challenger did not abort on over-budget leakage")
+	}
+}
+
+// TestWithinBudgetAccepted: leaking exactly λ bits per period for several
+// periods is fine.
+func TestWithinBudgetAccepted(t *testing.T) {
+	prm := attackParams(t)
+	polite := &funcAdversary{
+		inner: NewRandomGuessAdversary(nil),
+		funcs: PeriodFuncs{
+			H1: func(secret []byte, _ *View) []byte { return make([]byte, prm.Lambda/8) },
+			H2: func(secret []byte, _ *View) []byte { return append([]byte(nil), secret[:4]...) },
+		},
+		periods: 3,
+	}
+	cfg := Config{
+		Params:            prm,
+		Mode:              params.ModeOptimalRate,
+		RefreshEnabled:    true,
+		SkipBackgroundDec: true,
+	}
+	res, err := RunCPAGame(rand.Reader, cfg, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 3 {
+		t.Fatalf("played %d periods, want 3", res.Periods)
+	}
+	if res.Leaked1 != 3*prm.Lambda {
+		t.Fatalf("P1 leaked %d bits, want %d", res.Leaked1, 3*prm.Lambda)
+	}
+}
+
+// TestBackgroundDecryptionRuns exercises the full Definition 3.2 loop
+// including the background decryption execution.
+func TestBackgroundDecryptionRuns(t *testing.T) {
+	prm := params.MustNew(40, 128) // small ℓ keeps the protocol cheap
+	polite := &funcAdversary{
+		inner:   NewRandomGuessAdversary(nil),
+		funcs:   PeriodFuncs{},
+		periods: 1,
+	}
+	cfg := Config{
+		Params:         prm,
+		Mode:           params.ModeOptimalRate,
+		RefreshEnabled: true,
+	}
+	res, err := RunCPAGame(rand.Reader, cfg, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 1 {
+		t.Fatalf("played %d periods, want 1", res.Periods)
+	}
+}
+
+// funcAdversary plays fixed leakage functions for a fixed number of
+// periods and delegates the challenge phase to inner.
+type funcAdversary struct {
+	inner   Adversary
+	funcs   PeriodFuncs
+	periods int
+}
+
+var _ Adversary = (*funcAdversary)(nil)
+
+func (a *funcAdversary) GenLeakage() Func { return nil }
+
+func (a *funcAdversary) NextPeriod(t int, view *View) (PeriodFuncs, bool) {
+	if t >= a.periods {
+		return PeriodFuncs{}, false
+	}
+	return a.funcs, true
+}
+
+func (a *funcAdversary) Messages(view *View) (*bn254.GT, *bn254.GT) {
+	return a.inner.Messages(view)
+}
+
+func (a *funcAdversary) Guess(ct *dlr.Ciphertext, view *View) int {
+	return a.inner.Guess(ct, view)
+}
+
+// TestMultipleDecryptionsPerPeriod exercises the §3.3 extension: several
+// background decryption executions per period, all leak-observable.
+func TestMultipleDecryptionsPerPeriod(t *testing.T) {
+	prm := params.MustNew(40, 128)
+	polite := &funcAdversary{
+		inner:   NewRandomGuessAdversary(nil),
+		funcs:   PeriodFuncs{},
+		periods: 1,
+	}
+	cfg := Config{
+		Params:               prm,
+		Mode:                 params.ModeOptimalRate,
+		RefreshEnabled:       true,
+		DecryptionsPerPeriod: 3,
+	}
+	res, err := RunCPAGame(rand.Reader, cfg, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 1 {
+		t.Fatalf("played %d periods, want 1", res.Periods)
+	}
+}
+
+// genLeakAdversary wraps funcAdversary with a key-generation leakage
+// function.
+type genLeakAdversary struct {
+	funcAdversary
+	gen Func
+}
+
+func (a *genLeakAdversary) GenLeakage() Func { return a.gen }
+
+// TestGenLeakageWithinB0 exercises the key-generation leakage phase: up
+// to b0 = O(log n) bits are returned; more aborts the game.
+func TestGenLeakageWithinB0(t *testing.T) {
+	// n = 254 gives b0 = 8 bits — exactly one byte of dealer leakage.
+	prm := params.MustNew(254, 1024)
+	cfg := Config{
+		Params:            prm,
+		Mode:              params.ModeOptimalRate,
+		RefreshEnabled:    true,
+		SkipBackgroundDec: true,
+	}
+	b0Bytes := prm.B0() / 8
+	if b0Bytes == 0 {
+		t.Skipf("b0 = %d bits is below one byte", prm.B0())
+	}
+	polite := &genLeakAdversary{
+		funcAdversary: funcAdversary{inner: NewRandomGuessAdversary(nil)},
+		gen: func(secret []byte, _ *View) []byte {
+			return append([]byte(nil), secret[:b0Bytes]...)
+		},
+	}
+	res, err := RunCPAGame(rand.Reader, cfg, polite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+
+	greedy := &genLeakAdversary{
+		funcAdversary: funcAdversary{inner: NewRandomGuessAdversary(nil)},
+		gen: func(secret []byte, _ *View) []byte {
+			return append([]byte(nil), secret[:prm.B0()/8+8]...)
+		},
+	}
+	if _, err := RunCPAGame(rand.Reader, cfg, greedy); err == nil {
+		t.Fatal("challenger accepted key-generation leakage above b0")
+	}
+}

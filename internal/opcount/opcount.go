@@ -1,0 +1,127 @@
+// Package opcount provides injected operation counters used to
+// regenerate the paper's efficiency comparisons (experiments E1 and E6)
+// from measured group-operation counts rather than asymptotic claims.
+//
+// A nil *Counter is valid everywhere and counts nothing, so callers can
+// thread counters through APIs unconditionally.
+package opcount
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op identifies a counted operation.
+type Op string
+
+// The counted operation kinds.
+const (
+	G1Exp     Op = "g1.exp"
+	G2Exp     Op = "g2.exp"
+	GTExp     Op = "gt.exp"
+	G1Mul     Op = "g1.mul"
+	G2Mul     Op = "g2.mul"
+	GTMul     Op = "gt.mul"
+	GTInv     Op = "gt.inv"
+	Pairing   Op = "pairing"
+	HashToG   Op = "hash-to-group"
+	BytesSent Op = "bytes.sent"
+	ScalarOp  Op = "scalar.op"
+)
+
+// Counter accumulates operation counts. It is safe for concurrent use.
+// The zero value is ready to use; a nil Counter silently ignores all
+// operations.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Op]int64
+}
+
+// New returns an empty counter.
+func New() *Counter { return &Counter{counts: make(map[Op]int64)} }
+
+// Add records n occurrences of op. Safe on a nil receiver.
+func (c *Counter) Add(op Op, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[Op]int64)
+	}
+	c.counts[op] += n
+}
+
+// Get returns the count for op. Safe on a nil receiver.
+func (c *Counter) Get(op Op) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[op]
+}
+
+// Reset zeroes all counts. Safe on a nil receiver.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = make(map[Op]int64)
+}
+
+// Snapshot returns a copy of all non-zero counts. Safe on a nil receiver.
+func (c *Counter) Snapshot() map[Op]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Op]int64, len(c.counts))
+	for k, v := range c.counts {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Diff returns the per-op difference between this counter and an earlier
+// snapshot.
+func Diff(later, earlier map[Op]int64) map[Op]int64 {
+	out := make(map[Op]int64)
+	for k, v := range later {
+		if d := v - earlier[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range earlier {
+		if _, seen := later[k]; !seen && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// String renders the counter deterministically (sorted by op name).
+func (c *Counter) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[Op(k)])
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package opcount
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAddGetReset(t *testing.T) {
+	c := New()
+	c.Add(G1Exp, 3)
+	c.Add(G1Exp, 2)
+	c.Add(Pairing, 1)
+	if c.Get(G1Exp) != 5 || c.Get(Pairing) != 1 {
+		t.Fatal("counts wrong")
+	}
+	c.Reset()
+	if c.Get(G1Exp) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(G1Exp, 1)
+	if c.Get(G1Exp) != 0 {
+		t.Fatal("nil counter returned non-zero")
+	}
+	c.Reset()
+	if c.Snapshot() != nil {
+		t.Fatal("nil counter snapshot should be nil")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Counter
+	c.Add(G2Mul, 7)
+	if c.Get(G2Mul) != 7 {
+		t.Fatal("zero-value counter unusable")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	c := New()
+	c.Add(G1Exp, 2)
+	before := c.Snapshot()
+	c.Add(G1Exp, 3)
+	c.Add(GTMul, 1)
+	after := c.Snapshot()
+	d := Diff(after, before)
+	if d[G1Exp] != 3 || d[GTMul] != 1 {
+		t.Fatalf("diff wrong: %v", d)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(Pairing, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get(Pairing) != 8000 {
+		t.Fatalf("concurrent count %d, want 8000", c.Get(Pairing))
+	}
+}
+
+func TestString(t *testing.T) {
+	c := New()
+	c.Add(G1Exp, 1)
+	c.Add(Pairing, 2)
+	if s := c.String(); s != "g1.exp=1 pairing=2" {
+		t.Fatalf("String() = %q", s)
+	}
+}

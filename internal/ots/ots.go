@@ -1,0 +1,146 @@
+// Package ots implements Lamport one-time signatures over SHA-256 — the
+// strongly unforgeable one-time signature the BCHK transform (§4.3,
+// citing [6]) needs to lift the semantically secure DLRIBE to the
+// CCA2-secure DLRCCA2.
+//
+// A key signs exactly one message: the signer reveals, per digest bit,
+// one of two hash preimages committed in the verification key.
+package ots
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// digestBits is the number of message-digest bits signed.
+const digestBits = 256
+
+// preimageLen is the byte length of each secret preimage.
+const preimageLen = 32
+
+// VerifyKeyLen is the encoded verification-key length in bytes.
+const VerifyKeyLen = 2 * digestBits * sha256.Size
+
+// SignatureLen is the encoded signature length in bytes.
+const SignatureLen = digestBits * preimageLen
+
+// SigningKey is a one-time signing key.
+type SigningKey struct {
+	pre  [2][digestBits][preimageLen]byte
+	vk   VerifyKey
+	used bool
+}
+
+// VerifyKey is the corresponding public verification key: the hash of
+// every preimage.
+type VerifyKey struct {
+	h [2][digestBits][sha256.Size]byte
+}
+
+// Signature reveals one preimage per digest bit.
+type Signature struct {
+	pre [digestBits][preimageLen]byte
+}
+
+// Gen samples a fresh one-time key pair.
+func Gen(rng io.Reader) (*SigningKey, *VerifyKey, error) {
+	sk := &SigningKey{}
+	for b := 0; b < 2; b++ {
+		for i := 0; i < digestBits; i++ {
+			if _, err := io.ReadFull(rng, sk.pre[b][i][:]); err != nil {
+				return nil, nil, fmt.Errorf("ots: sampling preimage: %w", err)
+			}
+			sk.vk.h[b][i] = sha256.Sum256(sk.pre[b][i][:])
+		}
+	}
+	vk := sk.vk
+	return sk, &vk, nil
+}
+
+// Sign signs msg. A SigningKey signs at most once; further calls error.
+func (sk *SigningKey) Sign(msg []byte) (*Signature, error) {
+	if sk.used {
+		return nil, fmt.Errorf("ots: one-time key already used")
+	}
+	sk.used = true
+	d := sha256.Sum256(msg)
+	var sig Signature
+	for i := 0; i < digestBits; i++ {
+		bit := (d[i/8] >> (i % 8)) & 1
+		sig.pre[i] = sk.pre[bit][i]
+	}
+	return &sig, nil
+}
+
+// Verify reports whether sig is a valid signature of msg under vk.
+func (vk *VerifyKey) Verify(msg []byte, sig *Signature) bool {
+	if sig == nil {
+		return false
+	}
+	d := sha256.Sum256(msg)
+	for i := 0; i < digestBits; i++ {
+		bit := (d[i/8] >> (i % 8)) & 1
+		h := sha256.Sum256(sig.pre[i][:])
+		if !bytes.Equal(h[:], vk.h[bit][i][:]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the canonical verification-key encoding.
+func (vk *VerifyKey) Bytes() []byte {
+	out := make([]byte, 0, VerifyKeyLen)
+	for b := 0; b < 2; b++ {
+		for i := 0; i < digestBits; i++ {
+			out = append(out, vk.h[b][i][:]...)
+		}
+	}
+	return out
+}
+
+// VerifyKeyFromBytes decodes a verification key.
+func VerifyKeyFromBytes(raw []byte) (*VerifyKey, error) {
+	if len(raw) != VerifyKeyLen {
+		return nil, fmt.Errorf("ots: verification key must be %d bytes, got %d", VerifyKeyLen, len(raw))
+	}
+	vk := &VerifyKey{}
+	off := 0
+	for b := 0; b < 2; b++ {
+		for i := 0; i < digestBits; i++ {
+			copy(vk.h[b][i][:], raw[off:off+sha256.Size])
+			off += sha256.Size
+		}
+	}
+	return vk, nil
+}
+
+// Bytes returns the canonical signature encoding.
+func (s *Signature) Bytes() []byte {
+	out := make([]byte, 0, SignatureLen)
+	for i := 0; i < digestBits; i++ {
+		out = append(out, s.pre[i][:]...)
+	}
+	return out
+}
+
+// SignatureFromBytes decodes a signature.
+func SignatureFromBytes(raw []byte) (*Signature, error) {
+	if len(raw) != SignatureLen {
+		return nil, fmt.Errorf("ots: signature must be %d bytes, got %d", SignatureLen, len(raw))
+	}
+	s := &Signature{}
+	for i := 0; i < digestBits; i++ {
+		copy(s.pre[i][:], raw[i*preimageLen:(i+1)*preimageLen])
+	}
+	return s, nil
+}
+
+// Fingerprint returns a short identity string for a verification key —
+// the "identity" the CHK transform encrypts to.
+func (vk *VerifyKey) Fingerprint() string {
+	d := sha256.Sum256(vk.Bytes())
+	return fmt.Sprintf("vk:%x", d[:16])
+}

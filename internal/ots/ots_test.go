@@ -1,0 +1,117 @@
+package ots
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	sk, vk, err := Gen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox")
+	sig, err := sk.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Verify(msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestRejectsWrongMessage(t *testing.T) {
+	sk, vk, _ := Gen(rand.Reader)
+	sig, _ := sk.Sign([]byte("message one"))
+	if vk.Verify([]byte("message two"), sig) {
+		t.Fatal("signature accepted for different message")
+	}
+}
+
+func TestRejectsTamperedSignature(t *testing.T) {
+	sk, vk, _ := Gen(rand.Reader)
+	msg := []byte("msg")
+	sig, _ := sk.Sign(msg)
+	sig.pre[17][3] ^= 1
+	if vk.Verify(msg, sig) {
+		t.Fatal("tampered signature accepted")
+	}
+}
+
+func TestRejectsWrongKey(t *testing.T) {
+	sk, _, _ := Gen(rand.Reader)
+	_, vk2, _ := Gen(rand.Reader)
+	msg := []byte("msg")
+	sig, _ := sk.Sign(msg)
+	if vk2.Verify(msg, sig) {
+		t.Fatal("signature accepted under wrong key")
+	}
+}
+
+func TestOneTimeEnforced(t *testing.T) {
+	sk, _, _ := Gen(rand.Reader)
+	if _, err := sk.Sign([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Sign([]byte("second")); err == nil {
+		t.Fatal("key signed twice")
+	}
+}
+
+func TestNilSignatureRejected(t *testing.T) {
+	_, vk, _ := Gen(rand.Reader)
+	if vk.Verify([]byte("m"), nil) {
+		t.Fatal("nil signature accepted")
+	}
+}
+
+func TestVerifyKeyBytesRoundTrip(t *testing.T) {
+	sk, vk, _ := Gen(rand.Reader)
+	enc := vk.Bytes()
+	if len(enc) != VerifyKeyLen {
+		t.Fatalf("vk encoding %d bytes, want %d", len(enc), VerifyKeyLen)
+	}
+	back, err := VerifyKeyFromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("round trip")
+	sig, _ := sk.Sign(msg)
+	if !back.Verify(msg, sig) {
+		t.Fatal("decoded vk rejects valid signature")
+	}
+	if _, err := VerifyKeyFromBytes(enc[:10]); err == nil {
+		t.Fatal("accepted truncated vk")
+	}
+}
+
+func TestSignatureBytesRoundTrip(t *testing.T) {
+	sk, vk, _ := Gen(rand.Reader)
+	msg := []byte("sig round trip")
+	sig, _ := sk.Sign(msg)
+	enc := sig.Bytes()
+	if len(enc) != SignatureLen {
+		t.Fatalf("sig encoding %d bytes, want %d", len(enc), SignatureLen)
+	}
+	back, err := SignatureFromBytes(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vk.Verify(msg, back) {
+		t.Fatal("decoded signature rejected")
+	}
+	if _, err := SignatureFromBytes(enc[:100]); err == nil {
+		t.Fatal("accepted truncated signature")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	_, vk, _ := Gen(rand.Reader)
+	if vk.Fingerprint() != vk.Fingerprint() {
+		t.Fatal("fingerprint unstable")
+	}
+	_, vk2, _ := Gen(rand.Reader)
+	if vk.Fingerprint() == vk2.Fingerprint() {
+		t.Fatal("fingerprint collision")
+	}
+}

@@ -1,0 +1,152 @@
+// Package params derives every parameter of the DLR schemes from the
+// security parameter n and leakage parameter λ, following the paper's §5
+// preamble:
+//
+//	ε = 2⁻ⁿ
+//	κ = 1 + (λ + 2·log(1/ε))/log p
+//	ℓ = 7 + 3κ + 2·log(1/ε)/log p
+//
+// and the secret-memory and leakage-bound accounting of Theorem 4.1 and
+// §6. All sizes are in bits. The group is BN254, so log p = 254.
+package params
+
+import "fmt"
+
+// LogP is the bit length of the group order (BN254).
+const LogP = 254
+
+// Mode selects P1's secret-memory layout (§5.2 remarks).
+type Mode int
+
+const (
+	// ModeBasic stores sk1 = (a1,…,aℓ, Φ) in the clear in P1's secret
+	// memory, exactly as written in Construction 5.3.
+	ModeBasic Mode = iota + 1
+	// ModeOptimalRate stores sk1 only encrypted under Π_comm in public
+	// memory; P1's secret memory is skcomm plus at most one unencrypted
+	// coordinate ("Optimal leakage rate" remark, §5.2). This achieves the
+	// (1−o(1)) leakage fraction of Theorem 4.1.
+	ModeOptimalRate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "basic"
+	case ModeOptimalRate:
+		return "optimal-rate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Params holds the derived scheme parameters.
+type Params struct {
+	// N is the statistical security parameter (ε = 2⁻ᴺ). Must be ≤ LogP.
+	N int
+	// Lambda is the leakage parameter λ: the number of leakage bits per
+	// period tolerated from P1.
+	Lambda int
+	// Kappa is the Π_comm (HPSKE) secret-key length κ.
+	Kappa int
+	// Ell is the Π_ss sharing length ℓ.
+	Ell int
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// New derives parameters for statistical security n and leakage
+// parameter lambda (both in bits).
+func New(n, lambda int) (Params, error) {
+	if n <= 0 || n > LogP {
+		return Params{}, fmt.Errorf("params: n must be in [1, %d], got %d", LogP, n)
+	}
+	if lambda <= 0 {
+		return Params{}, fmt.Errorf("params: lambda must be positive, got %d", lambda)
+	}
+	kappa := 1 + ceilDiv(lambda+2*n, LogP)
+	ell := 7 + 3*kappa + ceilDiv(2*n, LogP)
+	return Params{N: n, Lambda: lambda, Kappa: kappa, Ell: ell}, nil
+}
+
+// MustNew is New that panics on invalid input; for tests and examples.
+func MustNew(n, lambda int) Params {
+	p, err := New(n, lambda)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SKCommBits is the size of the Π_comm secret key skcomm = (σ1,…,σκ).
+func (p Params) SKCommBits() int { return p.Kappa * LogP }
+
+// SK2Bits is the size of P2's share sk2 = (s1,…,sℓ).
+func (p Params) SK2Bits() int { return p.Ell * LogP }
+
+// g2ElemBits is the size of a G2 element (two Fp2 coordinates).
+const g2ElemBits = 4 * 256
+
+// SK1Bits is the size of P1's plaintext share sk1 = (a1,…,aℓ, Φ)
+// (ℓ+1 group elements).
+func (p Params) SK1Bits() int { return (p.Ell + 1) * g2ElemBits }
+
+// M1 is the size of P1's secret memory outside refresh, per mode:
+// ModeBasic holds sk1 and skcomm; ModeOptimalRate holds skcomm plus one
+// unencrypted group-element coordinate (counted as log p per the paper's
+// "m1 + log p" accounting).
+func (p Params) M1(m Mode) int {
+	switch m {
+	case ModeBasic:
+		return p.SK1Bits() + p.SKCommBits()
+	case ModeOptimalRate:
+		return p.SKCommBits() + LogP
+	default:
+		panic(fmt.Sprintf("params: unknown mode %d", int(m)))
+	}
+}
+
+// M2 is the size of P2's secret memory outside refresh.
+func (p Params) M2() int { return p.SK2Bits() }
+
+// M1Refresh and M2Refresh are the refresh-time secret-memory sizes: each
+// device holds both the outgoing and the incoming share, doubling its
+// secret memory (§4: "the size of the secret memory doubles").
+func (p Params) M1Refresh(m Mode) int { return 2 * p.M1(m) }
+
+// M2Refresh is the refresh-time secret memory of P2.
+func (p Params) M2Refresh() int { return 2 * p.M2() }
+
+// B1 is the per-period leakage bound for P1: λ bits. By Theorem 4.1 this
+// equals (1 − cn/(λ+cn))·m1 in ModeOptimalRate (with c ≈ 3 when n = log p).
+func (p Params) B1() int { return p.Lambda }
+
+// B2 is the per-period leakage bound for P2: the full share, m2 bits
+// (the paper's ρ2 = 1).
+func (p Params) B2() int { return p.M2() }
+
+// B0 is the key-generation leakage bound: O(log n) bits under standard
+// BDDH (Theorem 4.1).
+func (p Params) B0() int {
+	b := 0
+	for v := p.N; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Rate1 is the tolerated leakage rate ρ1 = B1/M1 for P1 outside refresh.
+func (p Params) Rate1(m Mode) float64 { return float64(p.B1()) / float64(p.M1(m)) }
+
+// Rate1Refresh is ρ1^Ref = B1/M1Refresh.
+func (p Params) Rate1Refresh(m Mode) float64 { return float64(p.B1()) / float64(p.M1Refresh(m)) }
+
+// Rate2 is ρ2 = B2/M2 = 1.
+func (p Params) Rate2() float64 { return float64(p.B2()) / float64(p.M2()) }
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("params{n=%d, λ=%d, κ=%d, ℓ=%d}", p.N, p.Lambda, p.Kappa, p.Ell)
+}

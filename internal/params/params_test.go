@@ -1,0 +1,80 @@
+package params
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDerivation(t *testing.T) {
+	// n = 128, λ = 254: κ = 1 + ⌈(254+256)/254⌉ = 1 + 3 = 4 and
+	// ℓ = 7 + 3·4 + ⌈256/254⌉ = 7 + 12 + 2 = 21.
+	p := MustNew(128, 254)
+	if p.Kappa != 4 {
+		t.Fatalf("kappa = %d, want 4", p.Kappa)
+	}
+	if p.Ell != 7+3*p.Kappa+2 {
+		t.Fatalf("ell = %d, want %d", p.Ell, 7+3*p.Kappa+2)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New(0, 100); err == nil {
+		t.Fatal("accepted n = 0")
+	}
+	if _, err := New(300, 100); err == nil {
+		t.Fatal("accepted n > log p")
+	}
+	if _, err := New(128, 0); err == nil {
+		t.Fatal("accepted λ = 0")
+	}
+}
+
+func TestLeakageRatesApproachTheorem(t *testing.T) {
+	// Theorem 4.1: in ModeOptimalRate, ρ1 = λ/m1 → 1 as λ grows, and
+	// ρ1^Ref → 1/2. ρ2 = 1 always.
+	prev := 0.0
+	for _, lambda := range []int{254, 1016, 4064, 16256, 65024} {
+		p := MustNew(128, lambda)
+		r1 := p.Rate1(ModeOptimalRate)
+		if r1 <= prev {
+			t.Fatalf("ρ1 not increasing in λ: %f after %f", r1, prev)
+		}
+		prev = r1
+		if rr := p.Rate1Refresh(ModeOptimalRate); math.Abs(rr-r1/2) > 1e-9 {
+			t.Fatalf("ρ1^Ref = %f, want ρ1/2 = %f", rr, r1/2)
+		}
+	}
+	big := MustNew(128, 1<<20)
+	if big.Rate1(ModeOptimalRate) < 0.99 {
+		t.Fatalf("ρ1 = %f at λ = 2²⁰; should exceed 0.99", big.Rate1(ModeOptimalRate))
+	}
+	if r2 := big.Rate2(); r2 != 1.0 {
+		t.Fatalf("ρ2 = %f, want 1", r2)
+	}
+}
+
+func TestBasicModeRateLower(t *testing.T) {
+	p := MustNew(128, 508)
+	if p.Rate1(ModeBasic) >= p.Rate1(ModeOptimalRate) {
+		t.Fatal("basic mode should tolerate a lower leakage rate than optimal mode")
+	}
+	if p.M1(ModeBasic) <= p.M1(ModeOptimalRate) {
+		t.Fatal("basic-mode secret memory should be larger")
+	}
+}
+
+func TestB0Logarithmic(t *testing.T) {
+	p := MustNew(128, 254)
+	if b0 := p.B0(); b0 < 7 || b0 > 9 {
+		t.Fatalf("B0 = %d bits for n = 128; want ≈ log n", b0)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBasic.String() != "basic" || ModeOptimalRate.String() != "optimal-rate" {
+		t.Fatal("Mode.String broken")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}

@@ -1,0 +1,98 @@
+// Package pss implements Π_ss, the paper's secret-sharing encryption
+// (§4.1), used to share the Boneh–Boyen master secret msk = g2^α between
+// the two devices:
+//
+//	Gen_ss:  sk_ss = (s1,…,sℓ) ← Zrˡ            → held by P2
+//	Enc_ss:  (a1,…,aℓ, msk·Π aᵢ^sᵢ)             → held by P1
+//	Dec_ss:  Φ / Π aᵢ^sᵢ = msk
+//
+// The sharing is leakage resilient in the BHHO/Naor–Segev sense (the
+// leftover hash lemma applies to the inner product ⟨a, s⟩ in the
+// exponent) and — crucially — lets the devices decrypt DLR ciphertexts
+// without ever reconstructing msk. Structurally Π_ss is the HPSKE of
+// Lemma 5.2 with key length ℓ; this package wraps that scheme with
+// share-oriented vocabulary and the reconstruction/verification helpers
+// the tests and protocols need.
+package pss
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/group"
+	"repro/internal/hpske"
+)
+
+// Share1 is P1's share: the Π_ss ciphertext (a1,…,aℓ, Φ).
+type Share1 = hpske.Ciphertext[*bn254.G2]
+
+// Share2 is P2's share: the Π_ss key (s1,…,sℓ).
+type Share2 = hpske.Key
+
+// Scheme is a Π_ss instance with sharing length ℓ over G2.
+type Scheme struct {
+	// Inner is the underlying HPSKE scheme with κ = ℓ.
+	Inner *hpske.Scheme[*bn254.G2]
+	// Ell is the sharing length ℓ.
+	Ell int
+}
+
+// New returns a Π_ss scheme with sharing length ell over the given G2
+// adapter (which may carry an op counter).
+func New(g group.Group[*bn254.G2], ell int) (*Scheme, error) {
+	if ell < 1 {
+		return nil, fmt.Errorf("pss: ell must be ≥ 1, got %d", ell)
+	}
+	inner, err := hpske.New(g, ell)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{Inner: inner, Ell: ell}, nil
+}
+
+// Share splits msk into (share1, share2): share2 is a fresh Π_ss key and
+// share1 the Π_ss encryption of msk under it.
+func (s *Scheme) Share(rng io.Reader, msk *bn254.G2) (*Share1, Share2, error) {
+	key, err := s.Inner.GenKey(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pss: sharing: %w", err)
+	}
+	ct, err := s.Inner.Encrypt(rng, key, msk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pss: sharing: %w", err)
+	}
+	return ct, Share2(key), nil
+}
+
+// Reconstruct recombines the two shares into msk. Real deployments never
+// call this — the point of the scheme is that decryption works without
+// reconstruction — but tests use it to state invariants.
+func (s *Scheme) Reconstruct(sh1 *Share1, sh2 Share2) (*bn254.G2, error) {
+	msk, err := s.Inner.Decrypt(hpske.Key(sh2), sh1)
+	if err != nil {
+		return nil, fmt.Errorf("pss: reconstructing: %w", err)
+	}
+	return msk, nil
+}
+
+// Verify reports whether (sh1, sh2) is a valid sharing of msk.
+func (s *Scheme) Verify(sh1 *Share1, sh2 Share2, msk *bn254.G2) bool {
+	got, err := s.Reconstruct(sh1, sh2)
+	if err != nil {
+		return false
+	}
+	return got.Equal(msk)
+}
+
+// RefreshLocal produces a fresh, independently distributed sharing of
+// the same secret, given both shares in one place. It is the
+// single-party reference implementation of what the 2-party Ref protocol
+// achieves without ever co-locating the shares; tests compare the two.
+func (s *Scheme) RefreshLocal(rng io.Reader, sh1 *Share1, sh2 Share2) (*Share1, Share2, error) {
+	msk, err := s.Reconstruct(sh1, sh2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Share(rng, msk)
+}

@@ -1,0 +1,105 @@
+package pss
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/group"
+)
+
+func newScheme(t *testing.T) *Scheme {
+	t.Helper()
+	s, err := New(group.G2{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randMsk(t *testing.T) *bn254.G2 {
+	t.Helper()
+	msk, _, err := bn254.RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msk
+}
+
+func TestShareReconstruct(t *testing.T) {
+	s := newScheme(t)
+	msk := randMsk(t)
+	sh1, sh2, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Reconstruct(sh1, sh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(msk) {
+		t.Fatal("reconstruction failed")
+	}
+	if !s.Verify(sh1, sh2, msk) {
+		t.Fatal("Verify rejected valid sharing")
+	}
+}
+
+func TestMismatchedSharesFail(t *testing.T) {
+	s := newScheme(t)
+	msk := randMsk(t)
+	sh1, _, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, otherSh2, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Verify(sh1, otherSh2, msk) {
+		t.Fatal("shares from different sharings verified (vanishing probability)")
+	}
+}
+
+func TestRefreshLocalPreservesSecret(t *testing.T) {
+	s := newScheme(t)
+	msk := randMsk(t)
+	sh1, sh2, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sh1, sh2, err = s.RefreshLocal(rand.Reader, sh1, sh2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Verify(sh1, sh2, msk) {
+			t.Fatalf("refresh %d broke the sharing", i)
+		}
+	}
+}
+
+func TestRefreshProducesFreshShares(t *testing.T) {
+	s := newScheme(t)
+	msk := randMsk(t)
+	sh1, sh2, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsh1, nsh2, err := s.RefreshLocal(rand.Reader, sh1, sh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsh1.Payload.Equal(sh1.Payload) {
+		t.Fatal("refresh reused Φ")
+	}
+	if nsh2[0].Cmp(sh2[0]) == 0 {
+		t.Fatal("refresh reused s1 (vanishing probability)")
+	}
+}
+
+func TestNewRejectsBadEll(t *testing.T) {
+	if _, err := New(group.G2{}, 0); err == nil {
+		t.Fatal("accepted ℓ = 0")
+	}
+}

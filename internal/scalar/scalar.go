@@ -1,0 +1,274 @@
+// Package scalar provides arithmetic over Zr, the scalar field of the
+// pairing group (exponents of G1/G2/GT), together with the vector and
+// modular linear-algebra helpers the schemes and their tests need.
+//
+// Secret keys throughout the paper are vectors over Zp (our Zr):
+// sk2 = (s1,…,sℓ), skcomm = (σ1,…,σκ). The linear-algebra helpers mirror
+// the "full rank requirement" of the security proof (§6, step (d)).
+package scalar
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+// Order returns a copy of the scalar-field modulus r.
+func Order() *big.Int { return ff.Order() }
+
+// Rand returns a uniformly random scalar in [0, r).
+func Rand(rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	k, err := rand.Int(rng, ff.Order())
+	if err != nil {
+		return nil, fmt.Errorf("scalar: sampling: %w", err)
+	}
+	return k, nil
+}
+
+// RandVector returns n independent uniformly random scalars.
+func RandVector(rng io.Reader, n int) ([]*big.Int, error) {
+	out := make([]*big.Int, n)
+	for i := range out {
+		k, err := Rand(rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = k
+	}
+	return out, nil
+}
+
+// Add returns (a+b) mod r.
+func Add(a, b *big.Int) *big.Int {
+	s := new(big.Int).Add(a, b)
+	return s.Mod(s, ff.Order())
+}
+
+// Sub returns (a−b) mod r.
+func Sub(a, b *big.Int) *big.Int {
+	s := new(big.Int).Sub(a, b)
+	return s.Mod(s, ff.Order())
+}
+
+// Mul returns (a·b) mod r.
+func Mul(a, b *big.Int) *big.Int {
+	s := new(big.Int).Mul(a, b)
+	return s.Mod(s, ff.Order())
+}
+
+// Neg returns (−a) mod r.
+func Neg(a *big.Int) *big.Int {
+	s := new(big.Int).Neg(a)
+	return s.Mod(s, ff.Order())
+}
+
+// Inverse returns a⁻¹ mod r, or an error when a ≡ 0.
+func Inverse(a *big.Int) (*big.Int, error) {
+	inv := new(big.Int).ModInverse(a, ff.Order())
+	if inv == nil {
+		return nil, fmt.Errorf("scalar: zero has no inverse")
+	}
+	return inv, nil
+}
+
+// Equal reports whether a ≡ b (mod r).
+func Equal(a, b *big.Int) bool {
+	return new(big.Int).Mod(a, ff.Order()).Cmp(new(big.Int).Mod(b, ff.Order())) == 0
+}
+
+// CopyVector returns a deep copy of v.
+func CopyVector(v []*big.Int) []*big.Int {
+	out := make([]*big.Int, len(v))
+	for i, x := range v {
+		out[i] = new(big.Int).Set(x)
+	}
+	return out
+}
+
+// Bytes encodes v as the concatenation of 32-byte big-endian scalars.
+func Bytes(v []*big.Int) []byte {
+	out := make([]byte, 0, 32*len(v))
+	for _, x := range v {
+		var buf [32]byte
+		new(big.Int).Mod(x, ff.Order()).FillBytes(buf[:])
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// FromBytes decodes a vector encoded by Bytes.
+func FromBytes(b []byte) ([]*big.Int, error) {
+	if len(b)%32 != 0 {
+		return nil, fmt.Errorf("scalar: vector encoding length %d not a multiple of 32", len(b))
+	}
+	out := make([]*big.Int, len(b)/32)
+	for i := range out {
+		v := new(big.Int).SetBytes(b[32*i : 32*(i+1)])
+		if v.Cmp(ff.Order()) >= 0 {
+			return nil, fmt.Errorf("scalar: element %d not reduced", i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Matrix is a dense matrix over Zr, row-major.
+type Matrix [][]*big.Int
+
+// NewMatrix allocates a rows×cols zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	m := make(Matrix, rows)
+	for i := range m {
+		m[i] = make([]*big.Int, cols)
+		for j := range m[i] {
+			m[i][j] = new(big.Int)
+		}
+	}
+	return m
+}
+
+// RandMatrix returns a uniformly random rows×cols matrix.
+func RandMatrix(rng io.Reader, rows, cols int) (Matrix, error) {
+	m := make(Matrix, rows)
+	for i := range m {
+		row, err := RandVector(rng, cols)
+		if err != nil {
+			return nil, err
+		}
+		m[i] = row
+	}
+	return m, nil
+}
+
+// clone returns a deep copy of m.
+func (m Matrix) clone() Matrix {
+	out := make(Matrix, len(m))
+	for i, row := range m {
+		out[i] = CopyVector(row)
+	}
+	return out
+}
+
+// Rank returns the rank of m over Zr (Gaussian elimination).
+func (m Matrix) Rank() int {
+	if len(m) == 0 {
+		return 0
+	}
+	a := m.clone()
+	rows, cols := len(a), len(a[0])
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for i := rank; i < rows; i++ {
+			if a[i][col].Sign() != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[rank], a[pivot] = a[pivot], a[rank]
+		pinv, _ := Inverse(a[rank][col])
+		for j := col; j < cols; j++ {
+			a[rank][j] = Mul(a[rank][j], pinv)
+		}
+		for i := 0; i < rows; i++ {
+			if i == rank || a[i][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Int).Set(a[i][col])
+			for j := col; j < cols; j++ {
+				a[i][j] = Sub(a[i][j], Mul(f, a[rank][j]))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Solve returns x with A·x = b (mod r), or an error when the system is
+// inconsistent. When underdetermined, free variables are set to zero.
+func Solve(a Matrix, b []*big.Int) ([]*big.Int, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("scalar: %d rows but %d right-hand sides", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, nil
+	}
+	rows, cols := len(a), len(a[0])
+	// Augmented matrix.
+	aug := make(Matrix, rows)
+	for i := range aug {
+		aug[i] = append(CopyVector(a[i]), new(big.Int).Set(b[i]))
+	}
+	pivotCol := make([]int, 0, rows)
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for i := rank; i < rows; i++ {
+			if aug[i][col].Sign() != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		aug[rank], aug[pivot] = aug[pivot], aug[rank]
+		pinv, _ := Inverse(aug[rank][col])
+		for j := col; j <= cols; j++ {
+			aug[rank][j] = Mul(aug[rank][j], pinv)
+		}
+		for i := 0; i < rows; i++ {
+			if i == rank || aug[i][col].Sign() == 0 {
+				continue
+			}
+			f := new(big.Int).Set(aug[i][col])
+			for j := col; j <= cols; j++ {
+				aug[i][j] = Sub(aug[i][j], Mul(f, aug[rank][j]))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	// Inconsistency: zero row with non-zero rhs.
+	for i := rank; i < rows; i++ {
+		if aug[i][cols].Sign() != 0 {
+			return nil, fmt.Errorf("scalar: linear system inconsistent")
+		}
+	}
+	x := make([]*big.Int, cols)
+	for i := range x {
+		x[i] = new(big.Int)
+	}
+	for i, col := range pivotCol {
+		x[col] = new(big.Int).Set(aug[i][cols])
+	}
+	return x, nil
+}
+
+// MulVec returns A·x mod r.
+func (m Matrix) MulVec(x []*big.Int) ([]*big.Int, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	if len(m[0]) != len(x) {
+		return nil, fmt.Errorf("scalar: dimension mismatch %d vs %d", len(m[0]), len(x))
+	}
+	out := make([]*big.Int, len(m))
+	for i, row := range m {
+		acc := new(big.Int)
+		for j, c := range row {
+			acc.Add(acc, new(big.Int).Mul(c, x[j]))
+		}
+		out[i] = acc.Mod(acc, ff.Order())
+	}
+	return out, nil
+}

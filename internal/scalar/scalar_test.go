@@ -1,0 +1,125 @@
+package scalar
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestArithmetic(t *testing.T) {
+	a, err := Rand(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(Add(a, b), Add(b, a)) {
+		t.Fatal("Add not commutative")
+	}
+	if !Equal(Sub(Add(a, b), b), a) {
+		t.Fatal("Sub does not invert Add")
+	}
+	if !Equal(Add(a, Neg(a)), big.NewInt(0)) {
+		t.Fatal("a + (−a) ≠ 0")
+	}
+	if a.Sign() != 0 {
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(Mul(a, inv), big.NewInt(1)) {
+			t.Fatal("a·a⁻¹ ≠ 1")
+		}
+	}
+	if _, err := Inverse(big.NewInt(0)); err == nil {
+		t.Fatal("Inverse(0) should error")
+	}
+}
+
+func TestVectorBytesRoundTrip(t *testing.T) {
+	v, err := RandVector(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBytes(Bytes(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(v) {
+		t.Fatalf("length %d, want %d", len(back), len(v))
+	}
+	for i := range v {
+		if !Equal(back[i], v[i]) {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	if _, err := FromBytes(make([]byte, 33)); err == nil {
+		t.Fatal("FromBytes accepted bad length")
+	}
+}
+
+func TestMatrixRank(t *testing.T) {
+	// Random square matrices over a huge prime field are full rank with
+	// overwhelming probability.
+	m, err := RandMatrix(nil, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rank(); got != 6 {
+		t.Fatalf("random 6×6 matrix has rank %d, want 6", got)
+	}
+	// Duplicate a row: rank drops.
+	m[5] = CopyVector(m[0])
+	if got := m.Rank(); got != 5 {
+		t.Fatalf("matrix with duplicated row has rank %d, want 5", got)
+	}
+	// Zero matrix.
+	z := NewMatrix(3, 4)
+	if got := z.Rank(); got != 0 {
+		t.Fatalf("zero matrix rank %d, want 0", got)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	// Build a consistent system A·x = b and recover a solution.
+	a, err := RandMatrix(nil, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue, err := RandVector(nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.MulVec(xTrue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if !Equal(check[i], b[i]) {
+			t.Fatalf("solution does not satisfy row %d", i)
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// Two identical rows with different right-hand sides.
+	row, err := RandVector(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Matrix{CopyVector(row), CopyVector(row)}
+	b := []*big.Int{big.NewInt(1), big.NewInt(2)}
+	if _, err := Solve(a, b); err == nil {
+		t.Fatal("Solve accepted inconsistent system")
+	}
+}

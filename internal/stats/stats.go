@@ -1,0 +1,109 @@
+// Package stats provides the statistical tooling the reproduction uses
+// to check the paper's distributional claims: empirical statistical
+// distance (Definition 3.1 requires SD((sk⁰),(skᵗ)) = 0 across
+// refreshes), min-entropy estimation (the leftover-hash-lemma margins
+// behind Π_ss and HPSKE property 2), and a chi-square uniformity test
+// for refresh outputs.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// StatisticalDistance returns the total-variation distance between two
+// empirical distributions given as sample slices over a common discrete
+// domain (samples are compared by their string key).
+func StatisticalDistance(a, b []string) float64 {
+	ca := make(map[string]float64, len(a))
+	cb := make(map[string]float64, len(b))
+	for _, x := range a {
+		ca[x]++
+	}
+	for _, x := range b {
+		cb[x]++
+	}
+	keys := make(map[string]struct{}, len(ca)+len(cb))
+	for k := range ca {
+		keys[k] = struct{}{}
+	}
+	for k := range cb {
+		keys[k] = struct{}{}
+	}
+	var d float64
+	na, nb := float64(len(a)), float64(len(b))
+	for k := range keys {
+		d += math.Abs(ca[k]/na - cb[k]/nb)
+	}
+	return d / 2
+}
+
+// MinEntropy estimates the min-entropy (in bits) of the empirical
+// distribution of samples: −log2(max frequency).
+func MinEntropy(samples []string) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(samples))
+	maxCount := 0
+	for _, s := range samples {
+		counts[s]++
+		if counts[s] > maxCount {
+			maxCount = counts[s]
+		}
+	}
+	return -math.Log2(float64(maxCount) / float64(len(samples)))
+}
+
+// ChiSquareUniform runs a chi-square goodness-of-fit test of observed
+// bucket counts against the uniform distribution and returns the test
+// statistic together with the 99% critical value for the given degrees
+// of freedom (buckets−1, using the Wilson–Hilferty approximation). The
+// null hypothesis "uniform" is rejected at the 1% level when
+// stat > critical.
+func ChiSquareUniform(counts []int) (stat, critical float64, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, fmt.Errorf("stats: need at least 2 buckets, got %d", k)
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: no observations")
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	// Wilson–Hilferty: χ²_df(p) ≈ df·(1 − 2/(9df) + z_p·sqrt(2/(9df)))³,
+	// z_0.99 ≈ 2.3263.
+	df := float64(k - 1)
+	z := 2.3263478740408408
+	t := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
+	critical = df * t * t * t
+	return stat, critical, nil
+}
+
+// ByteBucketCounts buckets a stream of byte slices by their trailing
+// byte — a cheap uniformity projection for big-endian field-element
+// encodings, whose LOW-order byte is uniform while the leading byte is
+// bounded by the modulus.
+func ByteBucketCounts(samples [][]byte, buckets int) ([]int, error) {
+	if buckets < 2 || buckets > 256 {
+		return nil, fmt.Errorf("stats: buckets must be in [2,256], got %d", buckets)
+	}
+	counts := make([]int, buckets)
+	for _, s := range samples {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("stats: empty sample")
+		}
+		counts[int(s[len(s)-1])*buckets/256]++
+	}
+	return counts, nil
+}

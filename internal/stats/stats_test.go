@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+)
+
+func TestStatisticalDistanceIdentical(t *testing.T) {
+	a := []string{"x", "y", "x", "z"}
+	if d := StatisticalDistance(a, a); d != 0 {
+		t.Fatalf("SD(a,a) = %f, want 0", d)
+	}
+}
+
+func TestStatisticalDistanceDisjoint(t *testing.T) {
+	a := []string{"x", "x"}
+	b := []string{"y", "y"}
+	if d := StatisticalDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("SD(disjoint) = %f, want 1", d)
+	}
+}
+
+func TestStatisticalDistancePartial(t *testing.T) {
+	a := []string{"x", "y"}
+	b := []string{"x", "z"}
+	if d := StatisticalDistance(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("SD = %f, want 0.5", d)
+	}
+}
+
+func TestMinEntropy(t *testing.T) {
+	if h := MinEntropy([]string{"a", "a", "a", "a"}); h != 0 {
+		t.Fatalf("constant distribution min-entropy %f, want 0", h)
+	}
+	if h := MinEntropy([]string{"a", "b", "c", "d"}); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("uniform-4 min-entropy %f, want 2", h)
+	}
+	if h := MinEntropy(nil); h != 0 {
+		t.Fatalf("empty min-entropy %f, want 0", h)
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	counts := []int{250, 248, 252, 250}
+	stat, crit, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat > crit {
+		t.Fatalf("near-uniform rejected: stat %f > critical %f", stat, crit)
+	}
+}
+
+func TestChiSquareUniformRejectsSkew(t *testing.T) {
+	counts := []int{1000, 10, 10, 10}
+	stat, crit, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat <= crit {
+		t.Fatalf("heavily skewed accepted: stat %f ≤ critical %f", stat, crit)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Fatal("accepted 1 bucket")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Fatal("accepted empty observations")
+	}
+	if _, _, err := ChiSquareUniform([]int{-1, 2}); err == nil {
+		t.Fatal("accepted negative count")
+	}
+}
+
+func TestByteBucketCounts(t *testing.T) {
+	samples := make([][]byte, 512)
+	for i := range samples {
+		b := make([]byte, 4)
+		if _, err := rand.Read(b); err != nil {
+			t.Fatal(err)
+		}
+		samples[i] = b
+	}
+	counts, err := ByteBucketCounts(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 512 {
+		t.Fatalf("bucket total %d, want 512", total)
+	}
+	stat, crit, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat > crit {
+		t.Fatalf("random bytes failed uniformity: %f > %f", stat, crit)
+	}
+	if _, err := ByteBucketCounts(samples, 1); err == nil {
+		t.Fatal("accepted 1 bucket")
+	}
+	if _, err := ByteBucketCounts([][]byte{nil}, 4); err == nil {
+		t.Fatal("accepted empty sample")
+	}
+}

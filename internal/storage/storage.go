@@ -1,0 +1,160 @@
+// Package storage implements secure storage on continually leaky
+// devices (the paper's §4.4): values are stored DLR-encrypted on the
+// first device while the decryption key lives shared between the two
+// devices; every period the key shares are refreshed by the 2-party Ref
+// protocol and the stored ciphertexts are re-randomized, so an adversary
+// obtaining bounded leakage from each device per period — forever —
+// learns nothing about the stored values.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/dlr"
+	"repro/internal/opcount"
+	"repro/internal/params"
+)
+
+// Store is a key-value store on two leaky devices.
+type Store struct {
+	mu sync.Mutex
+
+	pk  *dlr.PublicKey
+	p1  *dlr.P1
+	p2  *dlr.P2
+	ctr *opcount.Counter
+
+	cells  map[string]*dlr.HybridCiphertext
+	period uint64
+}
+
+// Option configures a Store.
+type Option func(*config)
+
+type config struct {
+	mode params.Mode
+	ctr  *opcount.Counter
+}
+
+// WithMode selects the device-P1 memory layout.
+func WithMode(m params.Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithCounter attaches an operation counter.
+func WithCounter(ctr *opcount.Counter) Option { return func(c *config) { c.ctr = ctr } }
+
+// New creates a store with fresh key material.
+func New(rng io.Reader, prm params.Params, opts ...Option) (*Store, error) {
+	cfg := config{mode: params.ModeOptimalRate}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pk, p1, p2, err := dlr.Gen(rng, prm, dlr.WithMode(cfg.mode), dlr.WithCounters(cfg.ctr, cfg.ctr))
+	if err != nil {
+		return nil, fmt.Errorf("storage: generating keys: %w", err)
+	}
+	return &Store{
+		pk: pk, p1: p1, p2: p2, ctr: cfg.ctr,
+		cells: make(map[string]*dlr.HybridCiphertext),
+	}, nil
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(rng io.Reader, key string, value []byte) error {
+	ct, err := dlr.EncryptBytes(rng, s.pk, value, s.ctr)
+	if err != nil {
+		return fmt.Errorf("storage: encrypting %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cells[key] = ct
+	return nil
+}
+
+// Get retrieves the value under key by running the 2-party decryption
+// protocol between the devices.
+func (s *Store) Get(rng io.Reader, key string) ([]byte, error) {
+	s.mu.Lock()
+	ct, ok := s.cells[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: no value under %q", key)
+	}
+	value, err := dlr.DecryptBytesProtocol(rng, s.p1, s.p2, ct)
+	if err != nil {
+		return nil, fmt.Errorf("storage: decrypting %q: %w", key, err)
+	}
+	return value, nil
+}
+
+// Delete removes the value under key.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cells, key)
+}
+
+// Keys returns the stored keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.cells))
+	for k := range s.cells {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RefreshPeriod ends the current time period: the devices run the
+// 2-party key-share refresh, P1 rotates its period key, and every stored
+// ciphertext is re-randomized so no component of the system's state
+// persists across periods.
+func (s *Store) RefreshPeriod(rng io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := dlr.Refresh(rng, s.p1, s.p2); err != nil {
+		return fmt.Errorf("storage: key refresh: %w", err)
+	}
+	if err := s.p1.BeginPeriod(rng); err != nil {
+		return fmt.Errorf("storage: period rotation: %w", err)
+	}
+	for k, ct := range s.cells {
+		kem, err := ct.KEM.Rerandomize(rng, s.pk, s.ctr)
+		if err != nil {
+			return fmt.Errorf("storage: re-randomizing %q: %w", k, err)
+		}
+		s.cells[k] = &dlr.HybridCiphertext{KEM: kem, Nonce: ct.Nonce, Sealed: ct.Sealed}
+	}
+	s.period++
+	return nil
+}
+
+// Period returns the number of completed refresh periods.
+func (s *Store) Period() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.period
+}
+
+// DeviceSecrets exposes the two devices' secret-memory serializations
+// for leakage experiments.
+func (s *Store) DeviceSecrets() (p1, p2 []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p1.SecretBytes(), s.p2.SecretBytes()
+}
+
+// CiphertextBytes returns the stored ciphertext encoding under key (the
+// at-rest public memory an adversary sees).
+func (s *Store) CiphertextBytes(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ct, ok := s.cells[key]
+	if !ok {
+		return nil, false
+	}
+	return ct.Bytes(), true
+}

@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(rand.Reader, params.MustNew(40, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(rand.Reader, "secret", []byte("launch codes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(rand.Reader, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("launch codes")) {
+		t.Fatal("stored value corrupted")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Get(rand.Reader, "nope"); err == nil {
+		t.Fatal("Get on missing key succeeded")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(rand.Reader, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rand.Reader, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(rand.Reader, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("got %q, want v2", got)
+	}
+	s.Delete("k")
+	if _, err := s.Get(rand.Reader, "k"); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+}
+
+func TestRefreshPreservesValues(t *testing.T) {
+	s := newStore(t)
+	values := map[string][]byte{
+		"a": []byte("alpha"),
+		"b": []byte("beta"),
+	}
+	for k, v := range values {
+		if err := s.Put(rand.Reader, k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.RefreshPeriod(rand.Reader); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
+	if s.Period() != 3 {
+		t.Fatalf("period %d, want 3", s.Period())
+	}
+	for k, v := range values {
+		got, err := s.Get(rand.Reader, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("value %q corrupted after refresh", k)
+		}
+	}
+}
+
+// TestRefreshChangesAllState: after a period refresh, both the device
+// secrets and the at-rest ciphertexts look completely different — no
+// state component persists for the adversary to accumulate against.
+func TestRefreshChangesAllState(t *testing.T) {
+	s := newStore(t)
+	if err := s.Put(rand.Reader, "k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	p1Before, p2Before := s.DeviceSecrets()
+	p1Before = append([]byte(nil), p1Before...)
+	p2Before = append([]byte(nil), p2Before...)
+	ctBefore, ok := s.CiphertextBytes("k")
+	if !ok {
+		t.Fatal("missing ciphertext")
+	}
+	ctBefore = append([]byte(nil), ctBefore...)
+
+	if err := s.RefreshPeriod(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	p1After, p2After := s.DeviceSecrets()
+	ctAfter, _ := s.CiphertextBytes("k")
+	if bytes.Equal(p1Before, p1After) {
+		t.Fatal("P1 secret unchanged by refresh")
+	}
+	if bytes.Equal(p2Before, p2After) {
+		t.Fatal("P2 secret unchanged by refresh")
+	}
+	if bytes.Equal(ctBefore, ctAfter) {
+		t.Fatal("stored ciphertext unchanged by refresh")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := newStore(t)
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Put(rand.Reader, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[1] != "mid" || keys[2] != "zeta" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

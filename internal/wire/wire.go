@@ -1,0 +1,175 @@
+// Package wire implements the length-prefixed binary framing used by the
+// 2-party protocols, both in-process and over TCP. Every frame carries a
+// short ASCII kind tag and an opaque payload of group elements encoded
+// by the schemes themselves.
+//
+// Frame layout (big-endian):
+//
+//	magic   [2]byte  = "DL"
+//	version uint8    = 1
+//	kindLen uint8
+//	kind    [kindLen]byte
+//	payLen  uint32
+//	payload [payLen]byte
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the framing version emitted by this package.
+const Version = 1
+
+// MaxPayload bounds frame payloads (16 MiB) so a malformed peer cannot
+// force unbounded allocation.
+const MaxPayload = 16 << 20
+
+var magic = [2]byte{'D', 'L'}
+
+// Msg is one protocol frame.
+type Msg struct {
+	// Kind is a short ASCII tag identifying the protocol step
+	// (e.g. "dec.d", "ref.f").
+	Kind string
+	// Payload is the opaque frame body.
+	Payload []byte
+}
+
+// Size returns the on-wire size of the message in bytes.
+func (m Msg) Size() int { return 2 + 1 + 1 + len(m.Kind) + 4 + len(m.Payload) }
+
+// Write encodes m onto w.
+func Write(w io.Writer, m Msg) error {
+	if len(m.Kind) > 255 {
+		return fmt.Errorf("wire: kind %q too long", m.Kind[:32])
+	}
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds limit %d", len(m.Payload), MaxPayload)
+	}
+	buf := make([]byte, 0, m.Size())
+	buf = append(buf, magic[:]...)
+	buf = append(buf, Version, byte(len(m.Kind)))
+	buf = append(buf, m.Kind...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(m.Payload)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, m.Payload...)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// Read decodes one frame from r.
+func Read(r io.Reader) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading header: %w", err)
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return Msg{}, fmt.Errorf("wire: bad magic %x", hdr[:2])
+	}
+	if hdr[2] != Version {
+		return Msg{}, fmt.Errorf("wire: unsupported version %d", hdr[2])
+	}
+	kind := make([]byte, hdr[3])
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading kind: %w", err)
+	}
+	var l [4]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(l[:])
+	if n > MaxPayload {
+		return Msg{}, fmt.Errorf("wire: payload %d exceeds limit %d", n, MaxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return Msg{Kind: string(kind), Payload: payload}, nil
+}
+
+// Builder incrementally assembles a payload of fixed-size group-element
+// encodings and scalars.
+type Builder struct {
+	buf []byte
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func (b *Builder) AppendBytes(p []byte) *Builder {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(p)))
+	b.buf = append(b.buf, l[:]...)
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// AppendRaw appends p without a length prefix (for fixed-size encodings).
+func (b *Builder) AppendRaw(p []byte) *Builder {
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// AppendUint32 appends a big-endian uint32.
+func (b *Builder) AppendUint32(v uint32) *Builder {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], v)
+	b.buf = append(b.buf, l[:]...)
+	return b
+}
+
+// Bytes returns the assembled payload.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Parser walks a payload assembled by Builder.
+type Parser struct {
+	buf []byte
+	off int
+}
+
+// NewParser returns a parser over p.
+func NewParser(p []byte) *Parser { return &Parser{buf: p} }
+
+// Bytes reads a length-prefixed byte string.
+func (p *Parser) Bytes() ([]byte, error) {
+	if p.off+4 > len(p.buf) {
+		return nil, fmt.Errorf("wire: truncated length prefix at offset %d", p.off)
+	}
+	n := binary.BigEndian.Uint32(p.buf[p.off:])
+	p.off += 4
+	if uint32(len(p.buf)-p.off) < n {
+		return nil, fmt.Errorf("wire: truncated byte string (want %d, have %d)", n, len(p.buf)-p.off)
+	}
+	out := p.buf[p.off : p.off+int(n)]
+	p.off += int(n)
+	return out, nil
+}
+
+// Raw reads exactly n unprefixed bytes.
+func (p *Parser) Raw(n int) ([]byte, error) {
+	if n < 0 || len(p.buf)-p.off < n {
+		return nil, fmt.Errorf("wire: truncated raw field (want %d, have %d)", n, len(p.buf)-p.off)
+	}
+	out := p.buf[p.off : p.off+n]
+	p.off += n
+	return out, nil
+}
+
+// Uint32 reads a big-endian uint32.
+func (p *Parser) Uint32() (uint32, error) {
+	raw, err := p.Raw(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(raw), nil
+}
+
+// Done reports whether the payload is fully consumed.
+func (p *Parser) Done() bool { return p.off == len(p.buf) }
+
+// Remaining returns the number of unread bytes.
+func (p *Parser) Remaining() int { return len(p.buf) - p.off }

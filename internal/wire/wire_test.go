@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Msg{
+		{Kind: "dec.d", Payload: []byte("hello")},
+		{Kind: "ref.f", Payload: nil},
+		{Kind: "x", Payload: bytes.Repeat([]byte{0xAB}, 1<<10)},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame mismatch: got %q/%d bytes", got.Kind, len(got.Payload))
+		}
+	}
+}
+
+func TestFrameSizeAccounting(t *testing.T) {
+	m := Msg{Kind: "abc", Payload: []byte("12345")}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != m.Size() {
+		t.Fatalf("Size() = %d but encoded %d bytes", m.Size(), buf.Len())
+	}
+}
+
+func TestRejectBadFrames(t *testing.T) {
+	// Bad magic.
+	if _, err := Read(bytes.NewReader([]byte{'X', 'Y', 1, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Bad version.
+	if _, err := Read(bytes.NewReader([]byte{'D', 'L', 9, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("accepted bad version")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := Write(&buf, Msg{Kind: "k", Payload: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated frame")
+	}
+	// Oversized kind.
+	if err := Write(&buf, Msg{Kind: strings.Repeat("k", 300)}); err == nil {
+		t.Fatal("accepted oversized kind")
+	}
+}
+
+func TestBuilderParserRoundTrip(t *testing.T) {
+	var b Builder
+	b.AppendUint32(42).
+		AppendBytes([]byte("variable")).
+		AppendRaw([]byte{1, 2, 3, 4})
+	p := NewParser(b.Bytes())
+	v, err := p.Uint32()
+	if err != nil || v != 42 {
+		t.Fatalf("Uint32 = %d, %v", v, err)
+	}
+	s, err := p.Bytes()
+	if err != nil || string(s) != "variable" {
+		t.Fatalf("Bytes = %q, %v", s, err)
+	}
+	raw, err := p.Raw(4)
+	if err != nil || !bytes.Equal(raw, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Raw = %v, %v", raw, err)
+	}
+	if !p.Done() {
+		t.Fatalf("parser not done, %d remaining", p.Remaining())
+	}
+}
+
+func TestParserTruncation(t *testing.T) {
+	var b Builder
+	b.AppendBytes([]byte("abc"))
+	enc := b.Bytes()
+	p := NewParser(enc[:len(enc)-1])
+	if _, err := p.Bytes(); err == nil {
+		t.Fatal("parser accepted truncated byte string")
+	}
+	p2 := NewParser([]byte{0, 0})
+	if _, err := p2.Uint32(); err == nil {
+		t.Fatal("parser accepted truncated uint32")
+	}
+	p3 := NewParser([]byte{1})
+	if _, err := p3.Raw(2); err == nil {
+		t.Fatal("parser accepted short raw read")
+	}
+}
