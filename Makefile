@@ -1,0 +1,35 @@
+# Repro of "Distributed Public Key Schemes Secure against Continual
+# Leakage" (PODC 2012). Pure Go, no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci baseline clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# ci is the tier-1 gate: build, vet, and the full test suite under the
+# race detector (the protocol stack fans work out across goroutines).
+ci: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# baseline re-snapshots the fast-path timings compared against in
+# EXPERIMENTS.md. Run on a quiet machine and commit the result.
+baseline:
+	$(GO) run ./cmd/dlrbench -baseline bench_baseline.json
+
+clean:
+	$(GO) clean ./...

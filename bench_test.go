@@ -10,14 +10,19 @@ package repro_test
 
 import (
 	"crypto/rand"
+	"math/big"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/bn254"
 	"repro/internal/cca2"
 	"repro/internal/dibe"
 	"repro/internal/dlr"
+	"repro/internal/group"
+	"repro/internal/hpske"
 	"repro/internal/leakage"
 	"repro/internal/params"
+	"repro/internal/scalar"
 	"repro/internal/storage"
 )
 
@@ -78,6 +83,10 @@ func BenchmarkE9_Storage(b *testing.B) { runTable(b, bench.E9Storage) }
 
 // BenchmarkE10_Ablations regenerates the design-choice ablation table.
 func BenchmarkE10_Ablations(b *testing.B) { runTable(b, bench.E10Ablations) }
+
+// BenchmarkE11_FastPath regenerates the fast-path-vs-reference speedup
+// table (windowed scalar mult, multi-pairing, Straus multi-exp).
+func BenchmarkE11_FastPath(b *testing.B) { runTable(b, bench.E11FastPath) }
 
 // --- Fine-grained operation benchmarks -------------------------------
 
@@ -245,6 +254,125 @@ func BenchmarkStorage_RefreshPeriod(b *testing.B) {
 		if err := st.RefreshPeriod(rand.Reader); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Fast-path vs reference micro-benchmarks -------------------------
+//
+// Each pair times a fast-path entry point against the retained naive
+// *Reference implementation it is differentially tested against.
+
+func benchScalar(b *testing.B) *big.Int {
+	b.Helper()
+	k, err := scalar.Rand(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkG1_ScalarBaseMult(b *testing.B) {
+	k := benchScalar(b)
+	new(bn254.G1).ScalarBaseMult(k) // build the fixed-base table outside the timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(bn254.G1).ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG1_ScalarBaseMultReference(b *testing.B) {
+	k := benchScalar(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(bn254.G1).ScalarBaseMultReference(k)
+	}
+}
+
+func BenchmarkG2_ScalarBaseMult(b *testing.B) {
+	k := benchScalar(b)
+	new(bn254.G2).ScalarBaseMult(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(bn254.G2).ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG2_ScalarBaseMultReference(b *testing.B) {
+	k := benchScalar(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		new(bn254.G2).ScalarBaseMultReference(k)
+	}
+}
+
+func BenchmarkPair(b *testing.B) {
+	p, _, err := bn254.RandG1(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := bn254.RandG2(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn254.Pair(p, q)
+	}
+}
+
+func BenchmarkPairReference(b *testing.B) {
+	p, _, err := bn254.RandG1(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, _, err := bn254.RandG2(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn254.PairReference(p, q)
+	}
+}
+
+func benchTransportInputs(b *testing.B) (*bn254.G1, *hpske.Ciphertext[*bn254.G2]) {
+	b.Helper()
+	s, err := hpske.New[*bn254.G2](group.G2{}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := s.G.Rand(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := s.Encrypt(rand.Reader, key, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _, err := bn254.RandG1(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, ct
+}
+
+func BenchmarkHPSKE_Transport(b *testing.B) {
+	a, ct := benchTransportInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hpske.Transport(nil, a, ct)
+	}
+}
+
+func BenchmarkHPSKE_TransportReference(b *testing.B) {
+	a, ct := benchTransportInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hpske.TransportReference(nil, a, ct)
 	}
 }
 

@@ -1,15 +1,18 @@
-// Command dlrbench runs the experiment suite E1–E10 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E11 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
-//	dlrbench              # everything
-//	dlrbench -e E5        # one experiment
-//	dlrbench -games 5     # more attack games for E5
+//	dlrbench                            # everything
+//	dlrbench -e E5                      # one experiment
+//	dlrbench -games 5                   # more attack games for E5
+//	dlrbench -baseline bench_baseline.json  # snapshot fast-path timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -18,10 +21,18 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		exp   = flag.String("e", "", "run a single experiment (E1..E10); empty = all")
-		games = flag.Int("games", 1, "games per configuration in E5")
+		exp      = flag.String("e", "", "run a single experiment (E1..E11); empty = all")
+		games    = flag.Int("games", 1, "games per configuration in E5")
+		baseline = flag.String("baseline", "", "write a JSON snapshot of the E11 fast-path timings to this path (skips the table run)")
 	)
 	flag.Parse()
+
+	if *baseline != "" {
+		if err := writeBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	start := time.Now()
 	tables, err := bench.Run(*exp, *games)
@@ -32,4 +43,24 @@ func main() {
 		fmt.Println(t.Format())
 	}
 	fmt.Printf("total: %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// writeBaseline snapshots the fast-path-vs-reference timings as JSON so
+// future changes can be compared against a committed baseline
+// (bench_baseline.json at the repository root).
+func writeBaseline(path string) error {
+	meas, err := bench.FastPathMeasurements()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(meas, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d fast-path measurements to %s\n", len(meas), path)
+	return nil
 }

@@ -158,14 +158,19 @@ func Decrypt(pk *PublicKey, sk *IdentityKey, ct *Ciphertext, ctr *opcount.Counte
 	if len(ct.B) != pk.NID || len(sk.R) != pk.NID {
 		return nil, fmt.Errorf("bb: dimension mismatch")
 	}
-	acc := new(bn254.GT).Set(ct.C)
+	// One MultiPair evaluates Π e(R_j, B_j) · e(A, M)⁻¹ with a shared
+	// Miller accumulator and a single final exponentiation; the division
+	// folds into a negated G1 point.
+	ps := make([]*bn254.G1, 0, pk.NID+1)
+	qs := make([]*bn254.G2, 0, pk.NID+1)
 	for j := 0; j < pk.NID; j++ {
-		acc.Mul(acc, group.Pair(ctr, sk.R[j], ct.B[j]))
-		ctr.Add(opcount.GTMul, 1)
+		ps = append(ps, sk.R[j])
+		qs = append(qs, ct.B[j])
 	}
-	eAM := group.Pair(ctr, ct.A, sk.M)
-	acc.Div(acc, eAM)
-	ctr.Add(opcount.GTMul, 1)
+	ps = append(ps, new(bn254.G1).Neg(ct.A))
+	qs = append(qs, sk.M)
+	acc := new(bn254.GT).Mul(ct.C, group.MultiPair(ctr, ps, qs))
+	ctr.Add(opcount.GTMul, int64(pk.NID)+2)
 	return acc, nil
 }
 

@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E10 in order. attackGames
+// Experiments returns the full registry E1–E11 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -25,6 +25,7 @@ func Experiments(attackGames int) []struct {
 		{"E8", E8CCA2},
 		{"E9", E9Storage},
 		{"E10", E10Ablations},
+		{"E11", E11FastPath},
 	}
 }
 

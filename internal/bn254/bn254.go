@@ -18,6 +18,26 @@
 // Random group elements can be sampled obliviously (without anyone
 // learning their discrete logarithms) via hashing to the curve — a
 // property the paper's §5.2 explicitly requires of the group.
+//
+// # Fast paths and timing caveats
+//
+// Scalar multiplication, pairing and exponentiation each have two
+// implementations: a fast path (the short name — ScalarMult,
+// ScalarBaseMult, Pair, MultiPair, PairBatch, G1MultiScalarMult,
+// G2MultiScalarMult, GTMultiExp, GT.Exp) and a structurally simpler
+// reference path (the *Reference name) that the fast path is
+// differentially tested against. Prefer ScalarBaseMult over
+// ScalarMult(Generator(), k) — it walks a precomputed fixed-base table —
+// and prefer MultiPair/PairBatch over a loop of Pair calls when several
+// pairings are evaluated together.
+//
+// None of the arithmetic is constant-time: wNAF recoding, windowed
+// table walks and big.Int arithmetic all leak scalar bit patterns
+// through timing and memory access. That is deliberate — the paper's
+// continual-leakage model protects secrets by distribution and refresh
+// (leakage of bounded λ bits per period is assumed and tolerated), not
+// by side-channel-free arithmetic. Do not reuse this code where
+// constant-time guarantees are required.
 package bn254
 
 import (

@@ -273,8 +273,32 @@ func (j *g2Jac) addAffine(a *G2) {
 
 // ScalarMult sets z = [k]a and returns z. The raw integer value of k is
 // used (no reduction mod r), so the method is also valid for cofactor
-// clearing of points outside the r-subgroup.
+// clearing of points outside the r-subgroup; negative k negates the
+// base. The fast path is width-4 wNAF over Jacobian coordinates;
+// ScalarMultReference retains the naive loop for differential testing.
+// Not constant-time: the digit pattern of k leaks through timing.
 func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
+	e := k
+	var negBase G2
+	base := a
+	if k.Sign() < 0 {
+		e = new(big.Int).Neg(k)
+		negBase.Neg(a)
+		base = &negBase
+	}
+	if e.Sign() == 0 || a.inf {
+		return z.SetInfinity()
+	}
+	var acc g2Jac
+	g2WNAFMult(&acc, base, e)
+	acc.toAffine(z)
+	return z
+}
+
+// ScalarMultReference is the naive double-and-add scalar
+// multiplication the fast ScalarMult is differentially tested against.
+// Semantics are identical: raw k, no reduction mod r.
+func (z *G2) ScalarMultReference(a *G2, k *big.Int) *G2 {
 	e := k
 	var negBase G2
 	base := a
@@ -299,8 +323,34 @@ func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 	return z
 }
 
-// ScalarBaseMult sets z = [k]·G2Generator and returns z.
-func (z *G2) ScalarBaseMult(k *big.Int) *G2 { return z.ScalarMult(G2Generator(), k) }
+// ScalarBaseMult sets z = [k]·G2Generator and returns z. Like its G1
+// counterpart it walks a lazily-built 64×15 table of precomputed
+// affine generator multiples (radix-16 windows, mixed additions only).
+// k is reduced mod r, which is always valid here because the generator
+// has exact order r — including for negative k.
+func (z *G2) ScalarBaseMult(k *big.Int) *G2 {
+	e := new(big.Int).Mod(k, ff.Order())
+	if e.Sign() == 0 {
+		return z.SetInfinity()
+	}
+	tbl := g2FixedBaseTable()
+	var acc g2Jac
+	acc.setInfinity()
+	for w := 0; w < fbWindows; w++ {
+		if d := fbDigit(e, w); d != 0 {
+			acc.addAffine(&tbl[w][d-1])
+		}
+	}
+	acc.toAffine(z)
+	return z
+}
+
+// ScalarBaseMultReference delegates to the generic reference path —
+// the pre-optimization behaviour, kept for differential tests and
+// benchmarks.
+func (z *G2) ScalarBaseMultReference(k *big.Int) *G2 {
+	return z.ScalarMultReference(G2Generator(), k)
+}
 
 // RandG2 returns [k]·G2 for uniformly random k together with k.
 func RandG2(rng io.Reader) (*G2, *big.Int, error) {

@@ -93,18 +93,99 @@ func (z *GT) Div(a, b *GT) *GT {
 	return z.Mul(a, &binv)
 }
 
-// Exp sets z = a^k and returns z. k is reduced mod r.
+// Exp sets z = a^k and returns z. k is reduced mod r. Elements of the
+// order-r subgroup (every honestly produced GT element) take a wNAF
+// route with Granger–Scott cyclotomic squarings; arbitrary Fp12
+// elements smuggled in through SetBytes fall back to the generic
+// square-and-multiply, so results stay correct either way. Not
+// constant-time: the bit pattern of k leaks through timing.
 func (z *GT) Exp(a *GT, k *big.Int) *GT {
 	e := new(big.Int).Mod(k, ff.Order())
-	z.v.Exp(&a.v, e)
+	if a.v.IsCyclotomic() {
+		z.v.ExpCyclotomic(&a.v, e)
+	} else {
+		z.v.Exp(&a.v, e)
+	}
 	return z
 }
 
-// IsInSubgroup reports whether z^r = 1.
+// IsInSubgroup reports whether z^r = 1. Membership in the cyclotomic
+// subgroup G_Φ12 ⊇ GT is checked first (two Frobenius maps), both as a
+// cheap early rejection and to license the fast exponentiation.
 func (z *GT) IsInSubgroup() bool {
+	if !z.v.IsCyclotomic() {
+		return false
+	}
 	var t ff.Fp12
-	t.Exp(&z.v, ff.Order())
+	t.ExpCyclotomic(&z.v, ff.Order())
 	return t.IsOne()
+}
+
+// GTMultiExp computes Π as[i]^ks[i] with one shared squaring chain
+// (Straus interleaving, radix-16 windows): an n-term product costs one
+// exponentiation's squarings plus n·(bits/4) multiplications instead
+// of n full exponentiations. Exponents are reduced mod r, matching
+// Exp. Cyclotomic squarings are used when every base passes
+// IsCyclotomic. Panics if the slice lengths differ.
+func GTMultiExp(as []*GT, ks []*big.Int) *GT {
+	if len(as) != len(ks) {
+		panic("bn254: GTMultiExp: mismatched lengths")
+	}
+	type term struct {
+		tbl [15]ff.Fp12 // tbl[d-1] = base^d
+		e   *big.Int
+	}
+	terms := make([]term, 0, len(as))
+	cyclotomic := true
+	maxBits := 0
+	for i := range as {
+		e := new(big.Int).Mod(ks[i], ff.Order())
+		if e.Sign() == 0 || as[i].IsOne() {
+			continue
+		}
+		var t term
+		t.e = e
+		t.tbl[0].Set(&as[i].v)
+		for d := 1; d < len(t.tbl); d++ {
+			t.tbl[d].Mul(&t.tbl[d-1], &t.tbl[0])
+		}
+		if cyclotomic && !as[i].v.IsCyclotomic() {
+			cyclotomic = false
+		}
+		if e.BitLen() > maxBits {
+			maxBits = e.BitLen()
+		}
+		terms = append(terms, t)
+	}
+	out := GTOne()
+	if len(terms) == 0 {
+		return out
+	}
+	windows := (maxBits + 3) / 4
+	acc := &out.v
+	for w := windows - 1; w >= 0; w-- {
+		if w != windows-1 {
+			for s := 0; s < 4; s++ {
+				if cyclotomic {
+					acc.CyclotomicSquare(acc)
+				} else {
+					acc.Square(acc)
+				}
+			}
+		}
+		for k := range terms {
+			t := &terms[k]
+			base := uint(w) * 4
+			d := t.e.Bit(int(base)) |
+				t.e.Bit(int(base)+1)<<1 |
+				t.e.Bit(int(base)+2)<<2 |
+				t.e.Bit(int(base)+3)<<3
+			if d != 0 {
+				acc.Mul(acc, &t.tbl[d-1])
+			}
+		}
+	}
+	return out
 }
 
 // Bytes returns the canonical 384-byte encoding.

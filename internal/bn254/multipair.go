@@ -1,0 +1,147 @@
+package bn254
+
+import (
+	"repro/internal/ff"
+	"repro/internal/par"
+)
+
+// Multi-pairing fast paths. Both routines run the Miller loops of all
+// input pairs in lockstep so that the per-step line denominators — the
+// only field inversions in the loop — can be batch-inverted with
+// Montgomery's trick (one inversion per step instead of one per step
+// per pair).
+//
+//   - MultiPair computes the PRODUCT Π e(pᵢ, qᵢ): the pairs also share
+//     a single Fp12 accumulator (one squaring per step total) and a
+//     single final exponentiation. This is the right entry point for
+//     product-of-pairings verifications and GT-side decryptions.
+//   - PairBatch returns the SEPARATE values e(pᵢ, qᵢ): accumulators and
+//     final exponentiations stay per-pair, only the inversions are
+//     shared. This is the right entry point when each pairing output is
+//     needed individually, e.g. the §5.2 ciphertext-reuse transport.
+
+// MultiPair computes Π e(ps[i], qs[i]) with one shared Miller
+// accumulator and a single final exponentiation. Pairs where either
+// side is the identity contribute 1 and are skipped. Panics if the
+// slice lengths differ. Differentially tested against a loop of Pair
+// calls.
+func MultiPair(ps []*G1, qs []*G2) *GT {
+	if len(ps) != len(qs) {
+		panic("bn254: MultiPair: mismatched lengths")
+	}
+	var actP []*G1
+	var actQ []*G2
+	for i := range ps {
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			continue
+		}
+		actP = append(actP, ps[i])
+		actQ = append(actQ, qs[i])
+	}
+	if len(actP) == 0 {
+		return GTOne()
+	}
+
+	ts := make([]G2, len(actQ))
+	for i := range actQ {
+		ts[i].Set(actQ[i])
+	}
+	dens := make([]ff.Fp2, len(actQ))
+
+	var f ff.Fp12
+	f.SetOne()
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		f.Square(&f)
+		for k := range ts {
+			dens[k] = doubleStepDen(&ts[k])
+		}
+		invs := ff.BatchInverseFp2(dens)
+		for k := range ts {
+			l := doubleStepPre(&ts[k], actP[k], &invs[k])
+			f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+		}
+		if s.Bit(i) == 1 {
+			for k := range ts {
+				dens[k] = addStepDen(&ts[k], actQ[k])
+			}
+			invs := ff.BatchInverseFp2(dens)
+			for k := range ts {
+				l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
+				f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+			}
+		}
+	}
+
+	var out GT
+	out.v.Set(finalExpFast(&f))
+	return &out
+}
+
+// PairBatch computes the n pairings e(ps[i], qs[i]) individually,
+// sharing only the batched line-denominator inversions across the
+// lockstep Miller loops. Identity pairs yield 1 at their position.
+// Panics if the slice lengths differ. Differentially tested against
+// per-pair Pair calls.
+func PairBatch(ps []*G1, qs []*G2) []*GT {
+	if len(ps) != len(qs) {
+		panic("bn254: PairBatch: mismatched lengths")
+	}
+	out := make([]*GT, len(ps))
+	// idx maps active-slot -> output position.
+	var idx []int
+	var actP []*G1
+	var actQ []*G2
+	for i := range ps {
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			out[i] = GTOne()
+			continue
+		}
+		idx = append(idx, i)
+		actP = append(actP, ps[i])
+		actQ = append(actQ, qs[i])
+	}
+	if len(idx) == 0 {
+		return out
+	}
+
+	ts := make([]G2, len(actQ))
+	fs := make([]ff.Fp12, len(actQ))
+	for i := range actQ {
+		ts[i].Set(actQ[i])
+		fs[i].SetOne()
+	}
+	dens := make([]ff.Fp2, len(actQ))
+
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		for k := range ts {
+			fs[k].Square(&fs[k])
+			dens[k] = doubleStepDen(&ts[k])
+		}
+		invs := ff.BatchInverseFp2(dens)
+		for k := range ts {
+			l := doubleStepPre(&ts[k], actP[k], &invs[k])
+			fs[k].MulLine(&fs[k], &l.e0, &l.e1, &l.e3)
+		}
+		if s.Bit(i) == 1 {
+			for k := range ts {
+				dens[k] = addStepDen(&ts[k], actQ[k])
+			}
+			invs := ff.BatchInverseFp2(dens)
+			for k := range ts {
+				l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
+				fs[k].MulLine(&fs[k], &l.e0, &l.e1, &l.e3)
+			}
+		}
+	}
+
+	// The per-pair final exponentiations are independent — fan them out
+	// across CPUs (degrades to a sequential loop on one core).
+	par.ForEach(len(idx), func(k int) {
+		var g GT
+		g.v.Set(finalExpFast(&fs[k]))
+		out[idx[k]] = &g
+	})
+	return out
+}

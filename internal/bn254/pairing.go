@@ -55,15 +55,31 @@ func (l *lineEval) toFp12() *ff.Fp12 {
 // doubleStep doubles t in place and returns the tangent line at the old
 // t, evaluated at p. t must not be infinity or 2-torsion.
 func doubleStep(t *G2, p *G1) lineEval {
+	var den ff.Fp2
+	den.Double(&t.y)
+	den.Inverse(&den)
+	return doubleStepPre(t, p, &den)
+}
+
+// doubleStepDen returns the tangent-line denominator 2y whose inverse
+// doubleStepPre consumes — split out so multi-pairings can batch-invert
+// the denominators of many lockstep Miller loops at once.
+func doubleStepDen(t *G2) ff.Fp2 {
+	var den ff.Fp2
+	den.Double(&t.y)
+	return den
+}
+
+// doubleStepPre is doubleStep with the denominator inverse (2y)⁻¹
+// already computed.
+func doubleStepPre(t *G2, p *G1, dinv *ff.Fp2) lineEval {
 	// λ = 3x²/(2y) on the twist.
-	var lambda, num, den ff.Fp2
+	var lambda, num ff.Fp2
 	num.Square(&t.x)
 	var three ff.Fp2
 	three.SetFp(ff.FpFromInt64(3))
 	num.Mul(&num, &three)
-	den.Double(&t.y)
-	den.Inverse(&den)
-	lambda.Mul(&num, &den)
+	lambda.Mul(&num, dinv)
 
 	var l lineEval
 	l.e0.SetFp(&p.y)
@@ -91,11 +107,26 @@ func doubleStep(t *G2, p *G1) lineEval {
 // addStep sets t = t + q in place and returns the chord line through the
 // old t and q, evaluated at p. Requires t ≠ ±q and neither infinite.
 func addStep(t, q *G2, p *G1) lineEval {
-	var lambda, num, den ff.Fp2
-	num.Sub(&q.y, &t.y)
+	var den ff.Fp2
 	den.Sub(&q.x, &t.x)
 	den.Inverse(&den)
-	lambda.Mul(&num, &den)
+	return addStepPre(t, q, p, &den)
+}
+
+// addStepDen returns the chord-line denominator qx − tx whose inverse
+// addStepPre consumes.
+func addStepDen(t, q *G2) ff.Fp2 {
+	var den ff.Fp2
+	den.Sub(&q.x, &t.x)
+	return den
+}
+
+// addStepPre is addStep with the denominator inverse (qx − tx)⁻¹
+// already computed.
+func addStepPre(t, q *G2, p *G1, dinv *ff.Fp2) lineEval {
+	var lambda, num ff.Fp2
+	num.Sub(&q.y, &t.y)
+	lambda.Mul(&num, dinv)
 
 	var l lineEval
 	l.e0.SetFp(&p.y)
@@ -127,12 +158,12 @@ func millerLoopTwisted(p *G1, q *G2) *ff.Fp12 {
 	t.Set(q)
 	s := ateLoop
 	for i := s.BitLen() - 2; i >= 0; i-- {
-		f.Mul(&f, &f)
+		f.Square(&f)
 		l := doubleStep(&t, p)
-		f.Mul(&f, l.toFp12())
+		f.MulLine(&f, &l.e0, &l.e1, &l.e3)
 		if s.Bit(i) == 1 {
 			l := addStep(&t, q, p)
-			f.Mul(&f, l.toFp12())
+			f.MulLine(&f, &l.e0, &l.e1, &l.e3)
 		}
 	}
 	return &f
@@ -238,17 +269,18 @@ func finalExpFast(f *ff.Fp12) *ff.Fp12 {
 	t2.FrobeniusP2(&t1)
 	t1.Mul(&t1, &t2) // ·(p²+1)
 
-	// Hard part. After the easy part t1 is unitary, so conjugation is
-	// inversion.
+	// Hard part. After the easy part t1 lies in the cyclotomic subgroup
+	// G_Φ12, so conjugation is inversion and the u-power exponentiations
+	// and squarings below may use the Granger–Scott shortcuts.
 	var fp, fp2, fp3 ff.Fp12
 	fp.Frobenius(&t1)
 	fp2.FrobeniusP2(&t1)
 	fp3.Frobenius(&fp2)
 
 	var fu, fu2, fu3 ff.Fp12
-	fu.Exp(&t1, u)
-	fu2.Exp(&fu, u)
-	fu3.Exp(&fu2, u)
+	fu.ExpCyclotomic(&t1, u)
+	fu2.ExpCyclotomic(&fu, u)
+	fu3.ExpCyclotomic(&fu2, u)
 
 	var y3, fu2p, fu3p, y2 ff.Fp12
 	y3.Frobenius(&fu)
@@ -270,18 +302,18 @@ func finalExpFast(f *ff.Fp12) *ff.Fp12 {
 	y6.Conjugate(&y6)
 
 	var t0, acc ff.Fp12
-	t0.Square(&y6)
+	t0.CyclotomicSquare(&y6)
 	t0.Mul(&t0, &y4)
 	t0.Mul(&t0, &y5)
 	acc.Mul(&y3, &y5)
 	acc.Mul(&acc, &t0)
 	t0.Mul(&t0, &y2)
-	acc.Square(&acc)
+	acc.CyclotomicSquare(&acc)
 	acc.Mul(&acc, &t0)
-	acc.Square(&acc)
+	acc.CyclotomicSquare(&acc)
 	t0.Mul(&acc, &y1)
 	acc.Mul(&acc, &y0)
-	t0.Square(&t0)
+	t0.CyclotomicSquare(&t0)
 	t0.Mul(&t0, &acc)
 	return new(ff.Fp12).Set(&t0)
 }

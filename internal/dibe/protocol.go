@@ -281,25 +281,26 @@ func (k *IDKeyP1) RunDec(rng io.Reader, ch device.Channel, ct *bb.Ciphertext) (*
 	if err != nil {
 		return nil, err
 	}
-	v := bn254.GTOne()
-	for j := range ct.B {
-		v.Mul(v, group.Pair(k.ctr, k.R[j], ct.B[j]))
-	}
+	// V = Π e(R_j, B_j) as one MultiPair (shared Miller accumulator,
+	// single final exponentiation).
+	v := group.MultiPair(k.ctr, k.R, ct.B)
 
 	ell := k.pk.Prm.Ell
-	cts := make([]*hpske.Ciphertext[*bn254.GT], 0, ell+2)
+	srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, ell+1)
 	for i := 0; i < ell; i++ {
 		f, err := k.ssG2.Encrypt(rng, skcomm, k.Coins[i])
 		if err != nil {
 			return nil, err
 		}
-		cts = append(cts, hpske.Transport(k.ctr, ct.A, f))
+		srcs = append(srcs, f)
 	}
 	fM, err := k.ssG2.Encrypt(rng, skcomm, k.MTilde)
 	if err != nil {
 		return nil, err
 	}
-	cts = append(cts, hpske.Transport(k.ctr, ct.A, fM))
+	srcs = append(srcs, fM)
+	// All ℓ+1 transports share one flattened PairBatch.
+	cts := hpske.TransportMany(k.ctr, ct.A, srcs)
 	cv := new(bn254.GT).Mul(ct.C, v)
 	dCV, err := k.ssGT.Encrypt(rng, skcomm, cv)
 	if err != nil {

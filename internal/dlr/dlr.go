@@ -20,6 +20,17 @@
 // are 2-party protocols between P1 and P2 (see protocol.go); P2 only
 // ever samples scalars and computes products of received elements raised
 // to those scalars — the "simplicity of one of the two devices" property.
+//
+// Hot loops ride the bn254 fast paths: P1's ℓ+1 ciphertext transports
+// share one flattened PairBatch (hpske.TransportMany), and P2's
+// Π dᵢ^sᵢ / Π f'ᵢ^s'ᵢ·fᵢ^(−sᵢ) combinations are coordinate-wise
+// multi-exponentiations (hpske.LinComb over group.ProdExp). Op counts
+// reported through opcount.Counter keep the naive shape — n
+// exponentiations plus n multiplications per combination, one pairing
+// per transported coordinate — so the E6 asymmetry table stays
+// comparable across implementations. Like all bn254 arithmetic, none
+// of this is constant-time; the leakage model tolerates it (see the
+// bn254 package docs).
 package dlr
 
 import (

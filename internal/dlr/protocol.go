@@ -3,6 +3,7 @@ package dlr
 import (
 	"fmt"
 	"io"
+	"math/big"
 
 	"repro/internal/bn254"
 	"repro/internal/device"
@@ -30,11 +31,13 @@ func (p *P1) RunDec(rng io.Reader, ch device.Channel, c *Ciphertext) (*bn254.GT,
 	if c == nil || c.A == nil || c.B == nil {
 		return nil, fmt.Errorf("dlr: nil ciphertext")
 	}
-	cts := make([]*hpske.Ciphertext[*bn254.GT], 0, p.prm.Ell+2)
-	for _, f := range p.encSK1 {
-		cts = append(cts, hpske.Transport(p.ctr, c.A, f))
-	}
-	cts = append(cts, hpske.Transport(p.ctr, c.A, p.encPhi))
+	// All ℓ+1 transports share one flattened PairBatch: the
+	// (ℓ+1)(κ+1) Miller loops run in lockstep with batched
+	// line-denominator inversions.
+	srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
+	srcs = append(srcs, p.encSK1...)
+	srcs = append(srcs, p.encPhi)
+	cts := hpske.TransportMany(p.ctr, c.A, srcs)
 	dB, err := p.ssGT.Encrypt(rng, p.skcomm, c.B)
 	if err != nil {
 		return nil, fmt.Errorf("dlr: encrypting B: %w", err)
@@ -78,16 +81,16 @@ func (p *P2) handleDec1(msg wire.Msg) (wire.Msg, error) {
 	dPhi := cts[p.prm.Ell]
 	dB := cts[p.prm.Ell+1]
 
-	acc := dB
-	for i, d := range ds {
-		pw, err := p.ssGT.Pow(d, p.sk2[i])
-		if err != nil {
-			return wire.Msg{}, err
-		}
-		acc, err = p.ssGT.Mul(acc, pw)
-		if err != nil {
-			return wire.Msg{}, err
-		}
+	// Π dᵢ^sᵢ is a coordinate-wise multi-exponentiation: LinComb
+	// evaluates each coordinate through the shared-doubling fast path
+	// instead of ℓ separate Pow/Mul rounds.
+	comb, err := p.ssGT.LinComb(ds, p.sk2)
+	if err != nil {
+		return wire.Msg{}, err
+	}
+	acc, err := p.ssGT.Mul(dB, comb)
+	if err != nil {
+		return wire.Msg{}, err
 	}
 	acc, err = p.ssGT.Div(acc, dPhi)
 	if err != nil {
@@ -184,26 +187,18 @@ func (p *P2) handleRef1(msg wire.Msg) (wire.Msg, error) {
 	if err != nil {
 		return wire.Msg{}, err
 	}
-	acc := p.ssG2.One()
+	// Π f'ᵢ^s'ᵢ · fᵢ^(−sᵢ) as one coordinate-wise linear combination:
+	// the division folds into negated exponents, so the ℓ ciphertext
+	// inversions of the naive loop disappear entirely.
+	bases := make([]*hpske.Ciphertext[*bn254.G2], 0, 2*p.prm.Ell)
+	exps := make([]*big.Int, 0, 2*p.prm.Ell)
 	for i := 0; i < p.prm.Ell; i++ {
-		f := cts[2*i]
-		fPrime := cts[2*i+1]
-		up, err := p.ssG2.Pow(fPrime, sPrime[i])
-		if err != nil {
-			return wire.Msg{}, err
-		}
-		down, err := p.ssG2.Pow(f, p.sk2[i])
-		if err != nil {
-			return wire.Msg{}, err
-		}
-		term, err := p.ssG2.Div(up, down)
-		if err != nil {
-			return wire.Msg{}, err
-		}
-		acc, err = p.ssG2.Mul(acc, term)
-		if err != nil {
-			return wire.Msg{}, err
-		}
+		bases = append(bases, cts[2*i+1], cts[2*i])
+		exps = append(exps, sPrime[i], new(big.Int).Neg(p.sk2[i]))
+	}
+	acc, err := p.ssG2.LinComb(bases, exps)
+	if err != nil {
+		return wire.Msg{}, err
 	}
 	fPhi := cts[2*p.prm.Ell]
 	acc, err = p.ssG2.Mul(acc, fPhi)

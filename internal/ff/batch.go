@@ -1,0 +1,63 @@
+package ff
+
+// Montgomery's batch-inversion trick: n field inversions for the price
+// of one inversion and 3(n−1) multiplications. Used by the fast-path
+// group arithmetic to normalize Jacobian points and to share the
+// Miller-loop line-denominator inversions across a multi-pairing.
+
+// BatchInverseFp sets out[i] = xs[i]⁻¹ for every i, mapping zeros to
+// zeros (matching Fp.Inverse). A single field inversion is performed
+// regardless of len(xs).
+func BatchInverseFp(xs []Fp) []Fp {
+	out := make([]Fp, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	// prefix[i] = product of all nonzero xs[j], j < i.
+	prefix := make([]Fp, len(xs))
+	var acc Fp
+	acc.SetOne()
+	for i := range xs {
+		prefix[i].Set(&acc)
+		if !xs[i].IsZero() {
+			acc.Mul(&acc, &xs[i])
+		}
+	}
+	var inv Fp
+	inv.Inverse(&acc)
+	for i := len(xs) - 1; i >= 0; i-- {
+		if xs[i].IsZero() {
+			continue
+		}
+		out[i].Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &xs[i])
+	}
+	return out
+}
+
+// BatchInverseFp2 is BatchInverseFp for Fp2 elements.
+func BatchInverseFp2(xs []Fp2) []Fp2 {
+	out := make([]Fp2, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	prefix := make([]Fp2, len(xs))
+	var acc Fp2
+	acc.SetOne()
+	for i := range xs {
+		prefix[i].Set(&acc)
+		if !xs[i].IsZero() {
+			acc.Mul(&acc, &xs[i])
+		}
+	}
+	var inv Fp2
+	inv.Inverse(&acc)
+	for i := len(xs) - 1; i >= 0; i-- {
+		if xs[i].IsZero() {
+			continue
+		}
+		out[i].Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &xs[i])
+	}
+	return out
+}

@@ -101,8 +101,24 @@ func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
 	return z
 }
 
-// Square sets z = x² and returns z.
-func (z *Fp12) Square(x *Fp12) *Fp12 { return z.Mul(x, x) }
+// Square sets z = x² and returns z using complex squaring over Fp6
+// (two Fp6 multiplications instead of the three a generic Mul costs):
+// c0 = (a0+a1)(a0+v·a1) − t − v·t and c1 = 2t with t = a0·a1.
+func (z *Fp12) Square(x *Fp12) *Fp12 {
+	var t, s, u, r0, r1 Fp6
+	t.Mul(&x.C0, &x.C1)
+	s.Add(&x.C0, &x.C1)
+	u.MulByV(&x.C1)
+	u.Add(&u, &x.C0)
+	r0.Mul(&s, &u)
+	r0.Sub(&r0, &t)
+	u.MulByV(&t)
+	r0.Sub(&r0, &u)
+	r1.Add(&t, &t)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
 
 // Conjugate sets z = c0 − c1·w and returns z. For elements of the
 // cyclotomic subgroup (e.g. pairing outputs) this equals both inversion

@@ -209,6 +209,22 @@ func Pair(ctr *opcount.Counter, a *bn254.G1, b *bn254.G2) *bn254.GT {
 	return bn254.Pair(a, b)
 }
 
+// MultiPair computes Π e(as[i], bs[i]) through the shared-Miller-loop
+// fast path (one final exponentiation total). It counts len(as)
+// pairings so op-count experiments stay comparable with a loop of Pair
+// calls.
+func MultiPair(ctr *opcount.Counter, as []*bn254.G1, bs []*bn254.G2) *bn254.GT {
+	ctr.Add(opcount.Pairing, int64(len(as)))
+	return bn254.MultiPair(as, bs)
+}
+
+// PairBatch computes the len(as) pairings e(as[i], bs[i]) individually
+// with batched Miller-loop inversions. Counts len(as) pairings.
+func PairBatch(ctr *opcount.Counter, as []*bn254.G1, bs []*bn254.G2) []*bn254.GT {
+	ctr.Add(opcount.Pairing, int64(len(as)))
+	return bn254.PairBatch(as, bs)
+}
+
 func readSeed(rng io.Reader) ([]byte, error) {
 	seed := make([]byte, 32)
 	if rng == nil {
@@ -220,9 +236,55 @@ func readSeed(rng io.Reader) ([]byte, error) {
 	return seed, nil
 }
 
+// MultiExper is the optional fast path for ProdExp: groups that can
+// evaluate Π aᵢ^kᵢ with shared doublings (Straus interleaving)
+// implement it. Implementations must report the same op counts as the
+// naive loop — len(as) Exps and len(as) Muls — so experiment tables
+// keep their shapes.
+type MultiExper[E any] interface {
+	MultiExp(as []E, ks []*big.Int) E
+}
+
+// MultiExp implements MultiExper via bn254.G1MultiScalarMult.
+func (g G1) MultiExp(as []*bn254.G1, ks []*big.Int) *bn254.G1 {
+	g.Ctr.Add(opcount.G1Exp, int64(len(as)))
+	g.Ctr.Add(opcount.G1Mul, int64(len(as)))
+	return bn254.G1MultiScalarMult(as, ks)
+}
+
+// MultiExp implements MultiExper via bn254.G2MultiScalarMult.
+func (g G2) MultiExp(as []*bn254.G2, ks []*big.Int) *bn254.G2 {
+	g.Ctr.Add(opcount.G2Exp, int64(len(as)))
+	g.Ctr.Add(opcount.G2Mul, int64(len(as)))
+	return bn254.G2MultiScalarMult(as, ks)
+}
+
+// MultiExp implements MultiExper via bn254.GTMultiExp.
+func (g GT) MultiExp(as []*bn254.GT, ks []*big.Int) *bn254.GT {
+	g.Ctr.Add(opcount.GTExp, int64(len(as)))
+	g.Ctr.Add(opcount.GTMul, int64(len(as)))
+	return bn254.GTMultiExp(as, ks)
+}
+
 // ProdExp returns Π aᵢ^kᵢ over the given group — the multi-exponentiation
-// pattern both Π_ss and Π_comm decryption use.
+// pattern both Π_ss and Π_comm decryption use. Groups implementing
+// MultiExper (all three bn254 adapters do) take the shared-doubling
+// fast path; ProdExpReference retains the one-exponentiation-at-a-time
+// loop for differential testing.
 func ProdExp[E any](g Group[E], as []E, ks []*big.Int) (E, error) {
+	var zero E
+	if len(as) != len(ks) {
+		return zero, fmt.Errorf("group: ProdExp length mismatch %d vs %d", len(as), len(ks))
+	}
+	if me, ok := any(g).(MultiExper[E]); ok {
+		return me.MultiExp(as, ks), nil
+	}
+	return ProdExpReference(g, as, ks)
+}
+
+// ProdExpReference is the naive Π aᵢ^kᵢ loop ProdExp is differentially
+// tested against.
+func ProdExpReference[E any](g Group[E], as []E, ks []*big.Int) (E, error) {
 	var zero E
 	if len(as) != len(ks) {
 		return zero, fmt.Errorf("group: ProdExp length mismatch %d vs %d", len(as), len(ks))

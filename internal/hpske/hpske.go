@@ -30,6 +30,7 @@ import (
 	"repro/internal/bn254"
 	"repro/internal/group"
 	"repro/internal/opcount"
+	"repro/internal/par"
 	"repro/internal/scalar"
 )
 
@@ -184,6 +185,52 @@ func (s *Scheme[E]) Pow(a *Ciphertext[E], k *big.Int) (*Ciphertext[E], error) {
 	return out, nil
 }
 
+// LinComb returns the coordinate-wise linear combination Π ctsᵢ^kᵢ —
+// a valid encryption of Π mᵢ^kᵢ, combining properties 1 and 2 of
+// Definition 5.1. This is the shape of P2's work in both the
+// decryption protocol (Π dᵢ^sk2ᵢ) and the refresh protocol
+// (Π f'ᵢ^s'ᵢ · fᵢ^(−sᵢ)). Each of the κ+1 coordinates is an
+// independent multi-exponentiation, evaluated through the group's
+// shared-doubling fast path and fanned out across CPUs with par.ForEach.
+func (s *Scheme[E]) LinComb(cts []*Ciphertext[E], ks []*big.Int) (*Ciphertext[E], error) {
+	if len(cts) != len(ks) {
+		return nil, fmt.Errorf("hpske: LinComb length mismatch %d vs %d", len(cts), len(ks))
+	}
+	for _, ct := range cts {
+		if err := s.checkCT(ct); err != nil {
+			return nil, err
+		}
+	}
+	if len(cts) == 0 {
+		return s.One(), nil
+	}
+	out := &Ciphertext[E]{Coins: make([]E, s.Kappa)}
+	errs := make([]error, s.Kappa+1)
+	par.ForEach(s.Kappa+1, func(c int) {
+		bases := make([]E, len(cts))
+		for i, ct := range cts {
+			if c < s.Kappa {
+				bases[i] = ct.Coins[c]
+			} else {
+				bases[i] = ct.Payload
+			}
+		}
+		v, err := group.ProdExp(s.G, bases, ks)
+		if c < s.Kappa {
+			out.Coins[c] = v
+		} else {
+			out.Payload = v
+		}
+		errs[c] = err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Rerandomize multiplies a by a fresh encryption of the identity,
 // producing an independent-looking ciphertext of the same plaintext.
 func (s *Scheme[E]) Rerandomize(rng io.Reader, key Key, a *Ciphertext[E]) (*Ciphertext[E], error) {
@@ -299,11 +346,58 @@ func (s *Scheme[E]) checkCT(ct *Ciphertext[E]) error {
 // This is the "reusing ciphertexts" device of §5.2: P1 derives the
 // decryption-protocol ciphertexts dᵢ from the refresh-protocol
 // ciphertexts fᵢ with κ+1 pairings and no fresh randomness.
+//
+// The κ+1 pairings run as one PairBatch: lockstep Miller loops with
+// batched line-denominator inversions (the outputs are distinct GT
+// elements, so each still pays its own final exponentiation).
+// TransportReference retains the one-Pair-at-a-time loop for
+// differential testing.
 func Transport(ctr *opcount.Counter, a *bn254.G1, ct *Ciphertext[*bn254.G2]) *Ciphertext[*bn254.GT] {
+	n := len(ct.Coins)
+	ps := make([]*bn254.G1, n+1)
+	qs := make([]*bn254.G2, n+1)
+	for j, b := range ct.Coins {
+		ps[j] = a
+		qs[j] = b
+	}
+	ps[n] = a
+	qs[n] = ct.Payload
+	gts := group.PairBatch(ctr, ps, qs)
+	return &Ciphertext[*bn254.GT]{Coins: gts[:n], Payload: gts[n]}
+}
+
+// TransportReference is the naive per-coordinate Pair loop Transport is
+// differentially tested against.
+func TransportReference(ctr *opcount.Counter, a *bn254.G1, ct *Ciphertext[*bn254.G2]) *Ciphertext[*bn254.GT] {
 	out := &Ciphertext[*bn254.GT]{Coins: make([]*bn254.GT, len(ct.Coins))}
 	for j, b := range ct.Coins {
 		out.Coins[j] = group.Pair(ctr, a, b)
 	}
 	out.Payload = group.Pair(ctr, a, ct.Payload)
+	return out
+}
+
+// TransportMany transports several G2-ciphertexts with the same a in a
+// single flattened PairBatch, maximizing the inversion-batching window
+// — the shape of P1's RunDec, which transports ℓ+1 ciphertexts at once.
+func TransportMany(ctr *opcount.Counter, a *bn254.G1, cts []*Ciphertext[*bn254.G2]) []*Ciphertext[*bn254.GT] {
+	var ps []*bn254.G1
+	var qs []*bn254.G2
+	for _, ct := range cts {
+		for _, b := range ct.Coins {
+			ps = append(ps, a)
+			qs = append(qs, b)
+		}
+		ps = append(ps, a)
+		qs = append(qs, ct.Payload)
+	}
+	gts := group.PairBatch(ctr, ps, qs)
+	out := make([]*Ciphertext[*bn254.GT], len(cts))
+	off := 0
+	for i, ct := range cts {
+		n := len(ct.Coins)
+		out[i] = &Ciphertext[*bn254.GT]{Coins: gts[off : off+n], Payload: gts[off+n]}
+		off += n + 1
+	}
 	return out
 }

@@ -1,0 +1,63 @@
+// Package par provides a bounded-worker parallel fan-out helper for
+// the per-coordinate independent loops in the protocol stack (hpske
+// transports, dlr share combinations, device protocol instances).
+//
+// Work is dispatched by an atomic index so workers self-balance, and
+// the worker count is capped at GOMAXPROCS — on a single-core host the
+// helper degrades to a plain sequential loop with no goroutine
+// overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes f(i) for every i in [0, n), spreading calls across
+// min(n, GOMAXPROCS) workers and returning when all calls have
+// finished. f must be safe to call concurrently from multiple
+// goroutines; iteration order is unspecified. Panics in f propagate to
+// the caller (from an arbitrary worker, once per ForEach).
+func ForEach(n int, f func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

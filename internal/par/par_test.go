@@ -1,0 +1,54 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		seen := make([]atomic.Int32, n)
+		ForEach(n, func(i int) {
+			seen[i].Add(1)
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachParallelism(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	var sum atomic.Int64
+	ForEach(100, func(i int) {
+		sum.Add(int64(i))
+	})
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	ForEach(8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachNegativeN(t *testing.T) {
+	called := false
+	ForEach(-5, func(int) { called = true })
+	if called {
+		t.Fatal("f called for negative n")
+	}
+}
