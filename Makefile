@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench ci baseline clean
+.PHONY: all build test race vet bench bench-smoke ci baseline clean
 
 all: build
 
@@ -21,7 +21,18 @@ vet:
 
 # ci is the tier-1 gate: build, vet, and the full test suite under the
 # race detector (the protocol stack fans work out across goroutines).
+# Timing-sensitive bench regression checks are opt-in: CI_BENCH=1 make ci
+# additionally fails if any hot operation regressed >25% against the
+# committed bench_baseline.json.
 ci: build vet race
+ifeq ($(CI_BENCH),1)
+	$(MAKE) bench-smoke
+endif
+
+# bench-smoke re-times the fast-path operations and fails if any of them
+# regressed more than 25% against the committed baseline snapshot.
+bench-smoke:
+	$(GO) run ./cmd/dlrbench -smoke bench_baseline.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,10 +1,11 @@
-// Command dlrbench runs the experiment suite E1–E11 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E12 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
 //	dlrbench -e E5                      # one experiment
 //	dlrbench -games 5                   # more attack games for E5
 //	dlrbench -baseline bench_baseline.json  # snapshot fast-path timings
+//	dlrbench -smoke bench_baseline.json     # fail if a hot op regressed >25%
 package main
 
 import (
@@ -18,17 +19,35 @@ import (
 	"repro/internal/bench"
 )
 
+// smokeTolerance is how much slower than the committed baseline a hot
+// operation may run before -smoke fails. Generous because baselines are
+// recorded on a different (usually quieter) machine than CI.
+const smokeTolerance = 1.25
+
+// smokeAttempts bounds how many times -smoke re-measures before
+// declaring a regression. Scheduler noise only ever inflates a timing,
+// so the per-op minimum over a few passes is the honest number; a real
+// regression stays slow on every pass.
+const smokeAttempts = 3
+
 func main() {
 	log.SetFlags(0)
 	var (
-		exp      = flag.String("e", "", "run a single experiment (E1..E11); empty = all")
+		exp      = flag.String("e", "", "run a single experiment (E1..E12); empty = all")
 		games    = flag.Int("games", 1, "games per configuration in E5")
-		baseline = flag.String("baseline", "", "write a JSON snapshot of the E11 fast-path timings to this path (skips the table run)")
+		baseline = flag.String("baseline", "", "write a JSON snapshot of the E11+E12 fast-path timings to this path (skips the table run)")
+		smoke    = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
 	)
 	flag.Parse()
 
 	if *baseline != "" {
 		if err := writeBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *smoke != "" {
+		if err := runSmoke(*smoke); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -45,11 +64,26 @@ func main() {
 	fmt.Printf("total: %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
 }
 
+// allMeasurements gathers every fast-path timing pair: the E11 set
+// (wNAF vs reference ladder, multi-pairing, transport) and the E12 set
+// (GLV/GLS vs wNAF, pairing tables vs cold Miller loops).
+func allMeasurements() ([]bench.FastPathMeasurement, error) {
+	meas, err := bench.FastPathMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	endo, err := bench.EndoMeasurements()
+	if err != nil {
+		return nil, err
+	}
+	return append(meas, endo...), nil
+}
+
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so
 // future changes can be compared against a committed baseline
 // (bench_baseline.json at the repository root).
 func writeBaseline(path string) error {
-	meas, err := bench.FastPathMeasurements()
+	meas, err := allMeasurements()
 	if err != nil {
 		return err
 	}
@@ -62,5 +96,83 @@ func writeBaseline(path string) error {
 		return err
 	}
 	fmt.Printf("wrote %d fast-path measurements to %s\n", len(meas), path)
+	return nil
+}
+
+// runSmoke re-times every hot operation and fails if any fast path runs
+// more than smokeTolerance× slower than the committed baseline. When an
+// op looks regressed, the whole suite is re-measured (up to
+// smokeAttempts passes) and the per-op minimum is kept, so one-off
+// scheduler stalls on a busy box do not fail the gate. Ops present on
+// only one side are reported but do not fail the run (the baseline may
+// predate a newly added op, or an op may have been retired).
+func runSmoke(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("smoke: reading baseline: %w", err)
+	}
+	var base []bench.FastPathMeasurement
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("smoke: parsing baseline: %w", err)
+	}
+	baseByOp := make(map[string]bench.FastPathMeasurement, len(base))
+	for _, m := range base {
+		baseByOp[m.Op] = m
+	}
+
+	cur, err := allMeasurements()
+	if err != nil {
+		return err
+	}
+	over := func() bool {
+		for _, m := range cur {
+			if b, ok := baseByOp[m.Op]; ok && m.FastNsPerOp > b.FastNsPerOp*smokeTolerance {
+				return true
+			}
+		}
+		return false
+	}
+	for attempt := 1; attempt < smokeAttempts && over(); attempt++ {
+		fmt.Printf("  (possible regression — re-measuring, pass %d/%d)\n", attempt+1, smokeAttempts)
+		again, err := allMeasurements()
+		if err != nil {
+			return err
+		}
+		byOp := make(map[string]bench.FastPathMeasurement, len(again))
+		for _, m := range again {
+			byOp[m.Op] = m
+		}
+		for i, m := range cur {
+			if a, ok := byOp[m.Op]; ok && a.FastNsPerOp < m.FastNsPerOp {
+				cur[i] = a
+			}
+		}
+	}
+	var failed int
+	for _, m := range cur {
+		b, ok := baseByOp[m.Op]
+		if !ok {
+			fmt.Printf("  new   %-34s %10.0f ns/op (not in baseline)\n", m.Op, m.FastNsPerOp)
+			continue
+		}
+		delete(baseByOp, m.Op)
+		ratio := m.FastNsPerOp / b.FastNsPerOp
+		status := "ok    "
+		if ratio > smokeTolerance {
+			status = "REGR  "
+			failed++
+		}
+		fmt.Printf("  %s%-34s %10.0f ns/op vs baseline %10.0f (%.2fx)\n",
+			status, m.Op, m.FastNsPerOp, b.FastNsPerOp, ratio)
+	}
+	for op := range baseByOp {
+		fmt.Printf("  gone  %-34s (in baseline but no longer measured)\n", op)
+	}
+	if failed > 0 {
+		return fmt.Errorf("smoke: %d hot operation(s) regressed more than %.0f%% vs %s",
+			failed, (smokeTolerance-1)*100, path)
+	}
+	fmt.Printf("smoke: all %d hot operations within %.0f%% of baseline\n",
+		len(cur), (smokeTolerance-1)*100)
 	return nil
 }

@@ -182,7 +182,11 @@ func (b *Bitwise) Decrypt(ct *BitwiseCiphertext) ([]byte, error) {
 type ElGamalGT struct {
 	E   *bn254.GT // e(g1, g2)
 	sk  *bn254.G2 // g2^α
-	ctr *opcount.Counter
+	// skTab is the precomputed line table for sk: the decryption pairing
+	// e(A, sk) has a fixed G2 side for the life of the key, so every
+	// Decrypt is a table replay.
+	skTab *bn254.PairingTable
+	ctr   *opcount.Counter
 }
 
 // NewElGamalGT generates a key pair.
@@ -199,7 +203,8 @@ func NewElGamalGT(rng io.Reader, ctr *opcount.Counter) (*ElGamalGT, error) {
 		return nil, err
 	}
 	e := group.Pair(ctr, g1, g2pt)
-	return &ElGamalGT{E: e, sk: g2.Exp(g2pt, alpha), ctr: ctr}, nil
+	sk := g2.Exp(g2pt, alpha)
+	return &ElGamalGT{E: e, sk: sk, skTab: bn254.NewPairingTable(sk), ctr: ctr}, nil
 }
 
 // EGCiphertext is (A, B) = (g^t, m·E^t).
@@ -226,9 +231,10 @@ func (e *ElGamalGT) Encrypt(rng io.Reader, m *bn254.GT) (*EGCiphertext, error) {
 	return &EGCiphertext{A: a, B: b}, nil
 }
 
-// Decrypt recovers m = B / e(A, g2^α).
+// Decrypt recovers m = B / e(A, g2^α), replaying the key's precomputed
+// Miller-loop line table against the per-ciphertext A.
 func (e *ElGamalGT) Decrypt(ct *EGCiphertext) (*bn254.GT, error) {
-	mask := group.Pair(e.ctr, ct.A, e.sk)
+	mask := group.PairTable(e.ctr, ct.A, e.skTab)
 	return new(bn254.GT).Div(ct.B, mask), nil
 }
 

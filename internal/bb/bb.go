@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bn254"
 	"repro/internal/group"
@@ -49,6 +50,18 @@ type IdentityKey struct {
 	R []*bn254.G1
 	// M is g2^α · Π u_{j,b_j}^{r_j} ∈ G2.
 	M *bn254.G2
+
+	// mTab caches the precomputed Miller-loop line table for M — the
+	// only fixed G2 argument in Decrypt's pairing product. Built once
+	// per key on first decryption.
+	mOnce sync.Once
+	mTab  *bn254.PairingTable
+}
+
+// mTable returns the cached line table for M.
+func (sk *IdentityKey) mTable() *bn254.PairingTable {
+	sk.mOnce.Do(func() { sk.mTab = bn254.NewPairingTable(sk.M) })
+	return sk.mTab
 }
 
 // Ciphertext encrypts m ∈ GT to an identity:
@@ -158,18 +171,21 @@ func Decrypt(pk *PublicKey, sk *IdentityKey, ct *Ciphertext, ctr *opcount.Counte
 	if len(ct.B) != pk.NID || len(sk.R) != pk.NID {
 		return nil, fmt.Errorf("bb: dimension mismatch")
 	}
-	// One MultiPair evaluates Π e(R_j, B_j) · e(A, M)⁻¹ with a shared
-	// Miller accumulator and a single final exponentiation; the division
-	// folds into a negated G1 point.
-	ps := make([]*bn254.G1, 0, pk.NID+1)
-	qs := make([]*bn254.G2, 0, pk.NID+1)
+	// One mixed multi-pairing evaluates Π e(R_j, B_j) · e(A, M)⁻¹ with a
+	// shared Miller accumulator and a single final exponentiation; the
+	// division folds into a negated G1 point. The B_j are fresh per
+	// ciphertext (cold Miller loops) but M is fixed per identity key, so
+	// its leg replays the key's precomputed line table.
+	ps := make([]*bn254.G1, 0, pk.NID)
+	qs := make([]*bn254.G2, 0, pk.NID)
 	for j := 0; j < pk.NID; j++ {
 		ps = append(ps, sk.R[j])
 		qs = append(qs, ct.B[j])
 	}
-	ps = append(ps, new(bn254.G1).Neg(ct.A))
-	qs = append(qs, sk.M)
-	acc := new(bn254.GT).Mul(ct.C, group.MultiPair(ctr, ps, qs))
+	negA := new(bn254.G1).Neg(ct.A)
+	prod := group.MultiPairMixed(ctr, ps, qs,
+		[]*bn254.G1{negA}, []*bn254.PairingTable{sk.mTable()})
+	acc := new(bn254.GT).Mul(ct.C, prod)
 	ctr.Add(opcount.GTMul, int64(pk.NID)+2)
 	return acc, nil
 }

@@ -53,11 +53,11 @@ func TestRegistryUnknownID(t *testing.T) {
 
 func TestRegistryListsAll(t *testing.T) {
 	exps := Experiments(1)
-	if len(exps) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(exps))
 	}
 	want := map[string]bool{}
-	for i := 1; i <= 11; i++ {
+	for i := 1; i <= 12; i++ {
 		want[fmt.Sprintf("E%d", i)] = true
 	}
 	for _, e := range exps {

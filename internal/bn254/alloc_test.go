@@ -1,0 +1,99 @@
+//go:build !race
+
+package bn254
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// Allocation-regression guards for the hot operations. The ceilings are
+// the counts measured when the fast paths landed, with ~30% headroom
+// for run-to-run digit-pattern variation — they exist to catch a change
+// that accidentally reintroduces per-step big.Int traffic (e.g. a
+// constant rebuilt inside the Miller loop), not to pin exact numbers.
+//
+// Context for the ceilings: limb-based Fp arithmetic is alloc-free, so
+// almost everything below comes from Fp.Inverse's big.Int ModInverse.
+// Pair runs ~90 sequential line inversions (≈3.5k allocations);
+// PairingTable replay runs none, which is why its ceiling is two orders
+// of magnitude lower. The file is excluded under the race detector,
+// whose instrumentation inflates allocation counts.
+
+func allocScalar() *big.Int {
+	k, _ := new(big.Int).SetString("1234567890abcdef1234567890abcdef1234567890abcdef", 16)
+	return new(big.Int).Mod(k, ff.Order())
+}
+
+func TestPairAllocBudget(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() { _ = Pair(p, q) }); got > 4600 {
+		t.Fatalf("Pair allocates %.0f objects/op, budget 4600", got)
+	}
+}
+
+func TestPairingTableReplayAllocBudget(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := NewPairingTable(q)
+	// Replay has no inversions: only the final-exponentiation easy part
+	// inverts (once). Measured 33.
+	if got := testing.AllocsPerRun(10, func() { _ = tb.Pair(p) }); got > 64 {
+		t.Fatalf("PairingTable.Pair allocates %.0f objects/op, budget 64", got)
+	}
+}
+
+func TestG1ScalarMultAllocBudget(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := allocScalar()
+	var sink G1
+	// GLV split + two wNAF recodings + one Jacobian→affine inversion.
+	// Measured 49.
+	if got := testing.AllocsPerRun(10, func() { sink.ScalarMult(p, k) }); got > 96 {
+		t.Fatalf("G1.ScalarMult allocates %.0f objects/op, budget 96", got)
+	}
+}
+
+func TestG2ScalarMultAllocBudget(t *testing.T) {
+	q, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := allocScalar()
+	var sink G2
+	// GLS 4-way split + four wNAF recodings. Measured 74.
+	if got := testing.AllocsPerRun(10, func() { sink.ScalarMult(q, k) }); got > 144 {
+		t.Fatalf("G2.ScalarMult allocates %.0f objects/op, budget 144", got)
+	}
+}
+
+func TestGTExpAllocBudget(t *testing.T) {
+	g, err := RandGT(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := allocScalar()
+	var sink GT
+	// Cyclotomic wNAF ladder, no inversions. Measured 5.
+	if got := testing.AllocsPerRun(10, func() { sink.Exp(g, k) }); got > 16 {
+		t.Fatalf("GT.Exp allocates %.0f objects/op, budget 16", got)
+	}
+}

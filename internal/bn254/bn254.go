@@ -21,15 +21,22 @@
 //
 // # Fast paths and timing caveats
 //
-// Scalar multiplication, pairing and exponentiation each have two
+// Scalar multiplication, pairing and exponentiation each have several
 // implementations: a fast path (the short name — ScalarMult,
 // ScalarBaseMult, Pair, MultiPair, PairBatch, G1MultiScalarMult,
 // G2MultiScalarMult, GTMultiExp, GT.Exp) and a structurally simpler
 // reference path (the *Reference name) that the fast path is
-// differentially tested against. Prefer ScalarBaseMult over
-// ScalarMult(Generator(), k) — it walks a precomputed fixed-base table —
-// and prefer MultiPair/PairBatch over a loop of Pair calls when several
-// pairings are evaluated together.
+// differentially tested against. G1.ScalarMult decomposes the scalar
+// along the GLV endomorphism φ(x,y) = (βx, y) and G2.ScalarMult along
+// the GLS endomorphism ψ (untwist–Frobenius–twist) into half- and
+// quarter-length sub-scalars; the plain wNAF tier survives as
+// ScalarMultWNAF (see internal/scalar and endo.go). Prefer
+// ScalarBaseMult over ScalarMult(Generator(), k) — it walks a
+// precomputed fixed-base table — and prefer MultiPair/PairBatch over a
+// loop of Pair calls when several pairings are evaluated together.
+// When many G1 points are paired against the same fixed G2 point, build
+// a PairingTable once and replay it (or mix replays with cold pairs via
+// MultiPairMixed).
 //
 // None of the arithmetic is constant-time: wNAF recoding, windowed
 // table walks and big.Int arithmetic all leak scalar bit patterns

@@ -1,0 +1,219 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// endoEdgeScalars returns the boundary cases every scalar-mult tier must
+// agree on: 0, 1, r−1, r, r+1 and ±2^i across the scalar width.
+func endoEdgeScalars() []*big.Int {
+	r := ff.Order()
+	out := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Set(r),
+		new(big.Int).Add(r, big.NewInt(1)),
+	}
+	for i := 0; i < 260; i += 13 {
+		p := new(big.Int).Lsh(big.NewInt(1), uint(i))
+		out = append(out, p, new(big.Int).Neg(p))
+	}
+	return out
+}
+
+// TestG1ScalarMultGLVTiers cross-checks all three G1 tiers — GLV
+// (ScalarMult), plain wNAF (ScalarMultWNAF) and the naive ladder
+// (ScalarMultReference) — on edge scalars plus 100 random ones.
+func TestG1ScalarMultGLVTiers(t *testing.T) {
+	a, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := endoEdgeScalars()
+	for i := 0; i < 100; i++ {
+		ks = append(ks, randScalarBits(t, 256))
+	}
+	for _, k := range ks {
+		var glv, wnaf, ref G1
+		glv.ScalarMult(a, k)
+		wnaf.ScalarMultWNAF(a, k)
+		ref.ScalarMultReference(a, k)
+		if !glv.Equal(&ref) {
+			t.Fatalf("GLV ScalarMult != reference for k=%v", k)
+		}
+		if !wnaf.Equal(&ref) {
+			t.Fatalf("ScalarMultWNAF != reference for k=%v", k)
+		}
+		if !glv.IsOnCurve() {
+			t.Fatalf("GLV result off curve for k=%v", k)
+		}
+	}
+}
+
+// TestG2ScalarMultGLSTiers is the G2 counterpart: GLS (ScalarMult) vs
+// plain wNAF vs naive ladder, on r-subgroup points (the domain the
+// mod-r tiers are specified for).
+func TestG2ScalarMultGLSTiers(t *testing.T) {
+	a, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := endoEdgeScalars()
+	for i := 0; i < 100; i++ {
+		ks = append(ks, randScalarBits(t, 256))
+	}
+	for _, k := range ks {
+		var gls, wnaf, ref G2
+		gls.ScalarMult(a, k)
+		wnaf.ScalarMultWNAF(a, k)
+		ref.ScalarMultReference(a, k)
+		if !gls.Equal(&ref) {
+			t.Fatalf("GLS ScalarMult != reference for k=%v", k)
+		}
+		if !wnaf.Equal(&ref) {
+			t.Fatalf("ScalarMultWNAF != reference for k=%v", k)
+		}
+		if !gls.IsOnTwist() {
+			t.Fatalf("GLS result off twist for k=%v", k)
+		}
+	}
+}
+
+// TestG1PhiEigenvalue pins φ(P) = [λ]P on random r-subgroup points, not
+// just the generator the init-time self-check uses.
+func TestG1PhiEigenvalue(t *testing.T) {
+	g1Endo.once.Do(g1EndoInit)
+	for i := 0; i < 20; i++ {
+		p, _, err := RandG1(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var phiP, lP G1
+		g1Phi(&phiP, p, &g1Endo.beta)
+		lP.ScalarMultWNAF(p, g1Endo.lambda)
+		if !phiP.Equal(&lP) {
+			t.Fatalf("iteration %d: φ(P) != [λ]P", i)
+		}
+	}
+}
+
+// TestG2PsiEigenvalue pins ψ(Q) = [6u²]Q on random r-subgroup points.
+func TestG2PsiEigenvalue(t *testing.T) {
+	g2Endo.once.Do(g2EndoInit)
+	for i := 0; i < 20; i++ {
+		q, _, err := RandG2(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var psiQ, muQ G2
+		g2Psi(&psiQ, q)
+		muQ.ScalarMultWNAF(q, g2Endo.mu)
+		if !psiQ.Equal(&muQ) {
+			t.Fatalf("iteration %d: ψ(Q) != [6u²]Q", i)
+		}
+	}
+}
+
+// nonSubgroupTwistPoint finds a point on E'(Fp2) outside the r-subgroup
+// (the twist's cofactor is 2p−r, so a random curve point is outside
+// with overwhelming probability; verified via the reference check).
+func nonSubgroupTwistPoint(t *testing.T, seed string) *G2 {
+	t.Helper()
+	for ctr := uint32(0); ctr < 1000; ctr++ {
+		var x ff.Fp2
+		x.C0.Set(hashToFp(seed, nil, ctr, 0))
+		x.C1.Set(hashToFp(seed, nil, ctr, 1))
+		var rhs ff.Fp2
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, twistB)
+		var y ff.Fp2
+		if _, ok := y.Sqrt(&rhs); !ok {
+			continue
+		}
+		cand := &G2{x: x, y: y}
+		if !cand.IsOnTwist() {
+			t.Fatal("constructed point off twist")
+		}
+		if !cand.IsInSubgroupReference() {
+			return cand
+		}
+	}
+	t.Fatal("no non-subgroup twist point found")
+	return nil
+}
+
+// TestG2IsInSubgroupMatchesReference differentially tests the fast
+// ψ-relation subgroup check against the definitional [r]z = O check on
+// both members and non-members.
+func TestG2IsInSubgroupMatchesReference(t *testing.T) {
+	// Members: random subgroup points and the identity.
+	if !NewG2().IsInSubgroup() || !NewG2().IsInSubgroupReference() {
+		t.Fatal("identity must pass both subgroup checks")
+	}
+	for i := 0; i < 10; i++ {
+		q, _, err := RandG2(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !q.IsInSubgroup() {
+			t.Fatalf("iteration %d: fast check rejects subgroup point", i)
+		}
+		if !q.IsInSubgroupReference() {
+			t.Fatalf("iteration %d: reference check rejects subgroup point", i)
+		}
+	}
+	// Non-members: points on the twist with a cofactor component. The
+	// helper pre-verifies them against the reference check, so here the
+	// fast check must agree they are outside.
+	for i := 0; i < 5; i++ {
+		bad := nonSubgroupTwistPoint(t, "endo-test-nonmember-"+string(rune('a'+i)))
+		if bad.IsInSubgroup() {
+			t.Fatalf("iteration %d: fast check accepts non-subgroup point", i)
+		}
+	}
+}
+
+// TestEndoSplitRecomposition checks the in-package split helpers
+// recompose: Σ [kᵢ]·baseᵢ = [k]a with signs folded into the points.
+func TestEndoSplitRecomposition(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		k := new(big.Int).Mod(randScalarBits(t, 256), ff.Order())
+
+		a1, _, err := RandG1(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts1, es1 := endoSplitG1(a1, k)
+		want1 := new(G1).ScalarMultReference(a1, k)
+		got1 := NewG1()
+		var term1 G1
+		for j := range pts1 {
+			term1.ScalarMultReference(pts1[j], es1[j])
+			got1.Add(got1, &term1)
+		}
+		if !got1.Equal(want1) {
+			t.Fatalf("iteration %d: GLV split does not recompose", i)
+		}
+
+		a2, _, err := RandG2(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts2, es2 := endoSplitG2(a2, k)
+		want2 := new(G2).ScalarMultReference(a2, k)
+		got2 := NewG2()
+		var term2 G2
+		for j := range pts2 {
+			term2.ScalarMultReference(pts2[j], es2[j])
+			got2.Add(got2, &term2)
+		}
+		if !got2.Equal(want2) {
+			t.Fatalf("iteration %d: GLS split does not recompose", i)
+		}
+	}
+}

@@ -246,11 +246,30 @@ func (j *g1Jac) addAffine(a *G1) {
 }
 
 // ScalarMult sets z = [k]a and returns z. k is reduced mod r (always
-// valid on G1, whose full group order is r). The fast path is width-4
-// wNAF over Jacobian coordinates; ScalarMultReference retains the
-// naive loop for differential testing. Not constant-time: the digit
-// pattern of k leaks through timing.
+// valid on G1, whose full group order is r). The fast path is the GLV
+// endomorphism method: k is split as k ≡ k₀ + k₁·λ (mod r) with
+// |kᵢ| ≈ √r and [k]a = [k₀]a + [k₁]φ(a) is evaluated by one
+// interleaved wNAF ladder over a half-length doubling chain (see
+// endo.go). ScalarMultWNAF retains the plain single-ladder tier and
+// ScalarMultReference the naive loop, both for differential testing.
+// Not constant-time: the decomposition and digit patterns of k leak
+// through timing.
 func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
+	e := new(big.Int).Mod(k, ff.Order())
+	if e.Sign() == 0 || a.inf {
+		return z.SetInfinity()
+	}
+	var acc g1Jac
+	g1GLVMult(&acc, a, e)
+	acc.toAffine(z)
+	return z
+}
+
+// ScalarMultWNAF is the plain width-4 wNAF ladder without the GLV
+// split — the previous fast path, retained as the middle tier for
+// differential tests and the E12 endomorphism ablation. Semantics
+// match ScalarMult: k is reduced mod r.
+func (z *G1) ScalarMultWNAF(a *G1, k *big.Int) *G1 {
 	e := new(big.Int).Mod(k, ff.Order())
 	if e.Sign() == 0 || a.inf {
 		return z.SetInfinity()

@@ -85,10 +85,47 @@ func (z *G2) IsOnTwist() bool {
 	return lhs.Equal(&rhs)
 }
 
-// IsInSubgroup reports whether [r]z = O.
+// IsInSubgroup reports whether z lies in the order-r subgroup. The
+// fast path is the ψ-relation check
+//
+//	[u+1]z + ψ([u]z) + ψ²([u]z) = ψ³([2u]z)
+//
+// (El Housni–Guillevic–Piellard 2022, §4.3): the GLS relation vector
+// (u+1, u, u, −2u) annihilates exactly the r-subgroup of the twist, so
+// one ~63-bit ladder plus three ψ applications replace the full [r]z
+// reference multiplication. Differentially tested against
+// IsInSubgroupReference on both subgroup and non-subgroup points.
 func (z *G2) IsInSubgroup() bool {
+	if z.inf {
+		return true
+	}
+	g2Endo.once.Do(g2EndoInit)
+	var acc g2Jac
+	g2WNAFMult(&acc, z, u)
+	var uZ G2
+	acc.toAffine(&uZ)
+
+	var lhs, t G2
+	lhs.Add(&uZ, z) // [u+1]z
+	g2Psi(&t, &uZ)
+	lhs.Add(&lhs, &t) // + ψ([u]z)
+	g2Psi(&t, &t)
+	lhs.Add(&lhs, &t) // + ψ²([u]z)
+
+	var rhs G2
+	rhs.Double(&uZ) // [2u]z
+	g2Psi(&rhs, &rhs)
+	g2Psi(&rhs, &rhs)
+	g2Psi(&rhs, &rhs) // ψ³([2u]z)
+	return lhs.Equal(&rhs)
+}
+
+// IsInSubgroupReference is the definitional subgroup check [r]z = O
+// (via the raw-scalar ladder, which does not assume membership), kept
+// as the differential-testing twin of the fast ψ-relation check.
+func (z *G2) IsInSubgroupReference() bool {
 	var t G2
-	t.ScalarMult(z, ff.Order())
+	g2ScalarMultRaw(&t, z, ff.Order())
 	return t.IsInfinity()
 }
 
@@ -117,9 +154,7 @@ func (z *G2) Add(a, b *G2) *G2 {
 		}
 		var num, den ff.Fp2
 		num.Square(&a.x)
-		var three ff.Fp2
-		three.SetFp(ff.FpFromInt64(3))
-		num.Mul(&num, &three)
+		num.Mul(&num, fp2Three)
 		den.Double(&a.y)
 		den.Inverse(&den)
 		lambda.Mul(&num, &den)
@@ -271,13 +306,51 @@ func (j *g2Jac) addAffine(a *G2) {
 	j.zz.Set(&z3)
 }
 
-// ScalarMult sets z = [k]a and returns z. The raw integer value of k is
-// used (no reduction mod r), so the method is also valid for cofactor
-// clearing of points outside the r-subgroup; negative k negates the
-// base. The fast path is width-4 wNAF over Jacobian coordinates;
-// ScalarMultReference retains the naive loop for differential testing.
-// Not constant-time: the digit pattern of k leaks through timing.
+// ScalarMult sets z = [k]a and returns z. k is reduced mod r — valid
+// precisely because every externally obtainable G2 value lies in the
+// order-r subgroup (the generator, hashing and arithmetic stay inside
+// it, and SetBytes validates membership). The fast path is the GLS
+// endomorphism method: k ≡ k₀ + k₁μ + k₂μ² + k₃μ³ (mod r) with
+// |kᵢ| ≈ r^(1/4) and [k]a = Σ [kᵢ]ψⁱ(a) evaluated by one interleaved
+// wNAF ladder over a quarter-length doubling chain (see endo.go).
+// ScalarMultWNAF retains the plain single-ladder tier and
+// ScalarMultReference the naive loop, both for differential testing.
+// Cofactor clearing of points outside the subgroup uses the internal
+// raw-scalar path g2ScalarMultRaw instead. Not constant-time: the
+// decomposition and digit patterns of k leak through timing.
 func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
+	e := new(big.Int).Mod(k, ff.Order())
+	if e.Sign() == 0 || a.inf {
+		return z.SetInfinity()
+	}
+	var acc g2Jac
+	g2GLSMult(&acc, a, e)
+	acc.toAffine(z)
+	return z
+}
+
+// ScalarMultWNAF is the plain width-4 wNAF ladder without the GLS
+// split — the previous fast path, retained as the middle tier for
+// differential tests and the E12 endomorphism ablation. Semantics
+// match ScalarMult: k is reduced mod r, so it too assumes a lies in
+// the r-subgroup.
+func (z *G2) ScalarMultWNAF(a *G2, k *big.Int) *G2 {
+	e := new(big.Int).Mod(k, ff.Order())
+	if e.Sign() == 0 || a.inf {
+		return z.SetInfinity()
+	}
+	var acc g2Jac
+	g2WNAFMult(&acc, a, e)
+	acc.toAffine(z)
+	return z
+}
+
+// g2ScalarMultRaw sets z = [k]a using the raw integer value of k (no
+// reduction mod r); negative k negates the base. This is the path for
+// points that may lie OUTSIDE the r-subgroup, where reducing mod r
+// would be wrong: cofactor clearing in HashToG2 and the reference
+// subgroup check.
+func g2ScalarMultRaw(z *G2, a *G2, k *big.Int) *G2 {
 	e := k
 	var negBase G2
 	base := a
@@ -297,22 +370,15 @@ func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 
 // ScalarMultReference is the naive double-and-add scalar
 // multiplication the fast ScalarMult is differentially tested against.
-// Semantics are identical: raw k, no reduction mod r.
+// Semantics are identical: k is reduced mod r (subgroup points only).
 func (z *G2) ScalarMultReference(a *G2, k *big.Int) *G2 {
-	e := k
-	var negBase G2
-	base := a
-	if k.Sign() < 0 {
-		e = new(big.Int).Neg(k)
-		negBase.Neg(a)
-		base = &negBase
-	}
+	e := new(big.Int).Mod(k, ff.Order())
 	if e.Sign() == 0 || a.inf {
 		return z.SetInfinity()
 	}
 	var acc g2Jac
 	acc.setInfinity()
-	b := new(G2).Set(base)
+	b := new(G2).Set(a)
 	for i := e.BitLen() - 1; i >= 0; i-- {
 		acc.double()
 		if e.Bit(i) == 1 {
@@ -382,8 +448,10 @@ func HashToG2(tag string, msg []byte) *G2 {
 			continue
 		}
 		cand := G2{x: x, y: y}
+		// cand lies on the twist but (almost surely) outside the
+		// r-subgroup: clear the cofactor with the raw-scalar path.
 		var cleared G2
-		cleared.ScalarMult(&cand, g2Cofactor)
+		g2ScalarMultRaw(&cleared, &cand, g2Cofactor)
 		if cleared.IsInfinity() {
 			continue
 		}

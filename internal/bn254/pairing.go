@@ -37,6 +37,15 @@ func PairReference(p *G1, q *G2) *GT {
 	return &out
 }
 
+// fp2Three is the constant 3 embedded in Fp2, hoisted to package level
+// so the Miller-loop step functions do not rebuild it (a big.Int
+// allocation) on every doubling.
+var fp2Three = func() *ff.Fp2 {
+	var t ff.Fp2
+	t.SetFp(ff.FpFromInt64(3))
+	return &t
+}()
+
 // lineEval holds a sparse line evaluation l(P) = e0 + e1·w + e3·w³ with
 // e0 ∈ Fp (embedded), e1, e3 ∈ Fp2.
 type lineEval struct {
@@ -73,22 +82,23 @@ func doubleStepDen(t *G2) ff.Fp2 {
 // doubleStepPre is doubleStep with the denominator inverse (2y)⁻¹
 // already computed.
 func doubleStepPre(t *G2, p *G1, dinv *ff.Fp2) lineEval {
+	a, b := doubleStepCoeffs(t, dinv)
+	return lineFromCoeffs(&a, &b, p)
+}
+
+// doubleStepCoeffs advances t to 2t and returns the P-independent
+// tangent-line coefficients (a, b) with l(P) = P.y + a·P.x·w + b·w³
+// (a = −λ, b = λ·tx − ty). This is the piece a PairingTable stores.
+func doubleStepCoeffs(t *G2, dinv *ff.Fp2) (a, b ff.Fp2) {
 	// λ = 3x²/(2y) on the twist.
 	var lambda, num ff.Fp2
 	num.Square(&t.x)
-	var three ff.Fp2
-	three.SetFp(ff.FpFromInt64(3))
-	num.Mul(&num, &three)
+	num.Mul(&num, fp2Three)
 	lambda.Mul(&num, dinv)
 
-	var l lineEval
-	l.e0.SetFp(&p.y)
-	var xpFp2 ff.Fp2
-	xpFp2.SetFp(&p.x)
-	l.e1.Mul(&lambda, &xpFp2)
-	l.e1.Neg(&l.e1)
-	l.e3.Mul(&lambda, &t.x)
-	l.e3.Sub(&l.e3, &t.y)
+	a.Neg(&lambda)
+	b.Mul(&lambda, &t.x)
+	b.Sub(&b, &t.y)
 
 	// Point update: x' = λ² − 2x; y' = λ(x − x') − y.
 	var x3, y3 ff.Fp2
@@ -101,6 +111,18 @@ func doubleStepPre(t *G2, p *G1, dinv *ff.Fp2) lineEval {
 	y3.Sub(&y3, &t.y)
 	t.x.Set(&x3)
 	t.y.Set(&y3)
+	return a, b
+}
+
+// lineFromCoeffs specializes stored line coefficients to the G1
+// argument: l(P) = P.y + (a·P.x)·w + b·w³. Only two base-field
+// multiplications (a·P.x is an Fp2-by-Fp scaling) — no G2 arithmetic,
+// no inversions.
+func lineFromCoeffs(a, b *ff.Fp2, p *G1) lineEval {
+	var l lineEval
+	l.e0.SetFp(&p.y)
+	l.e1.MulFp(a, &p.x)
+	l.e3.Set(b)
 	return l
 }
 
@@ -124,18 +146,21 @@ func addStepDen(t, q *G2) ff.Fp2 {
 // addStepPre is addStep with the denominator inverse (qx − tx)⁻¹
 // already computed.
 func addStepPre(t, q *G2, p *G1, dinv *ff.Fp2) lineEval {
+	a, b := addStepCoeffs(t, q, dinv)
+	return lineFromCoeffs(&a, &b, p)
+}
+
+// addStepCoeffs advances t to t+q and returns the P-independent chord
+// coefficients (a, b), the addition-step analogue of doubleStepCoeffs
+// (a = −λ, b = λ·qx − qy).
+func addStepCoeffs(t, q *G2, dinv *ff.Fp2) (a, b ff.Fp2) {
 	var lambda, num ff.Fp2
 	num.Sub(&q.y, &t.y)
 	lambda.Mul(&num, dinv)
 
-	var l lineEval
-	l.e0.SetFp(&p.y)
-	var xpFp2 ff.Fp2
-	xpFp2.SetFp(&p.x)
-	l.e1.Mul(&lambda, &xpFp2)
-	l.e1.Neg(&l.e1)
-	l.e3.Mul(&lambda, &q.x)
-	l.e3.Sub(&l.e3, &q.y)
+	a.Neg(&lambda)
+	b.Mul(&lambda, &q.x)
+	b.Sub(&b, &q.y)
 
 	var x3, y3 ff.Fp2
 	x3.Square(&lambda)
@@ -146,7 +171,7 @@ func addStepPre(t, q *G2, p *G1, dinv *ff.Fp2) lineEval {
 	y3.Sub(&y3, &t.y)
 	t.x.Set(&x3)
 	t.y.Set(&y3)
-	return l
+	return a, b
 }
 
 // millerLoopTwisted computes f_{6u², Q}(P) with all point arithmetic on

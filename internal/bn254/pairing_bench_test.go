@@ -41,6 +41,24 @@ func BenchmarkG2ScalarMult(b *testing.B) {
 	}
 }
 
+func BenchmarkPairTable(b *testing.B) {
+	p, _, _ := RandG1(nil)
+	q, _, _ := RandG2(nil)
+	tb := NewPairingTable(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Pair(p)
+	}
+}
+
+func BenchmarkNewPairingTable(b *testing.B) {
+	q, _, _ := RandG2(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPairingTable(q)
+	}
+}
+
 func BenchmarkGTExp(b *testing.B) {
 	e := GTGenerator()
 	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)

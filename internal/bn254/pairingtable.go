@@ -1,0 +1,256 @@
+package bn254
+
+import (
+	"repro/internal/ff"
+	"repro/internal/par"
+)
+
+// Precomputed-line pairings. The G2 side of the ate Miller loop — the
+// twist-point doubling chain, its tangent/chord slopes and the field
+// inversions they need — depends only on Q, not on the G1 argument. A
+// PairingTable runs that chain once for a fixed Q and stores the
+// per-step line coefficients (a, b); replaying the loop against any P
+// then costs one Fp12 squaring plus one monic sparse line
+// multiplication per step, with ZERO G2 arithmetic and a single Fp
+// inversion for the entire replay (the 1/P.y line normalization).
+//
+// This is the right tool wherever the protocol pairs many fresh G1
+// values against the same G2 value: the §5.2 ciphertext-reuse transport
+// (fixed encrypted shares, per-request c.A), BB-IBE decryption (fixed
+// identity-key component) and the GT-ElGamal baseline (fixed secret
+// key). Building a table costs about one cold Miller loop's G2 work, so
+// it amortizes after the second pairing.
+//
+// Tables hold only public curve data derived from Q; replay timing is
+// independent of which table entry is read (the access pattern is fixed
+// by the ate loop), but none of the surrounding arithmetic is
+// constant-time — consistent with the rest of the package.
+
+// tableLine is one stored Miller-loop line: l(P) = P.y + a·P.x·w + b·w³.
+type tableLine struct {
+	a, b ff.Fp2
+}
+
+// PairingTable holds the P-independent Miller-loop line coefficients
+// for a fixed G2 point, in emission order (one doubling line per ate
+// bit, plus one addition line after each set bit). The zero value / a
+// table built from the identity acts as pairing-with-identity: Pair
+// returns 1.
+type PairingTable struct {
+	lines []tableLine
+}
+
+// millerLineCount returns the number of lines an ate Miller loop emits:
+// one doubling step per iteration plus an addition step per set bit.
+func millerLineCount() int {
+	s := ateLoop
+	n := 0
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		n++
+		if s.Bit(i) == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// NewPairingTable runs the G2 side of the ate Miller loop for q and
+// stores the line coefficients. The per-step inversions are inherently
+// sequential (each slope feeds the next point update), so the build
+// costs about one cold pairing's worth of G2 arithmetic — amortized
+// away after two replays. Differentially tested against Pair.
+func NewPairingTable(q *G2) *PairingTable {
+	tb := &PairingTable{}
+	if q.IsInfinity() {
+		return tb
+	}
+	tb.lines = make([]tableLine, 0, millerLineCount())
+	var t G2
+	t.Set(q)
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		var den ff.Fp2
+		den.Double(&t.y)
+		den.Inverse(&den)
+		var ln tableLine
+		ln.a, ln.b = doubleStepCoeffs(&t, &den)
+		tb.lines = append(tb.lines, ln)
+		if s.Bit(i) == 1 {
+			den.Sub(&q.x, &t.x)
+			den.Inverse(&den)
+			ln.a, ln.b = addStepCoeffs(&t, q, &den)
+			tb.lines = append(tb.lines, ln)
+		}
+	}
+	return tb
+}
+
+// IsIdentity reports whether the table was built from the G2 identity
+// (every replay returns 1).
+func (tb *PairingTable) IsIdentity() bool { return len(tb.lines) == 0 }
+
+// millerReplay replays the stored Miller loop against p: per step one
+// Fp12 squaring, two Fp2-by-Fp scalings and one monic sparse line
+// multiplication. No G2 arithmetic, and a single Fp inversion for the
+// whole replay.
+//
+// Each line l(P) = P.y + a·P.x·w + b·w³ is normalized to the monic
+// shape 1 + a·(P.x/P.y)·w + (b/P.y)·w³: the dropped P.y factor lives in
+// the proper subfield Fp, so the final exponentiation's easy part
+// (p⁶−1 is a multiple of p−1) erases it, and the cheaper MulLine01
+// replaces MulLine at every step. P.y ≠ 0 for every affine G1 point:
+// the curve has prime (odd) order, so it carries no 2-torsion.
+func (tb *PairingTable) millerReplay(p *G1) *ff.Fp12 {
+	var yInv, xOverY ff.Fp
+	yInv.Inverse(&p.y)
+	xOverY.Mul(&p.x, &yInv)
+	var f ff.Fp12
+	f.SetOne()
+	var e1, e3 ff.Fp2
+	idx := 0
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		f.Square(&f)
+		ln := &tb.lines[idx]
+		idx++
+		e1.MulFp(&ln.a, &xOverY)
+		e3.MulFp(&ln.b, &yInv)
+		f.MulLine01(&f, &e1, &e3)
+		if s.Bit(i) == 1 {
+			ln := &tb.lines[idx]
+			idx++
+			e1.MulFp(&ln.a, &xOverY)
+			e3.MulFp(&ln.b, &yInv)
+			f.MulLine01(&f, &e1, &e3)
+		}
+	}
+	return &f
+}
+
+// Pair computes e(p, Q) for the table's fixed Q by replaying the stored
+// lines, then applying the fast final exponentiation. Agrees with
+// Pair(p, Q) on all inputs (differentially tested).
+func (tb *PairingTable) Pair(p *G1) *GT {
+	if p.IsInfinity() || len(tb.lines) == 0 {
+		return GTOne()
+	}
+	var out GT
+	out.v.Set(finalExpFast(tb.millerReplay(p)))
+	return &out
+}
+
+// PairTableBatch computes the n pairings e(ps[i], Qᵢ) for tables built
+// from fixed Qᵢ. Replay loops have no inversions to batch, so the
+// pairs are simply fanned out across CPUs (replay + final
+// exponentiation per pair). Identity inputs yield 1 at their position.
+// Panics if the slice lengths differ.
+func PairTableBatch(ps []*G1, tabs []*PairingTable) []*GT {
+	if len(ps) != len(tabs) {
+		panic("bn254: PairTableBatch: mismatched lengths")
+	}
+	out := make([]*GT, len(ps))
+	par.ForEach(len(ps), func(i int) {
+		out[i] = tabs[i].Pair(ps[i])
+	})
+	return out
+}
+
+// MultiPairMixed computes Π e(ps[i], qs[i]) · Π e(tps[j], Tⱼ) where the
+// first product runs cold Miller loops (lockstep, batch-inverted
+// denominators, as in MultiPair) and the second replays precomputed
+// tables — all into ONE shared Fp12 accumulator with a single final
+// exponentiation. Use it when a product of pairings mixes fixed and
+// fresh G2 arguments, e.g. BB-IBE decryption. Identity pairs on either
+// list contribute 1 and are skipped. Panics on mismatched lengths.
+func MultiPairMixed(ps []*G1, qs []*G2, tps []*G1, tabs []*PairingTable) *GT {
+	if len(ps) != len(qs) {
+		panic("bn254: MultiPairMixed: mismatched cold lengths")
+	}
+	if len(tps) != len(tabs) {
+		panic("bn254: MultiPairMixed: mismatched table lengths")
+	}
+	var actP []*G1
+	var actQ []*G2
+	for i := range ps {
+		if ps[i].IsInfinity() || qs[i].IsInfinity() {
+			continue
+		}
+		actP = append(actP, ps[i])
+		actQ = append(actQ, qs[i])
+	}
+	var actTP []*G1
+	var actT []*PairingTable
+	for i := range tps {
+		if tps[i].IsInfinity() || len(tabs[i].lines) == 0 {
+			continue
+		}
+		actTP = append(actTP, tps[i])
+		actT = append(actT, tabs[i])
+	}
+	if len(actP) == 0 && len(actTP) == 0 {
+		return GTOne()
+	}
+
+	ts := make([]G2, len(actQ))
+	for i := range actQ {
+		ts[i].Set(actQ[i])
+	}
+	dens := make([]ff.Fp2, len(actQ))
+	// Per-replay constants for monic line normalization (see
+	// millerReplay): xOverY = P.x/P.y and yInv = 1/P.y.
+	yInvs := make([]ff.Fp, len(actTP))
+	xOverYs := make([]ff.Fp, len(actTP))
+	for j := range actTP {
+		yInvs[j].Inverse(&actTP[j].y)
+		xOverYs[j].Mul(&actTP[j].x, &yInvs[j])
+	}
+
+	var f ff.Fp12
+	var e1, e3 ff.Fp2
+	f.SetOne()
+	cur := 0 // shared cursor: every table has identical emission order
+	s := ateLoop
+	for i := s.BitLen() - 2; i >= 0; i-- {
+		f.Square(&f)
+		if len(ts) > 0 {
+			for k := range ts {
+				dens[k] = doubleStepDen(&ts[k])
+			}
+			invs := ff.BatchInverseFp2(dens)
+			for k := range ts {
+				l := doubleStepPre(&ts[k], actP[k], &invs[k])
+				f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+			}
+		}
+		for j := range actT {
+			ln := &actT[j].lines[cur]
+			e1.MulFp(&ln.a, &xOverYs[j])
+			e3.MulFp(&ln.b, &yInvs[j])
+			f.MulLine01(&f, &e1, &e3)
+		}
+		cur++
+		if s.Bit(i) == 1 {
+			if len(ts) > 0 {
+				for k := range ts {
+					dens[k] = addStepDen(&ts[k], actQ[k])
+				}
+				invs := ff.BatchInverseFp2(dens)
+				for k := range ts {
+					l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
+					f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+				}
+			}
+			for j := range actT {
+				ln := &actT[j].lines[cur]
+				e1.MulFp(&ln.a, &xOverYs[j])
+				e3.MulFp(&ln.b, &yInvs[j])
+				f.MulLine01(&f, &e1, &e3)
+			}
+			cur++
+		}
+	}
+
+	var out GT
+	out.v.Set(finalExpFast(&f))
+	return &out
+}

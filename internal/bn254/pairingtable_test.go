@@ -1,0 +1,158 @@
+package bn254
+
+import (
+	"testing"
+)
+
+// TestPairingTableMatchesPair replays tables for several fixed Q
+// against ≥100 random G1 arguments and compares with the cold pairing.
+func TestPairingTableMatchesPair(t *testing.T) {
+	qs := make([]*G2, 0, 4)
+	for i := 0; i < 3; i++ {
+		q, _, err := RandG2(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	qs = append(qs, G2Generator())
+	for qi, q := range qs {
+		tb := NewPairingTable(q)
+		for i := 0; i < 30; i++ {
+			p, _, err := RandG1(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tb.Pair(p).Equal(Pair(p, q)) {
+				t.Fatalf("table %d iteration %d: PairingTable.Pair != Pair", qi, i)
+			}
+		}
+		if !tb.Pair(NewG1()).IsOne() {
+			t.Fatal("table pairing with G1 identity must be 1")
+		}
+	}
+	// Identity-Q table: every replay is 1, and IsIdentity reports it.
+	idTab := NewPairingTable(NewG2())
+	if !idTab.IsIdentity() {
+		t.Fatal("table from identity must report IsIdentity")
+	}
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idTab.Pair(p).IsOne() {
+		t.Fatal("identity-Q table must pair to 1")
+	}
+}
+
+func TestPairTableBatchMatchesPair(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		n := 1 + i%4
+		ps := make([]*G1, n)
+		tabs := make([]*PairingTable, n)
+		qs := make([]*G2, n)
+		for j := range ps {
+			p, _, err := RandG1(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _, err := RandG2(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (i+j)%5 == 0 {
+				p = NewG1()
+			}
+			ps[j], qs[j] = p, q
+			tabs[j] = NewPairingTable(q)
+		}
+		got := PairTableBatch(ps, tabs)
+		for j := range ps {
+			if !got[j].Equal(Pair(ps[j], qs[j])) {
+				t.Fatalf("iteration %d: PairTableBatch[%d] != Pair", i, j)
+			}
+		}
+	}
+}
+
+// TestMultiPairMixedMatchesProduct checks the mixed cold+table product
+// against a naive product of Pair calls, covering empty cold side,
+// empty table side and identity entries on both.
+func TestMultiPairMixedMatchesProduct(t *testing.T) {
+	for i := 0; i < 15; i++ {
+		nc := i % 3 // cold pairs
+		nt := i % 4 // table pairs
+		ps := make([]*G1, nc)
+		qs := make([]*G2, nc)
+		tps := make([]*G1, nt)
+		tqs := make([]*G2, nt)
+		tabs := make([]*PairingTable, nt)
+		for j := 0; j < nc; j++ {
+			p, _, err := RandG1(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _, err := RandG2(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (i+j)%6 == 0 {
+				p = NewG1()
+			}
+			ps[j], qs[j] = p, q
+		}
+		for j := 0; j < nt; j++ {
+			p, _, err := RandG1(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, _, err := RandG2(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (i+j)%5 == 0 {
+				p = NewG1()
+			}
+			if (i+j)%7 == 0 {
+				q = NewG2()
+			}
+			tps[j], tqs[j] = p, q
+			tabs[j] = NewPairingTable(q)
+		}
+		got := MultiPairMixed(ps, qs, tps, tabs)
+		want := GTOne()
+		for j := 0; j < nc; j++ {
+			want.Mul(want, Pair(ps[j], qs[j]))
+		}
+		for j := 0; j < nt; j++ {
+			want.Mul(want, Pair(tps[j], tqs[j]))
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iteration %d: MultiPairMixed mismatch (cold=%d tables=%d)", i, nc, nt)
+		}
+	}
+	if !MultiPairMixed(nil, nil, nil, nil).IsOne() {
+		t.Fatal("empty MultiPairMixed must be 1")
+	}
+}
+
+// TestMultiPairMixedDivision exercises the e(P,Q)·e(−P,Q) = 1 pattern
+// with one leg cold and one leg through a table — the BB-IBE
+// decryption shape.
+func TestMultiPairMixedDivision(t *testing.T) {
+	p, _, err := RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := RandG2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var negP G1
+	negP.Neg(p)
+	tab := NewPairingTable(q)
+	got := MultiPairMixed([]*G1{p}, []*G2{q}, []*G1{&negP}, []*PairingTable{tab})
+	if !got.IsOne() {
+		t.Fatal("e(P,Q)·e(−P,Q) must be 1 in mixed form")
+	}
+}

@@ -335,122 +335,158 @@ func fbDigit(e *big.Int, w int) uint {
 		e.Bit(int(base)+3)<<3
 }
 
-// --- multi-scalar multiplication (Straus interleaving) ---
+// --- interleaved multi-wNAF cores ---
 
-// G1MultiScalarMult computes Σ [scalars[i]]·points[i] with one shared
-// doubling chain (Straus/wNAF interleaving): n-term sums cost roughly
-// one scalar multiplication's doublings plus n·(bits/5) additions,
-// instead of n full scalar multiplications. Scalars are reduced mod r,
-// matching G1.ScalarMult. Panics if the slice lengths differ.
-func G1MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
-	if len(points) != len(scalars) {
-		panic("bn254: G1MultiScalarMult: mismatched lengths")
-	}
+// g1MultiWNAF sets acc = Σ [es[i]]·pts[i] with one shared doubling
+// chain (Straus/wNAF interleaving): the chain is as long as the largest
+// scalar's wNAF, and each term contributes one addition per ~(w+1)
+// bits. Scalars must be non-negative and are used at their raw values;
+// callers fold signs into the points. This is the evaluation engine
+// under both the multi-scalar entry points and the GLV/GLS ladders.
+func g1MultiWNAF(acc *g1Jac, pts []*G1, es []*big.Int) {
 	type term struct {
 		digits []int8
 		tbl    [1 << (wnafWidth - 2)]g1Jac
 	}
-	terms := make([]term, 0, len(points))
+	terms := make([]term, 0, len(pts))
 	maxLen := 0
+	for i := range pts {
+		if es[i].Sign() == 0 || pts[i].inf {
+			continue
+		}
+		var t term
+		t.digits = ff.WNAF(es[i], wnafWidth)
+		t.tbl[0].setAffine(pts[i])
+		var twoA g1Jac
+		twoA.setAffine(pts[i])
+		twoA.double()
+		for j := 1; j < len(t.tbl); j++ {
+			t.tbl[j] = t.tbl[j-1]
+			t.tbl[j].add(&twoA)
+		}
+		if len(t.digits) > maxLen {
+			maxLen = len(t.digits)
+		}
+		terms = append(terms, t)
+	}
+	acc.setInfinity()
+	for i := maxLen - 1; i >= 0; i-- {
+		acc.double()
+		for k := range terms {
+			t := &terms[k]
+			if i >= len(t.digits) {
+				continue
+			}
+			if d := t.digits[i]; d > 0 {
+				acc.add(&t.tbl[d>>1])
+			} else if d < 0 {
+				n := t.tbl[(-d)>>1]
+				n.neg()
+				acc.add(&n)
+			}
+		}
+	}
+}
+
+// g2MultiWNAF is g1MultiWNAF on the twist.
+func g2MultiWNAF(acc *g2Jac, pts []*G2, es []*big.Int) {
+	type term struct {
+		digits []int8
+		tbl    [1 << (wnafWidth - 2)]g2Jac
+	}
+	terms := make([]term, 0, len(pts))
+	maxLen := 0
+	for i := range pts {
+		if es[i].Sign() == 0 || pts[i].inf {
+			continue
+		}
+		var t term
+		t.digits = ff.WNAF(es[i], wnafWidth)
+		t.tbl[0].setAffine(pts[i])
+		var twoA g2Jac
+		twoA.setAffine(pts[i])
+		twoA.double()
+		for j := 1; j < len(t.tbl); j++ {
+			t.tbl[j] = t.tbl[j-1]
+			t.tbl[j].add(&twoA)
+		}
+		if len(t.digits) > maxLen {
+			maxLen = len(t.digits)
+		}
+		terms = append(terms, t)
+	}
+	acc.setInfinity()
+	for i := maxLen - 1; i >= 0; i-- {
+		acc.double()
+		for k := range terms {
+			t := &terms[k]
+			if i >= len(t.digits) {
+				continue
+			}
+			if d := t.digits[i]; d > 0 {
+				acc.add(&t.tbl[d>>1])
+			} else if d < 0 {
+				n := t.tbl[(-d)>>1]
+				n.neg()
+				acc.add(&n)
+			}
+		}
+	}
+}
+
+// --- multi-scalar multiplication (Straus interleaving + GLV/GLS split) ---
+
+// G1MultiScalarMult computes Σ [scalars[i]]·points[i] with one shared
+// doubling chain. Each scalar is reduced mod r (matching G1.ScalarMult)
+// and GLV-split into two half-length sub-scalars on (P, φ(P)), so an
+// n-term sum runs 2n interleaved terms over a ~√r-length chain —
+// roughly half the doublings of plain Straus. Panics if the slice
+// lengths differ.
+func G1MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
+	if len(points) != len(scalars) {
+		panic("bn254: G1MultiScalarMult: mismatched lengths")
+	}
+	var pts []*G1
+	var es []*big.Int
 	for i := range points {
 		e := new(big.Int).Mod(scalars[i], ff.Order())
 		if e.Sign() == 0 || points[i].inf {
 			continue
 		}
-		var t term
-		t.digits = ff.WNAF(e, wnafWidth)
-		t.tbl[0].setAffine(points[i])
-		var twoA g1Jac
-		twoA.setAffine(points[i])
-		twoA.double()
-		for j := 1; j < len(t.tbl); j++ {
-			t.tbl[j] = t.tbl[j-1]
-			t.tbl[j].add(&twoA)
-		}
-		if len(t.digits) > maxLen {
-			maxLen = len(t.digits)
-		}
-		terms = append(terms, t)
+		p, s := endoSplitG1(points[i], e)
+		pts = append(pts, p...)
+		es = append(es, s...)
 	}
 	var acc g1Jac
-	acc.setInfinity()
-	for i := maxLen - 1; i >= 0; i-- {
-		acc.double()
-		for k := range terms {
-			t := &terms[k]
-			if i >= len(t.digits) {
-				continue
-			}
-			if d := t.digits[i]; d > 0 {
-				acc.add(&t.tbl[d>>1])
-			} else if d < 0 {
-				n := t.tbl[(-d)>>1]
-				n.neg()
-				acc.add(&n)
-			}
-		}
-	}
+	g1MultiWNAF(&acc, pts, es)
 	out := new(G1)
 	acc.toAffine(out)
 	return out
 }
 
-// G2MultiScalarMult is G1MultiScalarMult on the twist. Matching
-// G2.ScalarMult, scalars are used at their raw integer values (no
-// reduction mod r); negative scalars negate the corresponding point.
+// G2MultiScalarMult is G1MultiScalarMult on the twist: scalars are
+// reduced mod r (matching G2.ScalarMult) and GLS-split four ways on
+// (Q, ψQ, ψ²Q, ψ³Q), so the shared chain is ~r^(1/4) long. Like
+// G2.ScalarMult this is only valid for points of the r-subgroup —
+// which every externally obtainable G2 value is. Panics if the slice
+// lengths differ.
 func G2MultiScalarMult(points []*G2, scalars []*big.Int) *G2 {
 	if len(points) != len(scalars) {
 		panic("bn254: G2MultiScalarMult: mismatched lengths")
 	}
-	type term struct {
-		digits []int8
-		tbl    [1 << (wnafWidth - 2)]g2Jac
-	}
-	terms := make([]term, 0, len(points))
-	maxLen := 0
+	var pts []*G2
+	var es []*big.Int
 	for i := range points {
-		e := scalars[i]
-		pt := points[i]
-		if e.Sign() < 0 {
-			e = new(big.Int).Neg(e)
-			pt = new(G2).Neg(pt)
-		}
-		if e.Sign() == 0 || pt.inf {
+		e := new(big.Int).Mod(scalars[i], ff.Order())
+		if e.Sign() == 0 || points[i].inf {
 			continue
 		}
-		var t term
-		t.digits = ff.WNAF(e, wnafWidth)
-		t.tbl[0].setAffine(pt)
-		var twoA g2Jac
-		twoA.setAffine(pt)
-		twoA.double()
-		for j := 1; j < len(t.tbl); j++ {
-			t.tbl[j] = t.tbl[j-1]
-			t.tbl[j].add(&twoA)
-		}
-		if len(t.digits) > maxLen {
-			maxLen = len(t.digits)
-		}
-		terms = append(terms, t)
+		p, s := endoSplitG2(points[i], e)
+		pts = append(pts, p...)
+		es = append(es, s...)
 	}
 	var acc g2Jac
-	acc.setInfinity()
-	for i := maxLen - 1; i >= 0; i-- {
-		acc.double()
-		for k := range terms {
-			t := &terms[k]
-			if i >= len(t.digits) {
-				continue
-			}
-			if d := t.digits[i]; d > 0 {
-				acc.add(&t.tbl[d>>1])
-			} else if d < 0 {
-				n := t.tbl[(-d)>>1]
-				n.neg()
-				acc.add(&n)
-			}
-		}
-	}
+	g2MultiWNAF(&acc, pts, es)
 	out := new(G2)
 	acc.toAffine(out)
 	return out

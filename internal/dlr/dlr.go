@@ -42,6 +42,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/hpske"
 	"repro/internal/opcount"
+	"repro/internal/par"
 	"repro/internal/params"
 	"repro/internal/pss"
 	"repro/internal/scalar"
@@ -115,6 +116,12 @@ type P1 struct {
 	// channel anyway).
 	encSK1 []*hpske.Ciphertext[*bn254.G2]
 	encPhi *hpske.Ciphertext[*bn254.G2]
+
+	// transTabs caches the precomputed Miller-loop line tables for the
+	// §5.2 transports of encSK1/encPhi (public data derived from public
+	// ciphertexts). Built lazily on the first RunDec of a period and
+	// dropped whenever the encrypted share changes.
+	transTabs []*hpske.TransportTable
 
 	period uint64
 }
@@ -296,7 +303,27 @@ func (p *P1) rebuildEncryptedShare(rng io.Reader) error {
 		return err
 	}
 	p.encPhi = encPhi
+	p.transTabs = nil
 	return nil
+}
+
+// transportTables returns the cached line tables for the current
+// encrypted share, building them (one per ciphertext, fanned out across
+// CPUs) on first use. The tables are pure public-key material: they are
+// a deterministic function of the public encSK1/encPhi ciphertexts, so
+// caching them adds nothing to P1's secret memory or leakage surface.
+func (p *P1) transportTables() []*hpske.TransportTable {
+	if p.transTabs == nil {
+		srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
+		srcs = append(srcs, p.encSK1...)
+		srcs = append(srcs, p.encPhi)
+		tabs := make([]*hpske.TransportTable, len(srcs))
+		par.ForEach(len(srcs), func(i int) {
+			tabs[i] = hpske.PrecomputeTransport(srcs[i])
+		})
+		p.transTabs = tabs
+	}
+	return p.transTabs
 }
 
 // BeginPeriod starts a new time period: P1 rotates its Π_comm key. In
@@ -325,6 +352,7 @@ func (p *P1) BeginPeriod(rng io.Reader) error {
 	}
 	p.encPhi = re
 	p.skcomm = newKey
+	p.transTabs = nil
 	return nil
 }
 

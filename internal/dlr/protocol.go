@@ -31,13 +31,12 @@ func (p *P1) RunDec(rng io.Reader, ch device.Channel, c *Ciphertext) (*bn254.GT,
 	if c == nil || c.A == nil || c.B == nil {
 		return nil, fmt.Errorf("dlr: nil ciphertext")
 	}
-	// All ℓ+1 transports share one flattened PairBatch: the
-	// (ℓ+1)(κ+1) Miller loops run in lockstep with batched
-	// line-denominator inversions.
-	srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
-	srcs = append(srcs, p.encSK1...)
-	srcs = append(srcs, p.encPhi)
-	cts := hpske.TransportMany(p.ctr, c.A, srcs)
+	// The ℓ+1 transports replay precomputed Miller-loop line tables
+	// for the fixed encrypted share against the per-request c.A: the
+	// (ℓ+1)(κ+1) pairings run with no G2 arithmetic and no line
+	// inversions at all. Tables are built lazily on the first request
+	// after a share rotation (see transportTables).
+	cts := hpske.TransportManyPre(p.ctr, c.A, p.transportTables())
 	dB, err := p.ssGT.Encrypt(rng, p.skcomm, c.B)
 	if err != nil {
 		return nil, fmt.Errorf("dlr: encrypting B: %w", err)
@@ -172,6 +171,7 @@ func (p *P1) RunRef(rng io.Reader, ch device.Channel) error {
 	default: // params.ModeOptimalRate
 		p.encSK1 = fPrimes
 		p.encPhi = f
+		p.transTabs = nil // tables referenced the erased share
 	}
 	return nil
 }

@@ -78,8 +78,114 @@ func subQ(t *[4]uint64) {
 	t[3], _ = bits.Sub64(t[3], q[3], b)
 }
 
-// montMul sets z = x·y·2⁻²⁵⁶ mod p (CIOS Montgomery multiplication).
+// reduceOnce sets t = t − p if carry != 0 or t ≥ p, branchlessly: the
+// trial subtraction always runs and a mask selects the result. The
+// data-dependent compare loop this replaces mispredicts roughly half
+// the time on random field elements, which made plain Add a hot spot in
+// the Miller-loop profile.
+func reduceOnce(t *[4]uint64, carry uint64) {
+	var u [4]uint64
+	var b uint64
+	u[0], b = bits.Sub64(t[0], q[0], 0)
+	u[1], b = bits.Sub64(t[1], q[1], b)
+	u[2], b = bits.Sub64(t[2], q[2], b)
+	u[3], b = bits.Sub64(t[3], q[3], b)
+	// Keep t only when the addition did not overflow (carry == 0) AND
+	// the trial subtraction borrowed (t < p).
+	m := -(carry | (b ^ 1)) // all-ones when u is the reduced value
+	t[0] = (u[0] & m) | (t[0] &^ m)
+	t[1] = (u[1] & m) | (t[1] &^ m)
+	t[2] = (u[2] & m) | (t[2] &^ m)
+	t[3] = (u[3] & m) | (t[3] &^ m)
+}
+
+// The no-carry Montgomery multiplication below requires the modulus'
+// top limb to leave headroom so the per-round accumulator never
+// overflows four limbs; a 254-bit p satisfies this with room to spare.
+var _ = func() bool {
+	if q[3] >= 1<<62 {
+		panic("ff: montMul requires a modulus with top limb < 2^62")
+	}
+	return true
+}()
+
+// madd0 returns the high word of a·b + c.
+func madd0(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi
+}
+
+// madd1 returns a·b + c as (hi, lo).
+func madd1(a, b, c uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	lo, carry := bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd2 returns a·b + c + d as (hi, lo).
+func madd2(a, b, c, d uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return hi, lo
+}
+
+// madd3 returns a·b + c + d as (hi, lo) with e folded into hi.
+func madd3(a, b, c, d, e uint64) (uint64, uint64) {
+	hi, lo := bits.Mul64(a, b)
+	c, carry := bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, e, carry)
+	return hi, lo
+}
+
+// montMul sets z = x·y·2⁻²⁵⁶ mod p, using the unrolled "no-carry" CIOS
+// variant: because p's top limb is below 2⁶², each interleaved
+// multiply-reduce round fits in four limbs with no 65th-bit
+// bookkeeping. Differentially tested against montMulGeneric.
 func montMul(z, x, y *[4]uint64) {
+	var t [4]uint64
+	var c0, c1, c2, m uint64
+
+	// Round 0: t = (x[0]·y + m·q) / 2⁶⁴.
+	v := x[0]
+	c1, c0 = bits.Mul64(v, y[0])
+	m = c0 * qInvNeg
+	c2 = madd0(m, q[0], c0)
+	c1, c0 = madd1(v, y[1], c1)
+	c2, t[0] = madd2(m, q[1], c2, c0)
+	c1, c0 = madd1(v, y[2], c1)
+	c2, t[1] = madd2(m, q[2], c2, c0)
+	c1, c0 = madd1(v, y[3], c1)
+	t[3], t[2] = madd3(m, q[3], c0, c2, c1)
+
+	// Rounds 1–3: t = (t + x[i]·y + m·q) / 2⁶⁴.
+	for _, v := range [3]uint64{x[1], x[2], x[3]} {
+		c1, c0 = madd1(v, y[0], t[0])
+		m = c0 * qInvNeg
+		c2 = madd0(m, q[0], c0)
+		c1, c0 = madd2(v, y[1], c1, t[1])
+		c2, t[0] = madd2(m, q[1], c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t[2])
+		c2, t[1] = madd2(m, q[2], c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t[3])
+		t[3], t[2] = madd3(m, q[3], c0, c2, c1)
+	}
+
+	reduceOnce(&t, 0)
+	*z = t
+}
+
+// montMulGeneric is the original CIOS Montgomery multiplication with
+// explicit 65th-bit tracking, valid for any 256-bit modulus. Retained
+// as the differential twin for montMul.
+func montMulGeneric(z, x, y *[4]uint64) {
 	var t [5]uint64
 	var tExtra uint64 // 65th bit of the running accumulator
 
@@ -198,9 +304,7 @@ func (z *Fp) Add(x, y *Fp) *Fp {
 	t[1], c = bits.Add64(x.v[1], y.v[1], c)
 	t[2], c = bits.Add64(x.v[2], y.v[2], c)
 	t[3], c = bits.Add64(x.v[3], y.v[3], c)
-	if c != 0 || geqQ(&t) {
-		subQ(&t)
-	}
+	reduceOnce(&t, c)
 	z.v = t
 	return z
 }
@@ -213,13 +317,14 @@ func (z *Fp) Sub(x, y *Fp) *Fp {
 	t[1], b = bits.Sub64(x.v[1], y.v[1], b)
 	t[2], b = bits.Sub64(x.v[2], y.v[2], b)
 	t[3], b = bits.Sub64(x.v[3], y.v[3], b)
-	if b != 0 {
-		var c uint64
-		t[0], c = bits.Add64(t[0], q[0], 0)
-		t[1], c = bits.Add64(t[1], q[1], c)
-		t[2], c = bits.Add64(t[2], q[2], c)
-		t[3], _ = bits.Add64(t[3], q[3], c)
-	}
+	// Branchless add-back of p, masked to a no-op when there was no
+	// borrow (same rationale as reduceOnce).
+	m := -b
+	var c uint64
+	t[0], c = bits.Add64(t[0], q[0]&m, 0)
+	t[1], c = bits.Add64(t[1], q[1]&m, c)
+	t[2], c = bits.Add64(t[2], q[2]&m, c)
+	t[3], _ = bits.Add64(t[3], q[3]&m, c)
 	z.v = t
 	return z
 }

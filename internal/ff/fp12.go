@@ -194,6 +194,19 @@ func gammas() *[6]Fp2 {
 	return &frobeniusGamma.g
 }
 
+// FrobeniusGamma returns a copy of the Frobenius twist coefficient
+// γⱼ = ξ^(j·(p−1)/6) for j ∈ [0,6). These are the per-coefficient
+// factors of the p-power Frobenius in the w-basis (see Frobenius); the
+// bn254 package uses γ₂ and γ₃ to build the untwist-Frobenius-twist
+// endomorphism ψ(x, y) = (γ₂·x̄, γ₃·ȳ) on the sextic twist. Panics if j
+// is out of range.
+func FrobeniusGamma(j int) *Fp2 {
+	if j < 0 || j >= 6 {
+		panic("ff: FrobeniusGamma index out of range")
+	}
+	return new(Fp2).Set(&gammas()[j])
+}
+
 // Frobenius sets z = x^p and returns z.
 func (z *Fp12) Frobenius(x *Fp12) *Fp12 {
 	g := gammas()

@@ -80,6 +80,39 @@ func TestMontgomeryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMontMulMatchesGeneric cross-checks the unrolled no-carry
+// Montgomery multiplication against the generic 65-bit-tracking CIOS on
+// random and extreme limb patterns.
+func TestMontMulMatchesGeneric(t *testing.T) {
+	pm1 := new(big.Int).Sub(p, big.NewInt(1))
+	edges := []*big.Int{
+		big.NewInt(0), big.NewInt(1), pm1,
+		new(big.Int).Rsh(p, 1),
+	}
+	var vals [][4]uint64
+	for _, e := range edges {
+		vals = append(vals, NewFp(e).v)
+	}
+	for i := 0; i < 200; i++ {
+		f, err := RandFp(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, f.v)
+	}
+	for i := range vals {
+		for j := range vals {
+			var fast, slow [4]uint64
+			montMul(&fast, &vals[i], &vals[j])
+			montMulGeneric(&slow, &vals[i], &vals[j])
+			if fast != slow {
+				t.Fatalf("montMul(%v, %v) = %v, generic says %v",
+					vals[i], vals[j], fast, slow)
+			}
+		}
+	}
+}
+
 func TestMulInt64MatchesMul(t *testing.T) {
 	a, err := RandFp(rand.Reader)
 	if err != nil {

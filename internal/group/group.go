@@ -225,6 +225,30 @@ func PairBatch(ctr *opcount.Counter, as []*bn254.G1, bs []*bn254.G2) []*bn254.GT
 	return bn254.PairBatch(as, bs)
 }
 
+// PairTable computes e(a, Q) for a fixed Q through its precomputed line
+// table. It counts one pairing — precomputed-line replays must report
+// the same op counts as cold pairings so the op-count experiments (E1,
+// E6) keep their shapes.
+func PairTable(ctr *opcount.Counter, a *bn254.G1, tb *bn254.PairingTable) *bn254.GT {
+	ctr.Add(opcount.Pairing, 1)
+	return tb.Pair(a)
+}
+
+// PairTableBatch computes the len(as) pairings e(as[i], Qᵢ) through
+// precomputed tables, fanned out across CPUs. Counts len(as) pairings.
+func PairTableBatch(ctr *opcount.Counter, as []*bn254.G1, tabs []*bn254.PairingTable) []*bn254.GT {
+	ctr.Add(opcount.Pairing, int64(len(as)))
+	return bn254.PairTableBatch(as, tabs)
+}
+
+// MultiPairMixed computes Π e(as[i], bs[i]) · Π e(tas[j], Qⱼ) with the
+// cold pairs run lockstep and the fixed-Q pairs replayed from tables,
+// all under one final exponentiation. Counts len(as)+len(tas) pairings.
+func MultiPairMixed(ctr *opcount.Counter, as []*bn254.G1, bs []*bn254.G2, tas []*bn254.G1, tabs []*bn254.PairingTable) *bn254.GT {
+	ctr.Add(opcount.Pairing, int64(len(as)+len(tas)))
+	return bn254.MultiPairMixed(as, bs, tas, tabs)
+}
+
 func readSeed(rng io.Reader) ([]byte, error) {
 	seed := make([]byte, 32)
 	if rng == nil {

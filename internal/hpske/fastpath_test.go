@@ -85,6 +85,63 @@ func TestTransportManyMatchesTransport(t *testing.T) {
 	}
 }
 
+// TransportPre / TransportManyPre must agree with their cold twins for
+// any G1 argument — the tables only cache the P-independent half of
+// the Miller loops.
+func TestTransportPreMatchesTransport(t *testing.T) {
+	s := newG2Scheme(t)
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGT := newGTScheme(t)
+	ct := randG2Ciphertext(t, s, key)
+	tt := PrecomputeTransport(ct)
+	for i := 0; i < 5; i++ {
+		a, _, err := bn254.RandG1(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := TransportPre(nil, a, tt)
+		slow := Transport(nil, a, ct)
+		if !ctEqual(sGT, fast, slow) {
+			t.Fatalf("iteration %d: TransportPre != Transport", i)
+		}
+	}
+}
+
+func TestTransportManyPreMatchesTransportMany(t *testing.T) {
+	s := newG2Scheme(t)
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGT := newGTScheme(t)
+	cts := make([]*Ciphertext[*bn254.G2], 3)
+	tts := make([]*TransportTable, 3)
+	for i := range cts {
+		cts[i] = randG2Ciphertext(t, s, key)
+		tts[i] = PrecomputeTransport(cts[i])
+	}
+	a, _, err := bn254.RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TransportManyPre(nil, a, tts)
+	want := TransportMany(nil, a, cts)
+	if len(got) != len(want) {
+		t.Fatalf("TransportManyPre returned %d ciphertexts, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !ctEqual(sGT, got[i], want[i]) {
+			t.Fatalf("ciphertext %d: TransportManyPre != TransportMany", i)
+		}
+	}
+	if out := TransportManyPre(nil, a, nil); len(out) != 0 {
+		t.Fatal("TransportManyPre of no tables must be empty")
+	}
+}
+
 // LinComb must agree with the composition of Pow and Mul it replaces,
 // and must still decrypt to Π mᵢ^kᵢ.
 func TestLinCombMatchesPowMulChain(t *testing.T) {

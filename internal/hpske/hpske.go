@@ -380,6 +380,9 @@ func TransportReference(ctr *opcount.Counter, a *bn254.G1, ct *Ciphertext[*bn254
 // TransportMany transports several G2-ciphertexts with the same a in a
 // single flattened PairBatch, maximizing the inversion-batching window
 // — the shape of P1's RunDec, which transports ℓ+1 ciphertexts at once.
+// When the ciphertexts are long-lived, PrecomputeTransport +
+// TransportManyPre replaces the cold Miller loops with precomputed-line
+// replays.
 func TransportMany(ctr *opcount.Counter, a *bn254.G1, cts []*Ciphertext[*bn254.G2]) []*Ciphertext[*bn254.GT] {
 	var ps []*bn254.G1
 	var qs []*bn254.G2
@@ -396,6 +399,66 @@ func TransportMany(ctr *opcount.Counter, a *bn254.G1, cts []*Ciphertext[*bn254.G
 	off := 0
 	for i, ct := range cts {
 		n := len(ct.Coins)
+		out[i] = &Ciphertext[*bn254.GT]{Coins: gts[off : off+n], Payload: gts[off+n]}
+		off += n + 1
+	}
+	return out
+}
+
+// TransportTable holds precomputed Miller-loop line tables for every
+// coordinate of a fixed G2-ciphertext — the G2 side of the §5.2
+// transport pairings, which depends only on the ciphertext. Building
+// one costs κ+1 cold Miller loops' worth of G2 work; every subsequent
+// transport of that ciphertext (arbitrary a) then skips all G2
+// arithmetic and line inversions. This is exactly P1's situation: the
+// encrypted shares fᵢ are fixed for a whole leakage period while each
+// decryption request brings a fresh a = c.A.
+type TransportTable struct {
+	tabs []*bn254.PairingTable // coins tables, then the payload table
+}
+
+// PrecomputeTransport builds the transport table for ct.
+func PrecomputeTransport(ct *Ciphertext[*bn254.G2]) *TransportTable {
+	n := len(ct.Coins)
+	tt := &TransportTable{tabs: make([]*bn254.PairingTable, n+1)}
+	for j, b := range ct.Coins {
+		tt.tabs[j] = bn254.NewPairingTable(b)
+	}
+	tt.tabs[n] = bn254.NewPairingTable(ct.Payload)
+	return tt
+}
+
+// TransportPre is Transport with the ciphertext's Miller-loop lines
+// precomputed: every pairing is a table replay. Op counts match
+// Transport (κ+1 pairings), keeping the experiment tables comparable.
+// Differentially tested against Transport.
+func TransportPre(ctr *opcount.Counter, a *bn254.G1, tt *TransportTable) *Ciphertext[*bn254.GT] {
+	n := len(tt.tabs) - 1
+	ps := make([]*bn254.G1, n+1)
+	for j := range ps {
+		ps[j] = a
+	}
+	gts := group.PairTableBatch(ctr, ps, tt.tabs)
+	return &Ciphertext[*bn254.GT]{Coins: gts[:n], Payload: gts[n]}
+}
+
+// TransportManyPre is TransportMany over precomputed tables: one
+// flattened PairTableBatch across all ciphertexts, every pairing a
+// replay. Differentially tested against TransportMany.
+func TransportManyPre(ctr *opcount.Counter, a *bn254.G1, tts []*TransportTable) []*Ciphertext[*bn254.GT] {
+	var ps []*bn254.G1
+	var tabs []*bn254.PairingTable
+	for _, tt := range tts {
+		for range tt.tabs {
+			ps = append(ps, a)
+		}
+		tabs = append(tabs, tt.tabs...)
+	}
+	gts := group.PairTableBatch(ctr, ps, tabs)
+	out := make([]*Ciphertext[*bn254.GT], len(tts))
+	off := 0
+	for i, tt := range tts {
+		n := len(tt.tabs) - 1
 		out[i] = &Ciphertext[*bn254.GT]{Coins: gts[off : off+n], Payload: gts[off+n]}
 		off += n + 1
 	}

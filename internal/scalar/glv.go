@@ -1,0 +1,237 @@
+package scalar
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file implements the integer-lattice scalar decomposition behind
+// GLV/GLS endomorphism-accelerated scalar multiplication. Given an
+// endomorphism φ acting on a prime-order group as φ(P) = [μ]P, a scalar
+// k ∈ Z_mod is rewritten as
+//
+//	k ≡ a₀ + a₁·μ + … + a_{n−1}·μⁿ⁻¹  (mod mod)
+//
+// with every |aⱼ| ≈ mod^(1/n), so that [k]P = Σ [aⱼ]φʲ(P) can be
+// evaluated with an interleaved multi-scalar ladder whose doubling
+// chain is n times shorter than a plain ladder's.
+//
+// The sub-scalars come from Babai round-off against a basis of the
+// relation lattice L = {v ∈ Zⁿ : Σ vⱼ·μʲ ≡ 0 (mod mod)}: the target
+// (k, 0, …, 0) is projected onto the basis, the coefficients are
+// rounded to integers, and the (short) difference vector is the
+// decomposition. Correctness never depends on the basis being reduced —
+// any full-rank set of relation vectors yields a valid decomposition —
+// only the sub-scalar size does, which the differential tests pin.
+//
+// None of this is constant-time, matching the bn254 convention: the
+// big.Int arithmetic, the rounding branches and the sizes of the
+// sub-scalars all leak through timing. The paper's continual-leakage
+// model tolerates bounded leakage per period; deployments needing
+// side-channel hardening must not reuse this code.
+
+// Lattice holds a full-rank basis of the GLV/GLS relation lattice for a
+// fixed (mod, μ) pair, plus the precomputed cofactors Babai round-off
+// needs. Construct with NewLattice; the zero value is not usable.
+type Lattice struct {
+	mod   *big.Int
+	dim   int
+	basis [][]*big.Int
+	// det is det(basis); cof0[i] is the (i,0) cofactor of the basis
+	// matrix, so (basis⁻¹)₀ᵢ = cof0[i]/det and the Babai coefficients
+	// for target (k,0,…,0) are round(k·cof0[i]/det).
+	det  *big.Int
+	cof0 []*big.Int
+}
+
+// NewLattice validates basis as an n×n full-rank set of relation
+// vectors for eigenvalue mu modulo mod (every row must satisfy
+// Σⱼ basis[i][j]·μʲ ≡ 0 (mod mod)) and precomputes the determinant and
+// cofactors used by Decompose. The rows are deep-copied.
+func NewLattice(mod, mu *big.Int, basis [][]*big.Int) (*Lattice, error) {
+	n := len(basis)
+	if n < 2 {
+		return nil, fmt.Errorf("scalar: lattice dimension must be ≥ 2, got %d", n)
+	}
+	if mod.Sign() <= 0 {
+		return nil, fmt.Errorf("scalar: lattice modulus must be positive")
+	}
+	// μ powers for the relation check.
+	muPow := make([]*big.Int, n)
+	muPow[0] = big.NewInt(1)
+	for j := 1; j < n; j++ {
+		muPow[j] = new(big.Int).Mul(muPow[j-1], mu)
+		muPow[j].Mod(muPow[j], mod)
+	}
+	rows := make([][]*big.Int, n)
+	for i, row := range basis {
+		if len(row) != n {
+			return nil, fmt.Errorf("scalar: lattice row %d has %d entries, want %d", i, len(row), n)
+		}
+		rows[i] = make([]*big.Int, n)
+		acc := new(big.Int)
+		for j, v := range row {
+			rows[i][j] = new(big.Int).Set(v)
+			acc.Add(acc, new(big.Int).Mul(v, muPow[j]))
+		}
+		if acc.Mod(acc, mod); acc.Sign() != 0 {
+			return nil, fmt.Errorf("scalar: lattice row %d is not a relation vector: Σ vⱼ·μʲ ≢ 0 (mod mod)", i)
+		}
+	}
+	det := determinant(rows)
+	if det.Sign() == 0 {
+		return nil, fmt.Errorf("scalar: lattice basis is singular")
+	}
+	cof0 := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		c := determinant(minorMatrix(rows, i, 0))
+		if i%2 == 1 {
+			c.Neg(c)
+		}
+		cof0[i] = c
+	}
+	return &Lattice{mod: mod, dim: n, basis: rows, det: det, cof0: cof0}, nil
+}
+
+// Dim returns the lattice dimension n (the number of sub-scalars
+// Decompose produces).
+func (l *Lattice) Dim() int { return l.dim }
+
+// Decompose splits k (reduced mod mod first) into n signed sub-scalars
+// (a₀,…,a_{n−1}) with k ≡ Σ aⱼ·μʲ (mod mod), via Babai round-off: the
+// closest lattice vector to (k,0,…,0) is subtracted from it. With a
+// reduced basis every |aⱼ| is O(mod^(1/n)); the recomposition identity
+// holds for any basis. The sub-scalar signs are part of the result —
+// callers typically fold them into the base points.
+func (l *Lattice) Decompose(k *big.Int) []*big.Int {
+	e := new(big.Int).Mod(k, l.mod)
+	out := make([]*big.Int, l.dim)
+	for j := range out {
+		out[j] = new(big.Int)
+	}
+	out[0].Set(e)
+	// cᵢ = round(e·cof0[i]/det); subtract Σᵢ cᵢ·basisᵢ from (e,0,…,0).
+	var num, t big.Int
+	for i := 0; i < l.dim; i++ {
+		num.Mul(e, l.cof0[i])
+		ci := roundDiv(&num, l.det)
+		if ci.Sign() == 0 {
+			continue
+		}
+		for j := 0; j < l.dim; j++ {
+			out[j].Sub(out[j], t.Mul(ci, l.basis[i][j]))
+		}
+	}
+	return out
+}
+
+// ReducedBasis2 computes a reduced basis of the 2-dimensional relation
+// lattice for (mod, mu) with the classic GLV extended-Euclid balanced
+// reduction (Gallant–Lambert–Vanstone 2001, §4): run Euclid on
+// (mod, mu), stop at the first remainder below √mod, and take the two
+// shortest of the three candidate vectors (rᵢ, −tᵢ) that bracket the
+// stopping point. Every returned vector v satisfies v₀ + v₁·μ ≡ 0
+// (mod mod) — NewLattice re-verifies this.
+func ReducedBasis2(mod, mu *big.Int) ([][]*big.Int, error) {
+	m := new(big.Int).Mod(mu, mod)
+	if m.Sign() == 0 {
+		return nil, fmt.Errorf("scalar: ReducedBasis2: μ ≡ 0 (mod mod)")
+	}
+	sqrtMod := new(big.Int).Sqrt(mod)
+	// Remainder sequence r₂ > r₁ with Bézout t-coefficients: rᵢ = sᵢ·mod + tᵢ·μ.
+	r2, r1 := new(big.Int).Set(mod), m
+	t2, t1 := new(big.Int), big.NewInt(1)
+	for {
+		q := new(big.Int).Div(r2, r1)
+		r0 := new(big.Int).Sub(r2, new(big.Int).Mul(q, r1))
+		t0 := new(big.Int).Sub(t2, new(big.Int).Mul(q, t1))
+		if r1.Cmp(sqrtMod) < 0 {
+			v1 := []*big.Int{new(big.Int).Set(r1), new(big.Int).Neg(t1)}
+			// Second vector: the shorter of the neighbours (r0,−t0), (r2,−t2).
+			n0 := normSq(r0, t0)
+			n2 := normSq(r2, t2)
+			var v2 []*big.Int
+			if n0.Cmp(n2) < 0 {
+				v2 = []*big.Int{r0, new(big.Int).Neg(t0)}
+			} else {
+				v2 = []*big.Int{r2, new(big.Int).Neg(t2)}
+			}
+			return [][]*big.Int{v1, v2}, nil
+		}
+		if r0.Sign() == 0 {
+			return nil, fmt.Errorf("scalar: ReducedBasis2: Euclid terminated before √mod (gcd(mod, μ) ≠ 1?)")
+		}
+		r2, r1 = r1, r0
+		t2, t1 = t1, t0
+	}
+}
+
+func normSq(a, b *big.Int) *big.Int {
+	n := new(big.Int).Mul(a, a)
+	return n.Add(n, new(big.Int).Mul(b, b))
+}
+
+// roundDiv returns num/den rounded to the nearest integer (ties away
+// from zero). Any fixed rounding works for Babai round-off; nearest
+// keeps the residual vector — and hence the sub-scalars — shortest.
+func roundDiv(num, den *big.Int) *big.Int {
+	q, rem := new(big.Int).QuoRem(num, den, new(big.Int))
+	twice := rem.Abs(rem)
+	twice.Lsh(twice, 1)
+	if twice.Cmp(new(big.Int).Abs(den)) >= 0 {
+		if (num.Sign() < 0) != (den.Sign() < 0) {
+			q.Sub(q, big.NewInt(1))
+		} else {
+			q.Add(q, big.NewInt(1))
+		}
+	}
+	return q
+}
+
+// determinant computes det(m) by Laplace expansion along the first row
+// — cubic-ish blowup, fine for the n ≤ 4 lattices used here, and only
+// run once at lattice construction.
+func determinant(m [][]*big.Int) *big.Int {
+	n := len(m)
+	if n == 1 {
+		return new(big.Int).Set(m[0][0])
+	}
+	if n == 2 {
+		d := new(big.Int).Mul(m[0][0], m[1][1])
+		return d.Sub(d, new(big.Int).Mul(m[0][1], m[1][0]))
+	}
+	det := new(big.Int)
+	for j := 0; j < n; j++ {
+		if m[0][j].Sign() == 0 {
+			continue
+		}
+		sub := determinant(minorMatrix(m, 0, j))
+		sub.Mul(sub, m[0][j])
+		if j%2 == 1 {
+			sub.Neg(sub)
+		}
+		det.Add(det, sub)
+	}
+	return det
+}
+
+// minorMatrix returns m with row i and column j removed (rows aliased,
+// entries shared — callers must not mutate).
+func minorMatrix(m [][]*big.Int, i, j int) [][]*big.Int {
+	n := len(m)
+	out := make([][]*big.Int, 0, n-1)
+	for a := 0; a < n; a++ {
+		if a == i {
+			continue
+		}
+		row := make([]*big.Int, 0, n-1)
+		for b := 0; b < n; b++ {
+			if b == j {
+				continue
+			}
+			row = append(row, m[a][b])
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package scalar
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// The tests exercise the decomposition with the two lattices the bn254
+// package actually uses: the 2-dimensional GLV lattice for (r, λ) with
+// λ² + λ + 1 ≡ 0 (mod r), and the 4-dimensional GLS lattice for
+// (r, μ = 6u²) with the Galbraith–Scott basis. The constants are
+// re-derived here from the BN parameter u so the test does not trust
+// the package under test.
+
+var bnU = new(big.Int).SetUint64(4965661367192848881)
+
+func bnOrder() *big.Int { return Order() }
+
+// bnLambda = 36u³ + 18u² + 6u + 1, a root of x² + x + 1 mod r.
+func bnLambda() *big.Int {
+	u := bnU
+	u2 := new(big.Int).Mul(u, u)
+	u3 := new(big.Int).Mul(u2, u)
+	l := new(big.Int).Mul(u3, big.NewInt(36))
+	l.Add(l, new(big.Int).Mul(u2, big.NewInt(18)))
+	l.Add(l, new(big.Int).Mul(u, big.NewInt(6)))
+	return l.Add(l, big.NewInt(1))
+}
+
+// bnMu = 6u² ≡ p (mod r), the ψ eigenvalue on G2.
+func bnMu() *big.Int {
+	m := new(big.Int).Mul(bnU, bnU)
+	return m.Mul(m, big.NewInt(6))
+}
+
+// glsBasis is the Galbraith–Scott degree-4 relation basis for BN curves
+// (Galbraith–Scott 2008, §5), rows (v₀,v₁,v₂,v₃) with
+// Σ vⱼ·μʲ ≡ 0 (mod r). NewLattice re-verifies every row.
+func glsBasis() [][]*big.Int {
+	u := bnU
+	mk := func(cs ...[2]int64) []*big.Int {
+		row := make([]*big.Int, len(cs))
+		for i, c := range cs {
+			v := new(big.Int).Mul(big.NewInt(c[0]), u)
+			row[i] = v.Add(v, big.NewInt(c[1]))
+		}
+		return row
+	}
+	return [][]*big.Int{
+		mk([2]int64{1, 1}, [2]int64{1, 0}, [2]int64{1, 0}, [2]int64{-2, 0}),
+		mk([2]int64{2, 1}, [2]int64{-1, 0}, [2]int64{-1, -1}, [2]int64{-1, 0}),
+		mk([2]int64{2, 0}, [2]int64{2, 1}, [2]int64{2, 1}, [2]int64{2, 1}),
+		mk([2]int64{1, -1}, [2]int64{4, 2}, [2]int64{-2, 1}, [2]int64{1, -1}),
+	}
+}
+
+// edgeScalars returns the deterministic boundary cases every
+// decomposition must handle: 0, 1, r−1, r, r+1 and ±2^i across the
+// scalar range.
+func edgeScalars(r *big.Int) []*big.Int {
+	out := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Set(r),
+		new(big.Int).Add(r, big.NewInt(1)),
+	}
+	for i := 0; i <= r.BitLen(); i += 17 {
+		p := new(big.Int).Lsh(big.NewInt(1), uint(i))
+		out = append(out, p, new(big.Int).Neg(p))
+	}
+	return out
+}
+
+// checkRecompose verifies k ≡ Σ aⱼ·μʲ (mod r) and that every
+// sub-scalar stays below maxBits.
+func checkRecompose(t *testing.T, lat *Lattice, mu, r, k *big.Int, maxBits int) {
+	t.Helper()
+	subs := lat.Decompose(k)
+	if len(subs) != lat.Dim() {
+		t.Fatalf("Decompose returned %d sub-scalars, want %d", len(subs), lat.Dim())
+	}
+	acc := new(big.Int)
+	muPow := big.NewInt(1)
+	for j, a := range subs {
+		if a.BitLen() > maxBits {
+			t.Fatalf("k=%v: sub-scalar %d has %d bits, want ≤ %d", k, j, a.BitLen(), maxBits)
+		}
+		acc.Add(acc, new(big.Int).Mul(a, muPow))
+		muPow = new(big.Int).Mul(muPow, mu)
+		muPow.Mod(muPow, r)
+	}
+	acc.Mod(acc, r)
+	want := new(big.Int).Mod(k, r)
+	if acc.Cmp(want) != 0 {
+		t.Fatalf("k=%v: recomposition mismatch: got %v want %v", k, acc, want)
+	}
+}
+
+func TestGLVDecompose2Dim(t *testing.T) {
+	r := bnOrder()
+	lambda := bnLambda()
+	basis, err := ReducedBasis2(r, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := NewLattice(r, lambda, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced 2-dim decomposition of a 254-bit order: sub-scalars stay
+	// within a couple of bits of √r ≈ 2^127.
+	const maxBits = 130
+	for _, k := range edgeScalars(r) {
+		checkRecompose(t, lat, lambda, r, k, maxBits)
+	}
+	for i := 0; i < 1000; i++ {
+		k, err := rand.Int(rand.Reader, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecompose(t, lat, lambda, r, k, maxBits)
+	}
+}
+
+func TestGLSDecompose4Dim(t *testing.T) {
+	r := bnOrder()
+	mu := bnMu()
+	lat, err := NewLattice(r, mu, glsBasis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-dim decomposition: sub-scalars near r^(1/4) ≈ 2^64.
+	const maxBits = 67
+	for _, k := range edgeScalars(r) {
+		checkRecompose(t, lat, mu, r, k, maxBits)
+	}
+	for i := 0; i < 1000; i++ {
+		k, err := rand.Int(rand.Reader, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRecompose(t, lat, mu, r, k, maxBits)
+	}
+}
+
+func TestNewLatticeRejectsBadBases(t *testing.T) {
+	r := bnOrder()
+	lambda := bnLambda()
+	// A non-relation row must be rejected.
+	bad := [][]*big.Int{
+		{big.NewInt(1), big.NewInt(1)},
+		{big.NewInt(0), new(big.Int).Set(r)},
+	}
+	if _, err := NewLattice(r, lambda, bad); err == nil {
+		t.Fatal("NewLattice accepted a non-relation basis")
+	}
+	// A singular (rank-deficient) relation basis must be rejected.
+	basis, err := ReducedBasis2(r, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singular := [][]*big.Int{basis[0], basis[0]}
+	if _, err := NewLattice(r, lambda, singular); err == nil {
+		t.Fatal("NewLattice accepted a singular basis")
+	}
+	// Mis-shaped rows must be rejected.
+	ragged := [][]*big.Int{basis[0], {big.NewInt(1)}}
+	if _, err := NewLattice(r, lambda, ragged); err == nil {
+		t.Fatal("NewLattice accepted a ragged basis")
+	}
+}
+
+func TestReducedBasis2VectorsAreRelations(t *testing.T) {
+	r := bnOrder()
+	lambda := bnLambda()
+	basis, err := ReducedBasis2(r, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range basis {
+		acc := new(big.Int).Mul(v[1], lambda)
+		acc.Add(acc, v[0])
+		acc.Mod(acc, r)
+		if acc.Sign() != 0 {
+			t.Fatalf("basis vector %d is not a relation vector", i)
+		}
+	}
+}
