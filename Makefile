@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke ci baseline clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke ci baseline clean
 
 all: build
 
@@ -19,15 +19,27 @@ race:
 vet:
 	$(GO) vet ./...
 
-# ci is the tier-1 gate: build, vet, and the full test suite under the
-# race detector (the protocol stack fans work out across goroutines).
-# Timing-sensitive bench regression checks are opt-in: CI_BENCH=1 make ci
-# additionally fails if any hot operation regressed >25% against the
-# committed bench_baseline.json.
-ci: build vet race
+# ci is the tier-1 gate: build, vet, the full test suite under the
+# race detector (the protocol stack fans work out across goroutines),
+# and a short differential fuzz pass over the lazy-tower and Pippenger
+# twins. Timing-sensitive bench regression checks are opt-in:
+# CI_BENCH=1 make ci additionally fails if any hot operation regressed
+# >25% against the committed bench_baseline.json.
+ci: build vet race fuzz-smoke
 ifeq ($(CI_BENCH),1)
 	$(MAKE) bench-smoke
 endif
+
+# fuzz-smoke gives each differential fuzz target a short budget on top
+# of its committed seed corpus: enough to exercise the lazy-reduction
+# and bucket-method paths against their twins on every CI run without
+# turning CI into a fuzzing campaign. (`go test -fuzz` accepts a single
+# target per invocation, hence one line per target.)
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzFp2Mul -fuzztime=$(FUZZTIME) ./internal/ff
+	$(GO) test -run=^$$ -fuzz=FuzzFp6Mul -fuzztime=$(FUZZTIME) ./internal/ff
+	$(GO) test -run=^$$ -fuzz=FuzzMultiExp -fuzztime=$(FUZZTIME) ./internal/bn254
 
 # bench-smoke re-times the fast-path operations and fails if any of them
 # regressed more than 25% against the committed baseline snapshot.

@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E12 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E13 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -6,6 +6,11 @@
 //	dlrbench -games 5                   # more attack games for E5
 //	dlrbench -baseline bench_baseline.json  # snapshot fast-path timings
 //	dlrbench -smoke bench_baseline.json     # fail if a hot op regressed >25%
+//	dlrbench -pipeline -workers 1,2,4 -reqs 128 -batch 16
+//	                                    # batched-decryption worker curve
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever mode
+// runs, for digging into the hot loops the E13 numbers summarize.
 package main
 
 import (
@@ -14,6 +19,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -24,6 +33,12 @@ import (
 // recorded on a different (usually quieter) machine than CI.
 const smokeTolerance = 1.25
 
+// smokeAllocSlack is the absolute allocs/op headroom on top of
+// smokeTolerance before the allocation side of the gate fails. Counts
+// are nearly deterministic, but parallel fan-out (par.ForEach) adds a
+// few scheduling-dependent allocations per call.
+const smokeAllocSlack = 16.0
+
 // smokeAttempts bounds how many times -smoke re-measures before
 // declaring a regression. Scheduler noise only ever inflates a timing,
 // so the per-op minimum over a few passes is the honest number; a real
@@ -33,40 +48,106 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp      = flag.String("e", "", "run a single experiment (E1..E12); empty = all")
-		games    = flag.Int("games", 1, "games per configuration in E5")
-		baseline = flag.String("baseline", "", "write a JSON snapshot of the E11+E12 fast-path timings to this path (skips the table run)")
-		smoke    = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
+		exp        = flag.String("e", "", "run a single experiment (E1..E13); empty = all")
+		games      = flag.Int("games", 1, "games per configuration in E5")
+		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
+		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
+		pipeline   = flag.Bool("pipeline", false, "drive the batched decryption pipeline and report req/s with p50/p99 latency")
+		workers    = flag.String("workers", "1,2,4", "comma-separated worker counts for -pipeline")
+		reqs       = flag.Int("reqs", 128, "total decryption requests per -pipeline point")
+		batchSize  = flag.Int("batch", 16, "requests per RunDecBatch call in -pipeline")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	flag.Parse()
 
-	if *baseline != "" {
-		if err := writeBaseline(*baseline); err != nil {
-			log.Fatal(err)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	if *smoke != "" {
-		if err := runSmoke(*smoke); err != nil {
-			log.Fatal(err)
-		}
-		return
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
+
+	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize); err != nil {
+		// log.Fatal would skip the profile-writing defers above.
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize int) error {
+	switch {
+	case baseline != "":
+		return writeBaseline(baseline)
+	case smoke != "":
+		return runSmoke(smoke)
+	case pipeline:
+		return runPipeline(workers, reqs, batchSize)
 	}
 
 	start := time.Now()
-	tables, err := bench.Run(*exp, *games)
+	tables, err := bench.Run(exp, games)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, t := range tables {
 		fmt.Println(t.Format())
 	}
 	fmt.Printf("total: %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runPipeline sweeps the batched decryption pipeline across the
+// requested worker counts and prints the req/s-vs-workers curve.
+func runPipeline(workers string, reqs, batchSize int) error {
+	fmt.Printf("batched decryption pipeline: %d requests per point, batch=%d, GOMAXPROCS=%d\n",
+		reqs, batchSize, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s  %10s  %12s  %12s\n", "workers", "req/s", "p50", "p99")
+	var base float64
+	for _, field := range strings.Split(workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("pipeline: bad -workers entry %q: %w", field, err)
+		}
+		pt, err := bench.DecPipeline(w, reqs, batchSize)
+		if err != nil {
+			return err
+		}
+		scale := ""
+		if base == 0 {
+			base = pt.ReqPerSec
+		} else {
+			scale = fmt.Sprintf("  (%.2fx vs 1 worker)", pt.ReqPerSec/base)
+		}
+		fmt.Printf("%-8d  %10.1f  %12s  %12s%s\n",
+			pt.Workers, pt.ReqPerSec, pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond), scale)
+	}
+	return nil
 }
 
 // allMeasurements gathers every fast-path timing pair: the E11 set
-// (wNAF vs reference ladder, multi-pairing, transport) and the E12 set
-// (GLV/GLS vs wNAF, pairing tables vs cold Miller loops).
+// (wNAF vs reference ladder, multi-pairing, transport), the E12 set
+// (GLV/GLS vs wNAF, pairing tables vs cold Miller loops) and the E13
+// set (Pippenger vs Straus, lazy tower vs reducing twins, batched vs
+// per-request decryption).
 func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	meas, err := bench.FastPathMeasurements()
 	if err != nil {
@@ -76,7 +157,11 @@ func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(meas, endo...), nil
+	thr, err := bench.E13Measurements()
+	if err != nil {
+		return nil, err
+	}
+	return append(append(meas, endo...), thr...), nil
 }
 
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so
@@ -99,13 +184,25 @@ func writeBaseline(path string) error {
 	return nil
 }
 
+// allocRegressed reports whether the measured allocs/op regressed
+// against the baseline beyond tolerance. A zero baseline value means
+// the baseline predates allocation tracking — skip the check.
+func allocRegressed(cur, base bench.FastPathMeasurement) bool {
+	if base.FastAllocsPerOp <= 0 {
+		return false
+	}
+	return cur.FastAllocsPerOp > base.FastAllocsPerOp*smokeTolerance+smokeAllocSlack
+}
+
 // runSmoke re-times every hot operation and fails if any fast path runs
-// more than smokeTolerance× slower than the committed baseline. When an
-// op looks regressed, the whole suite is re-measured (up to
-// smokeAttempts passes) and the per-op minimum is kept, so one-off
-// scheduler stalls on a busy box do not fail the gate. Ops present on
-// only one side are reported but do not fail the run (the baseline may
-// predate a newly added op, or an op may have been retired).
+// more than smokeTolerance× slower — or allocates more than
+// smokeTolerance× + smokeAllocSlack more per op — than the committed
+// baseline. When an op looks regressed, the whole suite is re-measured
+// (up to smokeAttempts passes) and the per-op minimum is kept, so
+// one-off scheduler stalls on a busy box do not fail the gate. Ops
+// present on only one side are reported but do not fail the run (the
+// baseline may predate a newly added op, or an op may have been
+// retired).
 func runSmoke(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -126,7 +223,8 @@ func runSmoke(path string) error {
 	}
 	over := func() bool {
 		for _, m := range cur {
-			if b, ok := baseByOp[m.Op]; ok && m.FastNsPerOp > b.FastNsPerOp*smokeTolerance {
+			if b, ok := baseByOp[m.Op]; ok &&
+				(m.FastNsPerOp > b.FastNsPerOp*smokeTolerance || allocRegressed(m, b)) {
 				return true
 			}
 		}
@@ -143,8 +241,15 @@ func runSmoke(path string) error {
 			byOp[m.Op] = m
 		}
 		for i, m := range cur {
-			if a, ok := byOp[m.Op]; ok && a.FastNsPerOp < m.FastNsPerOp {
-				cur[i] = a
+			a, ok := byOp[m.Op]
+			if !ok {
+				continue
+			}
+			if a.FastNsPerOp < m.FastNsPerOp {
+				cur[i].FastNsPerOp = a.FastNsPerOp
+			}
+			if a.FastAllocsPerOp < m.FastAllocsPerOp {
+				cur[i].FastAllocsPerOp = a.FastAllocsPerOp
 			}
 		}
 	}
@@ -152,7 +257,7 @@ func runSmoke(path string) error {
 	for _, m := range cur {
 		b, ok := baseByOp[m.Op]
 		if !ok {
-			fmt.Printf("  new   %-34s %10.0f ns/op (not in baseline)\n", m.Op, m.FastNsPerOp)
+			fmt.Printf("  new   %-44s %10.0f ns/op (not in baseline)\n", m.Op, m.FastNsPerOp)
 			continue
 		}
 		delete(baseByOp, m.Op)
@@ -161,12 +266,15 @@ func runSmoke(path string) error {
 		if ratio > smokeTolerance {
 			status = "REGR  "
 			failed++
+		} else if allocRegressed(m, b) {
+			status = "ALLOC "
+			failed++
 		}
-		fmt.Printf("  %s%-34s %10.0f ns/op vs baseline %10.0f (%.2fx)\n",
-			status, m.Op, m.FastNsPerOp, b.FastNsPerOp, ratio)
+		fmt.Printf("  %s%-44s %10.0f ns/op vs baseline %10.0f (%.2fx), %.0f allocs/op vs %.0f\n",
+			status, m.Op, m.FastNsPerOp, b.FastNsPerOp, ratio, m.FastAllocsPerOp, b.FastAllocsPerOp)
 	}
 	for op := range baseByOp {
-		fmt.Printf("  gone  %-34s (in baseline but no longer measured)\n", op)
+		fmt.Printf("  gone  %-44s (in baseline but no longer measured)\n", op)
 	}
 	if failed > 0 {
 		return fmt.Errorf("smoke: %d hot operation(s) regressed more than %.0f%% vs %s",

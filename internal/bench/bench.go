@@ -64,9 +64,18 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-// ms renders a duration in milliseconds with sensible precision.
+// ms renders a duration with sensible precision: milliseconds for
+// protocol-scale timings, dropping to µs/ns for the field-arithmetic
+// rows that would otherwise print as 0.00ms.
 func ms(d time.Duration) string {
-	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
 }
 
 // timeIt runs f once and returns its wall-clock duration.

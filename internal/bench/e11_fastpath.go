@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"runtime"
 	"time"
 
 	"repro/internal/bn254"
@@ -30,6 +31,51 @@ type FastPathMeasurement struct {
 	FastNsPerOp float64 `json:"fast_ns_per_op"`
 	// Speedup is RefNsPerOp / FastNsPerOp.
 	Speedup float64 `json:"speedup"`
+	// RefAllocsPerOp and FastAllocsPerOp are mean heap allocations per
+	// evaluation, measured in a separate (untimed) pass. The smoke gate
+	// checks FastAllocsPerOp alongside FastNsPerOp so an accidental
+	// allocation regression in a hot loop fails CI even when the box is
+	// too noisy for the timing check to catch it.
+	RefAllocsPerOp  float64 `json:"ref_allocs_per_op"`
+	FastAllocsPerOp float64 `json:"fast_allocs_per_op"`
+}
+
+// allocsN returns the mean number of heap allocations per call of f
+// over n calls (global Mallocs delta — run on a quiet process).
+func allocsN(f func(), n int) float64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// measureOps times (and counts allocations for) every op pair.
+func measureOps(ops []fpOp) []FastPathMeasurement {
+	out := make([]FastPathMeasurement, 0, len(ops))
+	for _, op := range ops {
+		// Drain garbage left by earlier ops so a collection triggered
+		// mid-measurement doesn't blur the ref/fast contrast.
+		runtime.GC()
+		refNs := timeN(op.ref, op.iters)
+		fastNs := timeN(op.fast, op.iters)
+		n := op.iters
+		if n > 20 {
+			n = 20 // allocation counts are deterministic; cap the pass
+		}
+		out = append(out, FastPathMeasurement{
+			Op:              op.name,
+			Iters:           op.iters,
+			RefNsPerOp:      refNs,
+			FastNsPerOp:     fastNs,
+			Speedup:         refNs / fastNs,
+			RefAllocsPerOp:  allocsN(op.ref, n),
+			FastAllocsPerOp: allocsN(op.fast, n),
+		})
+	}
+	return out
 }
 
 type fpOp struct {
@@ -161,22 +207,12 @@ func FastPathMeasurements() ([]FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]FastPathMeasurement, 0, len(ops))
 	for _, op := range ops {
 		// Warm up once so lazy fixed-base table construction is not
 		// charged to the timed iterations.
 		op.fast()
-		refNs := timeN(op.ref, op.iters)
-		fastNs := timeN(op.fast, op.iters)
-		out = append(out, FastPathMeasurement{
-			Op:          op.name,
-			Iters:       op.iters,
-			RefNsPerOp:  refNs,
-			FastNsPerOp: fastNs,
-			Speedup:     refNs / fastNs,
-		})
 	}
-	return out, nil
+	return measureOps(ops), nil
 }
 
 // E11FastPath regenerates the fast-path-vs-reference speedup table.

@@ -97,23 +97,13 @@ func EndoMeasurements() ([]FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]FastPathMeasurement, 0, len(ops))
 	for _, op := range ops {
 		// Warm up both sides once so one-time lazy setup (endomorphism
 		// constants, fixed-base tables) is not charged to the timings.
 		op.ref()
 		op.fast()
-		refNs := timeN(op.ref, op.iters)
-		fastNs := timeN(op.fast, op.iters)
-		out = append(out, FastPathMeasurement{
-			Op:          op.name,
-			Iters:       op.iters,
-			RefNsPerOp:  refNs,
-			FastNsPerOp: fastNs,
-			Speedup:     refNs / fastNs,
-		})
 	}
-	return out, nil
+	return measureOps(ops), nil
 }
 
 // E12Endo regenerates the endomorphism-vs-wNAF / table-vs-cold-pairing

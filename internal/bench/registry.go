@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E12 in order. attackGames
+// Experiments returns the full registry E1–E13 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -27,6 +27,7 @@ func Experiments(attackGames int) []struct {
 		{"E10", E10Ablations},
 		{"E11", E11FastPath},
 		{"E12", E12Endo},
+		{"E13", E13Throughput},
 	}
 }
 

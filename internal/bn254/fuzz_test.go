@@ -1,0 +1,50 @@
+package bn254
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// FuzzMultiExp differentially tests the Pippenger bucket method against
+// the Straus tier on fuzz-chosen term counts, scalars, and repeated /
+// negated / identity points. The point set is derived deterministically
+// from the scalar material so the corpus stays compact.
+func FuzzMultiExp(f *testing.F) {
+	f.Add(uint8(1), make([]byte, 32), false)
+	f.Add(uint8(17), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, true)
+	f.Add(uint8(64), ff.Order().Bytes(), false)
+	f.Fuzz(func(t *testing.T, n uint8, seed []byte, withEdge bool) {
+		terms := int(n%24) + 1
+		if len(seed) == 0 {
+			seed = []byte{0}
+		}
+		pts := make([]*G1, terms)
+		es := make([]*big.Int, terms)
+		for i := 0; i < terms; i++ {
+			// Rotate the seed so every term sees different material.
+			off := (i * 7) % len(seed)
+			chunk := append(append([]byte{}, seed[off:]...), seed[:off]...)
+			e := new(big.Int).SetBytes(chunk)
+			e.Mod(e, new(big.Int).Lsh(ff.Order(), 1)) // exercise ≥r inputs too
+			es[i] = e
+			k := new(big.Int).Add(e, big.NewInt(int64(i)+1))
+			pts[i] = new(G1).ScalarBaseMult(k)
+		}
+		if withEdge && terms >= 3 {
+			pts[0].SetInfinity()
+			es[1] = big.NewInt(0)
+			pts[2] = new(G1).Neg(pts[terms-1])
+			es[2] = new(big.Int).Set(es[terms-1])
+		}
+		want := G1MultiScalarMult(pts, es)
+		got := G1MultiExpPippenger(pts, es)
+		if !got.Equal(want) {
+			t.Fatalf("Pippenger diverged from Straus: terms=%d", terms)
+		}
+		if d := G1MultiExp(pts, es); !d.Equal(want) {
+			t.Fatalf("dispatcher diverged: terms=%d", terms)
+		}
+	})
+}

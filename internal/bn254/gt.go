@@ -121,16 +121,36 @@ func (z *GT) IsInSubgroup() bool {
 	return t.IsOne()
 }
 
-// GTMultiExp computes Π as[i]^ks[i] with one shared squaring chain
-// (Straus interleaving, radix-16 windows): an n-term product costs one
-// exponentiation's squarings plus n·(bits/4) multiplications instead
-// of n full exponentiations. Exponents are reduced mod r, matching
-// Exp. Cyclotomic squarings are used when every base passes
-// IsCyclotomic. Panics if the slice lengths differ.
+// GTMultiExp computes Π as[i]^ks[i], dispatching by size like
+// G1MultiExp: below gtPippengerCrossover terms it runs the shared
+// Straus chain (gtMultiExpStraus); at or above it, and when every base
+// is cyclotomic (so inversion is a free conjugation), it switches to
+// the bucket method (gtMultiExpPippenger). Panics if the slice lengths
+// differ.
 func GTMultiExp(as []*GT, ks []*big.Int) *GT {
 	if len(as) != len(ks) {
 		panic("bn254: GTMultiExp: mismatched lengths")
 	}
+	if len(as) >= gtPippengerCrossover {
+		if out := gtMultiExpPippenger(as, ks); out != nil {
+			return out
+		}
+	}
+	return gtMultiExpStraus(as, ks)
+}
+
+// gtPippengerCrossover is the term count where the bucket method's
+// windows·(n + 2^c) multiplications undercut Straus' ~(15 + 64)·n
+// (15-entry table build plus one mul per radix-16 window); the cost
+// model in docs/ARCHITECTURE.md puts the break-even near 64 terms.
+const gtPippengerCrossover = 64
+
+// gtMultiExpStraus is the Straus tier: one shared squaring chain over
+// per-term radix-16 tables (an n-term product costs one
+// exponentiation's squarings plus n·(15 + bits/4) multiplications),
+// with cyclotomic squarings when every base passes IsCyclotomic.
+// Exponents are reduced mod r, matching Exp.
+func gtMultiExpStraus(as []*GT, ks []*big.Int) *GT {
 	type term struct {
 		tbl [15]ff.Fp12 // tbl[d-1] = base^d
 		e   *big.Int
@@ -183,6 +203,112 @@ func GTMultiExp(as []*GT, ks []*big.Int) *GT {
 			if d != 0 {
 				acc.Mul(acc, &t.tbl[d-1])
 			}
+		}
+	}
+	return out
+}
+
+// gtMultiExpPippenger is the bucket-method tier for GT: signed
+// radix-2^c digits (pippenger.go) index 2^(c−1) Fp12 buckets per
+// window — negative digits multiply by the conjugate, which inverts
+// cyclotomic elements for free — and each window folds by running
+// suffix products. No table build and one multiplication per non-zero
+// digit, so windows·(n + 2^c) multiplications total. Returns nil if
+// any base is outside the cyclotomic subgroup (conjugation would not
+// be an inversion there); the dispatcher then falls back to Straus.
+func gtMultiExpPippenger(as []*GT, ks []*big.Int) *GT {
+	bases := make([]ff.Fp12, 0, len(as))
+	es := make([]*big.Int, 0, len(as))
+	maxBits := 1
+	for i := range as {
+		e := new(big.Int).Mod(ks[i], ff.Order())
+		if e.Sign() == 0 || as[i].IsOne() {
+			continue
+		}
+		if !as[i].v.IsCyclotomic() {
+			return nil
+		}
+		bases = append(bases, as[i].v)
+		es = append(es, e)
+		if e.BitLen() > maxBits {
+			maxBits = e.BitLen()
+		}
+	}
+	out := GTOne()
+	if len(bases) == 0 {
+		return out
+	}
+	// The GT cost model weighs bucket muls against fold muls 1:1, so
+	// the optimal c is ~log2(n): one size class up from the elliptic
+	// case, where fold adds are ~3× pricier than bucket adds.
+	c := pippengerWindow(len(bases)) + 1
+	windows := maxBits/c + 2
+	digits := pippengerDigits(es, c, windows)
+
+	conjs := make([]ff.Fp12, len(bases))
+	for i := range bases {
+		conjs[i].Conjugate(&bases[i])
+	}
+	nb := 1 << (c - 1)
+	buckets := make([]ff.Fp12, nb)
+	used := make([]bool, nb)
+	acc := &out.v
+	for w := windows - 1; w >= 0; w-- {
+		if w != windows-1 {
+			for s := 0; s < c; s++ {
+				acc.CyclotomicSquare(acc)
+			}
+		}
+		for i := range used {
+			used[i] = false
+		}
+		any := false
+		for i := range bases {
+			d := digits[i*windows+w]
+			if d == 0 {
+				continue
+			}
+			any = true
+			var b int32
+			var src *ff.Fp12
+			if d > 0 {
+				b, src = d-1, &bases[i]
+			} else {
+				b, src = -d-1, &conjs[i]
+			}
+			if !used[b] {
+				buckets[b].Set(src)
+				used[b] = true
+			} else {
+				buckets[b].Mul(&buckets[b], src)
+			}
+		}
+		if !any {
+			continue
+		}
+		// Fold: Π bucket[b]^(b+1) via running suffix products.
+		var running, sum ff.Fp12
+		haveRunning, haveSum := false, false
+		for b := nb - 1; b >= 0; b-- {
+			if used[b] {
+				if !haveRunning {
+					running.Set(&buckets[b])
+					haveRunning = true
+				} else {
+					running.Mul(&running, &buckets[b])
+				}
+			}
+			if haveRunning {
+				if !haveSum {
+					sum.Set(&running)
+					haveSum = true
+				} else {
+					sum.Mul(&sum, &running)
+				}
+			}
+		}
+		if haveSum {
+			acc.Mul(acc, &sum)
 		}
 	}
 	return out

@@ -1,0 +1,203 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// randG1Set returns n random points with n random full-width scalars.
+func randG1Set(t testing.TB, n int) ([]*G1, []*big.Int) {
+	t.Helper()
+	pts := make([]*G1, n)
+	es := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		k, err := rand.Int(rand.Reader, ff.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = new(G1).ScalarBaseMult(k)
+		e, err := rand.Int(rand.Reader, ff.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		es[i] = e
+	}
+	return pts, es
+}
+
+func randG2Set(t testing.TB, n int) ([]*G2, []*big.Int) {
+	t.Helper()
+	pts := make([]*G2, n)
+	es := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		k, err := rand.Int(rand.Reader, ff.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = new(G2).ScalarBaseMult(k)
+		e, err := rand.Int(rand.Reader, ff.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		es[i] = e
+	}
+	return pts, es
+}
+
+func TestPippengerMatchesStrausG1(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 64} {
+		pts, es := randG1Set(t, n)
+		want := G1MultiScalarMult(pts, es)
+		got := G1MultiExpPippenger(pts, es)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: Pippenger %v != Straus %v", n, got, want)
+		}
+		if d := G1MultiExp(pts, es); !d.Equal(want) {
+			t.Fatalf("n=%d: dispatcher diverged", n)
+		}
+	}
+}
+
+func TestPippengerMatchesStrausG2(t *testing.T) {
+	for _, n := range []int{1, 3, 16, 40} {
+		pts, es := randG2Set(t, n)
+		want := G2MultiScalarMult(pts, es)
+		got := G2MultiExpPippenger(pts, es)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: Pippenger %v != Straus %v", n, got, want)
+		}
+		if d := G2MultiExp(pts, es); !d.Equal(want) {
+			t.Fatalf("n=%d: dispatcher diverged", n)
+		}
+	}
+}
+
+func TestPippengerEdgeCases(t *testing.T) {
+	// Empty input.
+	if out := G1MultiExpPippenger(nil, nil); !out.IsInfinity() {
+		t.Fatal("empty multi-exp should be infinity")
+	}
+	// Zero scalars and infinity points are skipped.
+	pts, es := randG1Set(t, 20)
+	es[3] = big.NewInt(0)
+	pts[7] = new(G1).SetInfinity()
+	es[12] = new(big.Int).Set(ff.Order()) // ≡ 0 mod r
+	want := G1MultiScalarMult(pts, es)
+	if got := G1MultiExpPippenger(pts, es); !got.Equal(want) {
+		t.Fatalf("zero/infinity handling diverged: %v != %v", got, want)
+	}
+	// Repeated points (forces bucket doublings) and paired P, −P
+	// (forces bucket cancellation).
+	n := 24
+	pts2, es2 := randG1Set(t, n)
+	for i := 0; i < n/2; i++ {
+		pts2[2*i+1] = new(G1).Set(pts2[2*i])
+		es2[2*i+1] = new(big.Int).Set(es2[2*i])
+	}
+	pts2[5] = new(G1).Neg(pts2[4])
+	es2[5] = new(big.Int).Set(es2[4])
+	want = G1MultiScalarMult(pts2, es2)
+	if got := G1MultiExpPippenger(pts2, es2); !got.Equal(want) {
+		t.Fatalf("repeated/negated points diverged: %v != %v", got, want)
+	}
+	// Tiny scalars exercise short digit vectors.
+	pts3, _ := randG1Set(t, 18)
+	es3 := make([]*big.Int, 18)
+	for i := range es3 {
+		es3[i] = big.NewInt(int64(i))
+	}
+	want = G1MultiScalarMult(pts3, es3)
+	if got := G1MultiExpPippenger(pts3, es3); !got.Equal(want) {
+		t.Fatalf("small scalars diverged: %v != %v", got, want)
+	}
+}
+
+func TestPippengerDigitsReconstruct(t *testing.T) {
+	// The signed digits must satisfy e = Σ d_w · 2^(cw).
+	for _, c := range []int{3, 4, 5, 6, 7, 8} {
+		for i := 0; i < 20; i++ {
+			e, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 130))
+			if err != nil {
+				t.Fatal(err)
+			}
+			windows := e.BitLen()/c + 2
+			digits := pippengerDigits([]*big.Int{e}, c, windows)
+			got := new(big.Int)
+			for w := windows - 1; w >= 0; w-- {
+				got.Lsh(got, uint(c))
+				got.Add(got, big.NewInt(int64(digits[w])))
+			}
+			if got.Cmp(e) != 0 {
+				t.Fatalf("c=%d: digits reconstruct %v, want %v", c, got, e)
+			}
+			half := int32(1) << (c - 1)
+			for _, d := range digits {
+				if d < -half || d > half {
+					t.Fatalf("c=%d: digit %d out of range", c, d)
+				}
+			}
+		}
+	}
+}
+
+func TestGTPippengerMatchesStraus(t *testing.T) {
+	g := GTGenerator()
+	for _, n := range []int{4, 64, 100} {
+		as := make([]*GT, n)
+		ks := make([]*big.Int, n)
+		for i := 0; i < n; i++ {
+			k, err := rand.Int(rand.Reader, ff.Order())
+			if err != nil {
+				t.Fatal(err)
+			}
+			as[i] = new(GT).Exp(g, k)
+			e, err := rand.Int(rand.Reader, ff.Order())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks[i] = e
+		}
+		ks[0] = big.NewInt(0) // exercise skipped terms
+		want := gtMultiExpStraus(as, ks)
+		got := gtMultiExpPippenger(as, ks)
+		if got == nil || !got.Equal(want) {
+			t.Fatalf("n=%d: GT Pippenger diverged from Straus", n)
+		}
+		if d := GTMultiExp(as, ks); !d.Equal(want) {
+			t.Fatalf("n=%d: GT dispatcher diverged", n)
+		}
+	}
+	// Non-cyclotomic bases must force the Straus fallback.
+	raw, err := ff.RandFp12(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := &GT{}
+	nc.v.Set(raw)
+	as := []*GT{nc, nc}
+	ks := []*big.Int{big.NewInt(3), big.NewInt(5)}
+	if out := gtMultiExpPippenger(as, ks); out != nil {
+		t.Fatal("gtMultiExpPippenger should refuse non-cyclotomic bases")
+	}
+	want := gtMultiExpStraus(as, ks)
+	if d := GTMultiExp(as, ks); !d.Equal(want) {
+		t.Fatal("GT dispatcher wrong on non-cyclotomic bases")
+	}
+}
+
+func BenchmarkMultiExp64G1(b *testing.B) {
+	pts, es := randG1Set(b, 64)
+	b.Run("straus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			G1MultiScalarMult(pts, es)
+		}
+	})
+	b.Run("pippenger", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			G1MultiExpPippenger(pts, es)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package dlr
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/opcount"
+	"repro/internal/params"
+)
+
+// encryptBatch produces k fresh message/ciphertext pairs under pk.
+func encryptBatch(t *testing.T, pk *PublicKey, k int) ([]*bn254.GT, []*Ciphertext) {
+	t.Helper()
+	ms := make([]*bn254.GT, k)
+	cs := make([]*Ciphertext, k)
+	for i := 0; i < k; i++ {
+		m, err := RandMessage(rand.Reader, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Encrypt(rand.Reader, pk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i], cs[i] = m, c
+	}
+	return ms, cs
+}
+
+func TestDecryptBatch(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		pk, p1, p2 := genTest(t, mode)
+		ms, cs := encryptBatch(t, pk, 5)
+		got, stats, err := DecryptBatch(p1, p2, cs)
+		if err != nil {
+			t.Fatalf("mode %v: DecryptBatch: %v", mode, err)
+		}
+		if len(got) != len(cs) {
+			t.Fatalf("mode %v: got %d messages, want %d", mode, len(got), len(cs))
+		}
+		for i := range got {
+			if !got[i].Equal(ms[i]) {
+				t.Fatalf("mode %v: batch message %d wrong", mode, i)
+			}
+		}
+		if stats.BytesP1 == 0 || stats.BytesP2 == 0 {
+			t.Fatalf("mode %v: batch transcript empty", mode)
+		}
+	}
+}
+
+func TestDecryptBatchMatchesDecrypt(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	ms, cs := encryptBatch(t, pk, 3)
+	batch, _, err := DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cs {
+		single, _, err := Decrypt(rand.Reader, p1, p2, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !single.Equal(batch[i]) {
+			t.Fatalf("request %d: batch and per-request protocols disagree", i)
+		}
+		if !single.Equal(ms[i]) {
+			t.Fatalf("request %d: wrong message", i)
+		}
+	}
+}
+
+func TestDecryptBatchAcrossRefresh(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	ms, cs := encryptBatch(t, pk, 2)
+	if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if err := p1.BeginPeriod(rand.Reader); err != nil {
+		t.Fatalf("BeginPeriod: %v", err)
+	}
+	got, _, err := DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !got[i].Equal(ms[i]) {
+			t.Fatalf("post-refresh batch message %d wrong", i)
+		}
+	}
+}
+
+func TestDecryptBatchEmptyAndNil(t *testing.T) {
+	_, p1, p2 := genTest(t, params.ModeOptimalRate)
+	got, stats, err := DecryptBatch(p1, p2, nil)
+	if err != nil || got != nil || stats == nil {
+		t.Fatalf("empty batch: got=%v stats=%v err=%v", got, stats, err)
+	}
+	if _, _, err := DecryptBatch(p1, p2, []*Ciphertext{nil}); err == nil {
+		t.Fatal("nil ciphertext should be rejected")
+	}
+}
+
+func TestDecryptBatchOpCounts(t *testing.T) {
+	ctrP1, ctrP2 := opcount.New(), opcount.New()
+	pk, p1, p2, err := Gen(rand.Reader, testParams(t), WithCounters(ctrP1, ctrP2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, cs := encryptBatch(t, pk, 4)
+	ctrP1.Reset()
+	ctrP2.Reset()
+	got, _, err := DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !got[i].Equal(ms[i]) {
+			t.Fatalf("message %d wrong", i)
+		}
+	}
+	prm := p1.Params()
+	// P1 pays κ+1 pairings per request (the shared-final-exp product
+	// still reports the naive pairing count) plus the κ key-fold G2 exps.
+	wantPair := int64(len(cs) * (prm.Kappa + 1))
+	if n := ctrP1.Get(opcount.Pairing); n != wantPair {
+		t.Fatalf("P1 pairings = %d, want %d", n, wantPair)
+	}
+	if n := ctrP1.Get(opcount.G2Exp); n != int64(prm.Kappa) {
+		t.Fatalf("P1 G2 exps = %d, want %d", n, prm.Kappa)
+	}
+	// P2's single LinComb reports ℓ+1 exponentiations per coordinate
+	// through the group adapters.
+	if n := ctrP2.Get(opcount.G2Exp); n != int64((prm.Ell+1)*(prm.Kappa+1)) {
+		t.Fatalf("P2 G2 exps = %d, want %d", n, (prm.Ell+1)*(prm.Kappa+1))
+	}
+}

@@ -19,6 +19,9 @@ const (
 	kindDec2 = "dlr.dec2" // P2 → P1: c'                 (GT ciphertext)
 	kindRef1 = "dlr.ref1" // P1 → P2: (f1,f'1),…,(fℓ,f'ℓ), fΦ (G2 ciphertexts)
 	kindRef2 = "dlr.ref2" // P2 → P1: f                  (G2 ciphertext)
+
+	kindDecB1 = "dlr.decb1" // P1 → P2: f1,…,fℓ, fΦ      (G2 ciphertexts, batch mode)
+	kindDecB2 = "dlr.decb2" // P2 → P1: u = Π fᵢ^sᵢ / fΦ (G2 ciphertext, batch mode)
 )
 
 // RunDec executes P1's side of the decryption protocol for ciphertext
@@ -227,6 +230,8 @@ func (p *P2) Serve(ch device.Channel) error {
 	switch msg.Kind {
 	case kindDec1:
 		reply, err = p.handleDec1(msg)
+	case kindDecB1:
+		reply, err = p.handleDecB1(msg)
 	case kindRef1:
 		reply, err = p.handleRef1(msg)
 	default:

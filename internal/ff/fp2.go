@@ -93,31 +93,24 @@ func (z *Fp2) Neg(x *Fp2) *Fp2 {
 func (z *Fp2) Double(x *Fp2) *Fp2 { return z.Add(x, x) }
 
 // Mul sets z = x·y and returns z.
+//
+// Uses the lazy-reduction Karatsuba schedule from lazy.go: three
+// double-width limb products combined unreduced and two Montgomery
+// reductions, instead of the four interleaved multiply-reduce rounds of
+// the schoolbook formula (kept as fp2MulGeneric, the differential twin).
+// Operand coefficients may be one unreduced addition deep (< 2p); the
+// result is always fully reduced.
 func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
-	// (a0 + a1 i)(b0 + b1 i) = a0b0 − a1b1 + (a0b1 + a1b0) i.
-	var t0, t1, r0, r1 Fp
-	t0.Mul(&x.C0, &y.C0)
-	t1.Mul(&x.C1, &y.C1)
-	r0.Sub(&t0, &t1)
-	var u0, u1 Fp
-	u0.Mul(&x.C0, &y.C1)
-	u1.Mul(&x.C1, &y.C0)
-	r1.Add(&u0, &u1)
-	z.C0.Set(&r0)
-	z.C1.Set(&r1)
+	fp2MulLazy(z, x, y)
 	return z
 }
 
 // Square sets z = x² and returns z using complex squaring
-// ((a+bi)² = (a+b)(a−b) + 2ab·i), two base-field multiplications instead
-// of the three a generic Mul performs.
+// ((a+bi)² = (a+b)(a−b) + 2ab·i) on double-width products: two wide
+// multiplications and two Montgomery reductions (lazy.go), with
+// fp2SquareGeneric retained as the differential twin.
 func (z *Fp2) Square(x *Fp2) *Fp2 {
-	var sum, diff, prod Fp
-	sum.Add(&x.C0, &x.C1)
-	diff.Sub(&x.C0, &x.C1)
-	prod.Mul(&x.C0, &x.C1)
-	z.C0.Mul(&sum, &diff)
-	z.C1.Double(&prod)
+	fp2SquareLazy(z, x)
 	return z
 }
 

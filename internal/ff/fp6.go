@@ -91,7 +91,13 @@ func (z *Fp6) Neg(x *Fp6) *Fp6 {
 	return z
 }
 
-// Mul sets z = x·y and returns z (schoolbook with the v³ = ξ reduction).
+// Mul sets z = x·y and returns z (Karatsuba with the v³ = ξ reduction).
+//
+// The Karatsuba operand sums (a_i + a_j) are formed without the trailing
+// conditional subtraction (fp2AddNoRed): the lazy Fp2 mul accepts
+// coefficients up to 2p, so one level of unreduced additions is free.
+// Differentially tested against fp6MulGeneric, the fully reducing
+// schoolbook twin.
 func (z *Fp6) Mul(x, y *Fp6) *Fp6 {
 	var t0, t1, t2 Fp2
 	t0.Mul(&x.C0, &y.C0)
@@ -100,8 +106,8 @@ func (z *Fp6) Mul(x, y *Fp6) *Fp6 {
 
 	// c0 = t0 + ξ·((a1+a2)(b1+b2) − t1 − t2)
 	var r0, s, u Fp2
-	s.Add(&x.C1, &x.C2)
-	u.Add(&y.C1, &y.C2)
+	fp2AddNoRed(&s, &x.C1, &x.C2)
+	fp2AddNoRed(&u, &y.C1, &y.C2)
 	r0.Mul(&s, &u)
 	r0.Sub(&r0, &t1)
 	r0.Sub(&r0, &t2)
@@ -110,8 +116,8 @@ func (z *Fp6) Mul(x, y *Fp6) *Fp6 {
 
 	// c1 = (a0+a1)(b0+b1) − t0 − t1 + ξ·t2
 	var r1 Fp2
-	s.Add(&x.C0, &x.C1)
-	u.Add(&y.C0, &y.C1)
+	fp2AddNoRed(&s, &x.C0, &x.C1)
+	fp2AddNoRed(&u, &y.C0, &y.C1)
 	r1.Mul(&s, &u)
 	r1.Sub(&r1, &t0)
 	r1.Sub(&r1, &t1)
@@ -121,8 +127,8 @@ func (z *Fp6) Mul(x, y *Fp6) *Fp6 {
 
 	// c2 = (a0+a2)(b0+b2) − t0 − t2 + t1
 	var r2 Fp2
-	s.Add(&x.C0, &x.C2)
-	u.Add(&y.C0, &y.C2)
+	fp2AddNoRed(&s, &x.C0, &x.C2)
+	fp2AddNoRed(&u, &y.C0, &y.C2)
 	r2.Mul(&s, &u)
 	r2.Sub(&r2, &t0)
 	r2.Sub(&r2, &t2)

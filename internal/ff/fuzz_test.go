@@ -1,0 +1,100 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+)
+
+// fpFromBytes derives a reduced field element from arbitrary fuzz
+// bytes (interpreted big-endian, reduced mod p).
+func fpFromBytes(b []byte) *Fp {
+	v := new(big.Int).SetBytes(b)
+	v.Mod(v, p)
+	return NewFp(v)
+}
+
+// fp2FromBytes splits b into two halves and derives one coefficient
+// from each.
+func fp2FromBytes(b []byte) *Fp2 {
+	h := len(b) / 2
+	return &Fp2{C0: *fpFromBytes(b[:h]), C1: *fpFromBytes(b[h:])}
+}
+
+// maybeUnreduce adds q to every coefficient sel has a bit set for,
+// producing the ≥p, <2p representations the lazy paths must accept.
+func maybeUnreduce(x *Fp2, sel byte) *Fp2 {
+	z := new(Fp2).Set(x)
+	cs := []*Fp{&z.C0, &z.C1}
+	for i, c := range cs {
+		if sel&(1<<i) != 0 {
+			var t [4]uint64
+			t = c.v
+			addNoRed4(&t, &t, &q)
+			c.v = t
+		}
+	}
+	return z
+}
+
+// FuzzFp2Mul differentially tests the lazy-reduction Fp2 multiplication
+// (and squaring) against the fully reducing generic twin, including on
+// unreduced (<2p) operand representations.
+func FuzzFp2Mul(f *testing.F) {
+	pm1 := new(big.Int).Sub(p, bigOne).Bytes()
+	f.Add(make([]byte, 128), byte(0))
+	f.Add(append(append([]byte{}, pm1...), pm1...), byte(3))
+	f.Add([]byte{1, 2, 3}, byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
+		if len(data) < 2 {
+			return
+		}
+		// The generic twin requires canonical (<p) limbs, so it runs on
+		// the reduced representatives while the lazy path additionally
+		// sees the unreduced (<2p) representations of the same values.
+		h := len(data) / 2
+		xr, yr := fp2FromBytes(data[:h]), fp2FromBytes(data[h:])
+		x := maybeUnreduce(xr, sel)
+		y := maybeUnreduce(yr, sel>>2)
+		var lazy, gen Fp2
+		fp2MulLazy(&lazy, x, y)
+		fp2MulGeneric(&gen, xr, yr)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("fp2MulLazy diverged: x=%v y=%v lazy=%v gen=%v", xr, yr, lazy, gen)
+		}
+		fp2SquareLazy(&lazy, x)
+		fp2SquareGeneric(&gen, xr)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("fp2SquareLazy diverged: x=%v lazy=%v gen=%v", xr, lazy, gen)
+		}
+	})
+}
+
+// FuzzFp6Mul differentially tests the lazy-fed Fp6 multiplication
+// (unreduced Karatsuba operand sums feeding the lazy Fp2 core) against
+// the fully reducing schoolbook twin.
+func FuzzFp6Mul(f *testing.F) {
+	pm1 := new(big.Int).Sub(p, bigOne).Bytes()
+	f.Add(make([]byte, 384))
+	var edge []byte
+	for i := 0; i < 12; i++ {
+		edge = append(edge, pm1...)
+	}
+	f.Add(edge)
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		sixth := len(data) / 6
+		var x, y Fp6
+		for i, c := range []*Fp2{&x.C0, &x.C1, &x.C2, &y.C0, &y.C1, &y.C2} {
+			c.Set(fp2FromBytes(data[i*sixth : (i+1)*sixth]))
+		}
+		var lazy, gen Fp6
+		lazy.Mul(&x, &y)
+		fp6MulGeneric(&gen, &x, &y)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("Fp6.Mul diverged from generic twin: x=%v y=%v", x, y)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package ff
+
+// Lazy-reduction tower arithmetic.
+//
+// The schoolbook Fp2 product performs four interleaved Montgomery
+// multiplications (montMul), each of which pays a full reduction. The
+// lazy schedule in this file instead computes plain double-width
+// 256×256→512-bit limb products (mulWide), adds and subtracts them while
+// still unreduced, and pays one Montgomery reduction (montRed512) per
+// *output* coefficient: a full Fp2 mul is three wide products plus two
+// reductions.
+//
+// Correctness rests on a headroom bound, asserted at init below next to
+// the no-carry CIOS precondition in fp.go:
+//
+//   p < 2^254  (equivalently q[3] < 2^62), which guarantees
+//     - sums of up to four unreduced residues (< 4p) fit in four limbs,
+//       so Karatsuba operand sums need no conditional subtraction;
+//     - every wide product of ≤2p-bounded operands (< 16p²) fits in
+//       eight limbs, so wide accumulators never overflow 512 bits.
+//
+// Subtractions of wide values are made non-negative by adding the
+// 512-bit constant 4p² (a multiple of p, so the residue is unchanged)
+// before subtracting; 4p² dominates any single wide product of reduced
+// operands and keeps the total below 8p² < 2^511.
+//
+// All entry points accept coefficients up to 2p — one unreduced addition
+// deep — and always produce fully reduced (< p) outputs. Fp6.Mul
+// exploits this by feeding its Karatsuba operand sums to the lazy Fp2
+// mul without reducing them first. Two levels of unreduced sums (< 4p
+// operands) would push products to 64p² > 2^512, so Fp12.Mul and
+// Fp6.Square keep their reducing adds.
+//
+// The schoolbook paths are retained as differential twins
+// (fp2MulGeneric, fp2SquareGeneric, fp6MulGeneric) and pinned to the
+// lazy paths by tests and the FuzzFp2Mul/FuzzFp6Mul fuzz targets.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Headroom assertion for the lazy-reduction schedule (see the package
+// comment above): p < 2^254 so 16p² < 2^512 and 4p < 2^256.
+var _ = func() bool {
+	if q[3] >= 1<<62 {
+		panic("ff: lazy reduction requires a modulus below 2^254")
+	}
+	bound := new(big.Int).Lsh(bigOne, 512)
+	worst := new(big.Int).Mul(p, p)
+	worst.Lsh(worst, 4) // 16p², the largest wide product: (4p)·(4p)
+	if worst.Cmp(bound) >= 0 {
+		panic("ff: lazy reduction headroom violated: 16p² ≥ 2^512")
+	}
+	return true
+}()
+
+// pSq4Wide is 4p² as a little-endian 512-bit limb vector: the offset
+// added before wide subtractions to keep accumulators non-negative
+// without changing the residue class.
+var pSq4Wide = func() [8]uint64 {
+	v := new(big.Int).Mul(p, p)
+	v.Lsh(v, 2)
+	var out [8]uint64
+	b := make([]byte, 64)
+	v.FillBytes(b)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			out[i] |= uint64(b[63-8*i-j]) << (8 * j)
+		}
+	}
+	return out
+}()
+
+// twoP4 is 2p as four limbs (2p < 2^255 by the headroom bound): the
+// offset used to keep four-limb differences of ≤2p operands non-negative.
+var twoP4 = toLimbs(new(big.Int).Lsh(p, 1))
+
+// addNoRed4 sets z = x + y without reducing. The caller guarantees
+// x + y < 2^256 (true whenever both operands are < 2p).
+func addNoRed4(z, x, y *[4]uint64) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], _ = bits.Add64(x[3], y[3], c)
+}
+
+// subNoRed4 sets z = x − y + 2p without reducing. For operands < 2p the
+// result is in (0, 4p) and the wraparound of the borrow against the
+// offset cancels exactly, so the four-limb value is the true integer.
+func subNoRed4(z, x, y *[4]uint64) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], _ = bits.Sub64(x[3], y[3], b)
+	var c uint64
+	z[0], c = bits.Add64(z[0], twoP4[0], 0)
+	z[1], c = bits.Add64(z[1], twoP4[1], c)
+	z[2], c = bits.Add64(z[2], twoP4[2], c)
+	z[3], _ = bits.Add64(z[3], twoP4[3], c)
+}
+
+// mulWide sets z = x·y as a full 512-bit product with no reduction,
+// unrolled schoolbook over the madd helpers from fp.go.
+func mulWide(z *[8]uint64, x, y *[4]uint64) {
+	var t [8]uint64
+	var c uint64
+
+	v := x[0]
+	c, t[0] = bits.Mul64(v, y[0])
+	c, t[1] = madd1(v, y[1], c)
+	c, t[2] = madd1(v, y[2], c)
+	t[4], t[3] = madd1(v, y[3], c)
+
+	v = x[1]
+	c, t[1] = madd1(v, y[0], t[1])
+	c, t[2] = madd2(v, y[1], t[2], c)
+	c, t[3] = madd2(v, y[2], t[3], c)
+	t[5], t[4] = madd2(v, y[3], t[4], c)
+
+	v = x[2]
+	c, t[2] = madd1(v, y[0], t[2])
+	c, t[3] = madd2(v, y[1], t[3], c)
+	c, t[4] = madd2(v, y[2], t[4], c)
+	t[6], t[5] = madd2(v, y[3], t[5], c)
+
+	v = x[3]
+	c, t[3] = madd1(v, y[0], t[3])
+	c, t[4] = madd2(v, y[1], t[4], c)
+	c, t[5] = madd2(v, y[2], t[5], c)
+	t[7], t[6] = madd2(v, y[3], t[6], c)
+
+	*z = t
+}
+
+// addWide sets z = z + x. The caller guarantees no 512-bit overflow
+// (all call sites stay below 8p² < 2^511).
+func addWide(z, x *[8]uint64) {
+	var c uint64
+	z[0], c = bits.Add64(z[0], x[0], 0)
+	z[1], c = bits.Add64(z[1], x[1], c)
+	z[2], c = bits.Add64(z[2], x[2], c)
+	z[3], c = bits.Add64(z[3], x[3], c)
+	z[4], c = bits.Add64(z[4], x[4], c)
+	z[5], c = bits.Add64(z[5], x[5], c)
+	z[6], c = bits.Add64(z[6], x[6], c)
+	z[7], _ = bits.Add64(z[7], x[7], c)
+}
+
+// subWide sets z = z − x. The caller guarantees z ≥ x (arranged by the
+// 4p² offset or by algebra, e.g. (a0+a1)(b0+b1) ≥ a0b0 + a1b1).
+func subWide(z, x *[8]uint64) {
+	var b uint64
+	z[0], b = bits.Sub64(z[0], x[0], 0)
+	z[1], b = bits.Sub64(z[1], x[1], b)
+	z[2], b = bits.Sub64(z[2], x[2], b)
+	z[3], b = bits.Sub64(z[3], x[3], b)
+	z[4], b = bits.Sub64(z[4], x[4], b)
+	z[5], b = bits.Sub64(z[5], x[5], b)
+	z[6], b = bits.Sub64(z[6], x[6], b)
+	z[7], _ = bits.Sub64(z[7], x[7], b)
+}
+
+// montRed512 sets z = t·2⁻²⁵⁶ mod p, fully reduced, for any 512-bit t.
+// This is the second half of Montgomery multiplication run on an
+// already-accumulated double-width value: four rounds of m = t[i]·(−p⁻¹)
+// followed by t += m·p·2^(64i) zero the low limbs, and the high half is
+// the result up to a few subtractions of p ((t + Σmp)/2²⁵⁶ < 2²⁵⁶ + p,
+// so the tail loop runs at most a handful of times). Clobbers t.
+func montRed512(z *[4]uint64, t *[8]uint64) {
+	var extra uint64 // 2^512 limb of the running accumulator
+	for i := 0; i < 4; i++ {
+		m := t[i] * qInvNeg
+		c := madd0(m, q[0], t[i])
+		c, t[i+1] = madd2(m, q[1], t[i+1], c)
+		c, t[i+2] = madd2(m, q[2], t[i+2], c)
+		c, t[i+3] = madd2(m, q[3], t[i+3], c)
+		var cr uint64
+		t[i+4], cr = bits.Add64(t[i+4], c, 0)
+		for k := i + 5; k < 8 && cr != 0; k++ {
+			t[k], cr = bits.Add64(t[k], 0, cr)
+		}
+		extra += cr
+	}
+	r := [4]uint64{t[4], t[5], t[6], t[7]}
+	for extra != 0 || geqQ(&r) {
+		var b uint64
+		r[0], b = bits.Sub64(r[0], q[0], 0)
+		r[1], b = bits.Sub64(r[1], q[1], b)
+		r[2], b = bits.Sub64(r[2], q[2], b)
+		r[3], b = bits.Sub64(r[3], q[3], b)
+		extra -= b
+	}
+	*z = r
+}
+
+// fp2MulLazy sets z = x·y by lazy-reduction Karatsuba: three wide
+// products, unreduced combination, and one Montgomery reduction per
+// output coefficient. Operand coefficients may be up to 2p; outputs are
+// fully reduced. Alias-safe.
+func fp2MulLazy(z, x, y *Fp2) {
+	var t0, t1, t2 [8]uint64
+	mulWide(&t0, &x.C0.v, &y.C0.v)
+	mulWide(&t1, &x.C1.v, &y.C1.v)
+	var sa, sb [4]uint64
+	addNoRed4(&sa, &x.C0.v, &x.C1.v)
+	addNoRed4(&sb, &y.C0.v, &y.C1.v)
+	mulWide(&t2, &sa, &sb)
+	// c1 = (a0+a1)(b0+b1) − a0b0 − a1b1, non-negative by algebra.
+	subWide(&t2, &t0)
+	subWide(&t2, &t1)
+	// c0 = a0b0 − a1b1, offset by 4p² ≡ 0 (mod p) to stay non-negative.
+	addWide(&t0, &pSq4Wide)
+	subWide(&t0, &t1)
+	montRed512(&z.C0.v, &t0)
+	montRed512(&z.C1.v, &t2)
+}
+
+// fp2SquareLazy sets z = x² by complex squaring on wide products:
+// c0 = (a0+a1)(a0−a1), c1 = 2·a0a1, two wide products and two
+// reductions. Operand coefficients may be up to 2p. Alias-safe.
+func fp2SquareLazy(z, x *Fp2) {
+	var sum, diff [4]uint64
+	addNoRed4(&sum, &x.C0.v, &x.C1.v)
+	subNoRed4(&diff, &x.C0.v, &x.C1.v)
+	var t0, t1 [8]uint64
+	mulWide(&t0, &sum, &diff)
+	mulWide(&t1, &x.C0.v, &x.C1.v)
+	addWide(&t1, &t1)
+	montRed512(&z.C0.v, &t0)
+	montRed512(&z.C1.v, &t1)
+}
+
+// fp2AddNoRed sets z = x + y coefficient-wise without the trailing
+// conditional subtraction. For reduced operands the result coefficients
+// are < 2p — exactly the bound the lazy mul and square accept. Only for
+// feeding fp2MulLazy/fp2SquareLazy; the result is NOT a valid Fp2 for
+// any other use (Equal/IsZero assume canonical limbs).
+func fp2AddNoRed(z, x, y *Fp2) {
+	addNoRed4(&z.C0.v, &x.C0.v, &y.C0.v)
+	addNoRed4(&z.C1.v, &x.C1.v, &y.C1.v)
+}
+
+// fp2MulGeneric is the schoolbook Fp2 product over four interleaved
+// Montgomery multiplications. Retained as the differential twin for
+// fp2MulLazy (tests and FuzzFp2Mul pin them together).
+func fp2MulGeneric(z, x, y *Fp2) {
+	var t0, t1, r0, r1 Fp
+	montMul(&t0.v, &x.C0.v, &y.C0.v)
+	montMul(&t1.v, &x.C1.v, &y.C1.v)
+	r0.Sub(&t0, &t1)
+	var u0, u1 Fp
+	montMul(&u0.v, &x.C0.v, &y.C1.v)
+	montMul(&u1.v, &x.C1.v, &y.C0.v)
+	r1.Add(&u0, &u1)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+}
+
+// fp2SquareGeneric is complex squaring over interleaved Montgomery
+// multiplications: the differential twin for fp2SquareLazy.
+func fp2SquareGeneric(z, x *Fp2) {
+	var sum, diff, prod Fp
+	sum.Add(&x.C0, &x.C1)
+	diff.Sub(&x.C0, &x.C1)
+	montMul(&prod.v, &x.C0.v, &x.C1.v)
+	var c0 Fp
+	montMul(&c0.v, &sum.v, &diff.v)
+	z.C0.Set(&c0)
+	z.C1.Double(&prod)
+}
+
+// fp6MulGeneric is the pre-lazy Fp6 product: reducing Karatsuba operand
+// sums and schoolbook Fp2 multiplications all the way down. Retained as
+// the differential twin for the lazy Fp6.Mul (FuzzFp6Mul pins them).
+func fp6MulGeneric(z, x, y *Fp6) {
+	var t0, t1, t2 Fp2
+	fp2MulGeneric(&t0, &x.C0, &y.C0)
+	fp2MulGeneric(&t1, &x.C1, &y.C1)
+	fp2MulGeneric(&t2, &x.C2, &y.C2)
+
+	var r0, s, u Fp2
+	s.Add(&x.C1, &x.C2)
+	u.Add(&y.C1, &y.C2)
+	fp2MulGeneric(&r0, &s, &u)
+	r0.Sub(&r0, &t1)
+	r0.Sub(&r0, &t2)
+	r0.MulXi(&r0)
+	r0.Add(&r0, &t0)
+
+	var r1 Fp2
+	s.Add(&x.C0, &x.C1)
+	u.Add(&y.C0, &y.C1)
+	fp2MulGeneric(&r1, &s, &u)
+	r1.Sub(&r1, &t0)
+	r1.Sub(&r1, &t1)
+	var xit2 Fp2
+	xit2.MulXi(&t2)
+	r1.Add(&r1, &xit2)
+
+	var r2 Fp2
+	s.Add(&x.C0, &x.C2)
+	u.Add(&y.C0, &y.C2)
+	fp2MulGeneric(&r2, &s, &u)
+	r2.Sub(&r2, &t0)
+	r2.Sub(&r2, &t2)
+	r2.Add(&r2, &t1)
+
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	z.C2.Set(&r2)
+}
+
+// Fp2MulGeneric sets z = x·y through the fully reducing Karatsuba twin
+// (one interleaved Montgomery reduction per field multiplication).
+// Retained as the differential reference for the lazy tower and as the
+// "before" side of the E13 tower-arithmetic measurements.
+func Fp2MulGeneric(z, x, y *Fp2) *Fp2 {
+	fp2MulGeneric(z, x, y)
+	return z
+}
+
+// Fp6MulGeneric sets z = x·y with every inner Fp2 multiplication routed
+// through the fully reducing twin and every operand sum reduced — the
+// pre-lazy-reduction schedule, kept for differential testing and E13.
+func Fp6MulGeneric(z, x, y *Fp6) *Fp6 {
+	fp6MulGeneric(z, x, y)
+	return z
+}

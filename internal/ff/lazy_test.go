@@ -1,0 +1,183 @@
+package ff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// mustRandFp2 returns a uniformly random reduced element, failing t on
+// rng errors.
+func mustRandFp2(t *testing.T) *Fp2 {
+	t.Helper()
+	x, err := RandFp2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// unreduce returns a copy of x with p added to every coefficient that
+// leaves room, producing the ≥p, <2p representations the lazy paths
+// must accept from fp2AddNoRed call sites.
+func unreduce(x *Fp2) *Fp2 {
+	var z Fp2
+	z.Set(x)
+	for _, c := range []*Fp{&z.C0, &z.C1} {
+		var t [4]uint64
+		t = c.v
+		addNoRed4(&t, &t, &q)
+		c.v = t
+	}
+	return &z
+}
+
+// lazyEdgeFp2 lists coefficient patterns that stress the wide-accumulator
+// bounds: zeros, ones, and p−1 in every slot.
+func lazyEdgeFp2() []*Fp2 {
+	pm1 := NewFp(new(big.Int).Sub(p, bigOne))
+	var one Fp
+	one.SetOne()
+	var zero Fp
+	mk := func(a, b *Fp) *Fp2 { return &Fp2{C0: *a, C1: *b} }
+	return []*Fp2{
+		mk(&zero, &zero), mk(&one, &zero), mk(&zero, &one),
+		mk(pm1, &zero), mk(&zero, pm1), mk(pm1, pm1), mk(pm1, &one),
+	}
+}
+
+func TestFp2MulLazyMatchesGeneric(t *testing.T) {
+	check := func(x, y *Fp2) {
+		t.Helper()
+		var lazy, gen Fp2
+		fp2MulLazy(&lazy, x, y)
+		fp2MulGeneric(&gen, x, y)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("fp2MulLazy diverged from generic twin:\n x=%v\n y=%v\n lazy=%v\n gen=%v", x, y, lazy, gen)
+		}
+	}
+	for _, x := range lazyEdgeFp2() {
+		for _, y := range lazyEdgeFp2() {
+			check(x, y)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		x, y := mustRandFp2(t), mustRandFp2(t)
+		check(x, y)
+	}
+}
+
+func TestFp2MulLazyUnreducedOperands(t *testing.T) {
+	// The lazy mul must tolerate coefficients up to 2p (one fp2AddNoRed
+	// deep) and still agree with the generic twin on the reduced
+	// representatives.
+	for i := 0; i < 100; i++ {
+		x, y := mustRandFp2(t), mustRandFp2(t)
+		var want Fp2
+		fp2MulGeneric(&want, x, y)
+		for _, pair := range [][2]*Fp2{
+			{unreduce(x), y}, {x, unreduce(y)}, {unreduce(x), unreduce(y)},
+		} {
+			var got Fp2
+			fp2MulLazy(&got, pair[0], pair[1])
+			if !got.Equal(&want) {
+				t.Fatalf("fp2MulLazy wrong on unreduced operands (i=%d)", i)
+			}
+		}
+	}
+}
+
+func TestFp2SquareLazyMatchesGeneric(t *testing.T) {
+	check := func(x *Fp2) {
+		t.Helper()
+		var lazy, gen Fp2
+		fp2SquareLazy(&lazy, x)
+		fp2SquareGeneric(&gen, x)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("fp2SquareLazy diverged from generic twin on %v", x)
+		}
+	}
+	for _, x := range lazyEdgeFp2() {
+		check(x)
+	}
+	for i := 0; i < 200; i++ {
+		check(mustRandFp2(t))
+	}
+	// Unreduced operands (< 2p) must square correctly too.
+	for i := 0; i < 100; i++ {
+		x := mustRandFp2(t)
+		var want, got Fp2
+		fp2SquareGeneric(&want, x)
+		fp2SquareLazy(&got, unreduce(x))
+		if !got.Equal(&want) {
+			t.Fatalf("fp2SquareLazy wrong on unreduced operand (i=%d)", i)
+		}
+	}
+}
+
+func TestFp6MulMatchesGeneric(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x, err := RandFp6(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := RandFp6(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lazy, gen Fp6
+		lazy.Mul(x, y)
+		fp6MulGeneric(&gen, x, y)
+		if !lazy.Equal(&gen) {
+			t.Fatalf("Fp6.Mul diverged from fp6MulGeneric (i=%d)", i)
+		}
+	}
+}
+
+func TestMontRed512AgainstBigInt(t *testing.T) {
+	rInv := new(big.Int).ModInverse(new(big.Int).Lsh(bigOne, 256), p)
+	buf := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		if _, err := rand.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		v := new(big.Int).SetBytes(buf)
+		var wide [8]uint64
+		for limb := 0; limb < 8; limb++ {
+			for j := 0; j < 8; j++ {
+				wide[limb] |= uint64(buf[63-8*limb-j]) << (8 * j)
+			}
+		}
+		var got [4]uint64
+		montRed512(&got, &wide)
+		want := new(big.Int).Mul(v, rInv)
+		want.Mod(want, p)
+		if fromLimbs(got).Cmp(want) != 0 {
+			t.Fatalf("montRed512 wrong for %v: got %v want %v", v, fromLimbs(got), want)
+		}
+	}
+}
+
+func TestMulWideAgainstBigInt(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x, err := RandFp(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := RandFp(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wide [8]uint64
+		mulWide(&wide, &x.v, &y.v)
+		want := new(big.Int).Mul(fromLimbs(x.v), fromLimbs(y.v))
+		got := new(big.Int)
+		for limb := 7; limb >= 0; limb-- {
+			got.Lsh(got, 64)
+			got.Or(got, new(big.Int).SetUint64(wide[limb]))
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("mulWide wrong: got %v want %v", got, want)
+		}
+	}
+}

@@ -261,29 +261,33 @@ func readSeed(rng io.Reader) ([]byte, error) {
 }
 
 // MultiExper is the optional fast path for ProdExp: groups that can
-// evaluate Π aᵢ^kᵢ with shared doublings (Straus interleaving)
-// implement it. Implementations must report the same op counts as the
-// naive loop — len(as) Exps and len(as) Muls — so experiment tables
-// keep their shapes.
+// evaluate Π aᵢ^kᵢ faster than n independent exponentiations implement
+// it. The bn254 adapters route to the size-aware MultiExp dispatchers
+// (Straus interleaving below the crossover, Pippenger bucket
+// accumulation above it). Implementations must report the same op
+// counts as the naive loop — len(as) Exps and len(as) Muls — so
+// experiment tables keep their shapes.
 type MultiExper[E any] interface {
 	MultiExp(as []E, ks []*big.Int) E
 }
 
-// MultiExp implements MultiExper via bn254.G1MultiScalarMult.
+// MultiExp implements MultiExper via the bn254.G1MultiExp dispatcher
+// (Straus → Pippenger crossover by term count).
 func (g G1) MultiExp(as []*bn254.G1, ks []*big.Int) *bn254.G1 {
 	g.Ctr.Add(opcount.G1Exp, int64(len(as)))
 	g.Ctr.Add(opcount.G1Mul, int64(len(as)))
-	return bn254.G1MultiScalarMult(as, ks)
+	return bn254.G1MultiExp(as, ks)
 }
 
-// MultiExp implements MultiExper via bn254.G2MultiScalarMult.
+// MultiExp implements MultiExper via the bn254.G2MultiExp dispatcher.
 func (g G2) MultiExp(as []*bn254.G2, ks []*big.Int) *bn254.G2 {
 	g.Ctr.Add(opcount.G2Exp, int64(len(as)))
 	g.Ctr.Add(opcount.G2Mul, int64(len(as)))
-	return bn254.G2MultiScalarMult(as, ks)
+	return bn254.G2MultiExp(as, ks)
 }
 
-// MultiExp implements MultiExper via bn254.GTMultiExp.
+// MultiExp implements MultiExper via bn254.GTMultiExp (which itself
+// dispatches Straus → bucket method by term count).
 func (g GT) MultiExp(as []*bn254.GT, ks []*big.Int) *bn254.GT {
 	g.Ctr.Add(opcount.GTExp, int64(len(as)))
 	g.Ctr.Add(opcount.GTMul, int64(len(as)))

@@ -24,6 +24,22 @@ import (
 // any full-rank set of relation vectors yields a valid decomposition —
 // only the sub-scalar size does, which the differential tests pin.
 //
+// Every scalar-multiplication tier in internal/bn254 consumes these
+// decompositions the same way, so Decompose is the single point where
+// exponent size is halved (GLV, dim 2, G1) or quartered (GLS, dim 4,
+// G2):
+//
+//   - single-point ScalarMult/ScalarBaseMult feed the sub-scalars into
+//     one interleaved wNAF ladder;
+//   - the Straus multi-exp tier (G1MultiScalarMult and friends) stacks
+//     the per-point decompositions into one shared doubling chain;
+//   - the Pippenger bucket tier slices the same sub-scalars into signed
+//     radix-2^c digits before bucket accumulation.
+//
+// The size-aware G1MultiExp/G2MultiExp/GTMultiExp dispatchers pick
+// between the last two purely by term count (crossover 16 for the
+// elliptic groups, 64 for GT); callers never choose a tier directly.
+//
 // None of this is constant-time, matching the bn254 convention: the
 // big.Int arithmetic, the rounding branches and the sizes of the
 // sub-scalars all leak through timing. The paper's continual-leakage
