@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fuzz-smoke ci baseline clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -39,7 +39,9 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFp2Mul -fuzztime=$(FUZZTIME) ./internal/ff
 	$(GO) test -run=^$$ -fuzz=FuzzFp6Mul -fuzztime=$(FUZZTIME) ./internal/ff
+	$(GO) test -run=^$$ -fuzz=FuzzFpInverse -fuzztime=$(FUZZTIME) ./internal/ff
 	$(GO) test -run=^$$ -fuzz=FuzzMultiExp -fuzztime=$(FUZZTIME) ./internal/bn254
+	$(GO) test -run=^$$ -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) ./internal/scalar
 
 # bench-smoke re-times the fast-path operations and fails if any of them
 # regressed more than 25% against the committed baseline snapshot.
@@ -54,5 +56,14 @@ bench:
 baseline:
 	$(GO) run ./cmd/dlrbench -baseline bench_baseline.json
 
+# profile captures CPU and heap profiles of the full experiment suite.
+# Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`
+# (`top`, `list <func>`, `web`); the heap profile is taken after a
+# final GC, so it shows retained memory, not transient churn — use the
+# E14 table / bench-smoke bytes column for per-op traffic.
+profile:
+	$(GO) run ./cmd/dlrbench -cpuprofile cpu.pprof -memprofile mem.pprof
+
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

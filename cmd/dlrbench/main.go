@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E13 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E14 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -48,7 +48,7 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp        = flag.String("e", "", "run a single experiment (E1..E13); empty = all")
+		exp        = flag.String("e", "", "run a single experiment (E1..E14); empty = all")
 		games      = flag.Int("games", 1, "games per configuration in E5")
 		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
 		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
@@ -120,7 +120,8 @@ func run(exp string, games int, baseline, smoke string, pipeline bool, workers s
 func runPipeline(workers string, reqs, batchSize int) error {
 	fmt.Printf("batched decryption pipeline: %d requests per point, batch=%d, GOMAXPROCS=%d\n",
 		reqs, batchSize, runtime.GOMAXPROCS(0))
-	fmt.Printf("%-8s  %10s  %12s  %12s\n", "workers", "req/s", "p50", "p99")
+	fmt.Printf("%-8s  %10s  %12s  %12s  %12s  %10s  %6s  %10s\n",
+		"workers", "req/s", "p50", "p99", "allocs/req", "KB/req", "GC", "pause")
 	var base float64
 	for _, field := range strings.Split(workers, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(field))
@@ -137,8 +138,9 @@ func runPipeline(workers string, reqs, batchSize int) error {
 		} else {
 			scale = fmt.Sprintf("  (%.2fx vs 1 worker)", pt.ReqPerSec/base)
 		}
-		fmt.Printf("%-8d  %10.1f  %12s  %12s%s\n",
-			pt.Workers, pt.ReqPerSec, pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond), scale)
+		fmt.Printf("%-8d  %10.1f  %12s  %12s  %12.0f  %10.1f  %6d  %10s%s\n",
+			pt.Workers, pt.ReqPerSec, pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond),
+			pt.AllocsPerReq, pt.BytesPerReq/1024, pt.GCCycles, pt.GCPause.Round(time.Microsecond), scale)
 	}
 	return nil
 }
@@ -194,9 +196,27 @@ func allocRegressed(cur, base bench.FastPathMeasurement) bool {
 	return cur.FastAllocsPerOp > base.FastAllocsPerOp*smokeTolerance+smokeAllocSlack
 }
 
+// smokeBytesSlack is the absolute bytes/op headroom on top of
+// smokeTolerance for the heap-traffic side of the gate — one small
+// object's worth, so ops whose baseline is a few hundred bytes (a
+// single returned element) don't trip on size-class rounding.
+const smokeBytesSlack = 512.0
+
+// bytesRegressed is allocRegressed for heap bytes per op: it catches a
+// path that keeps its allocation count but starts allocating much
+// bigger objects (e.g. a scratch buffer sized per call instead of
+// pooled). Baselines predating byte tracking record zero — skipped.
+func bytesRegressed(cur, base bench.FastPathMeasurement) bool {
+	if base.FastBytesPerOp <= 0 {
+		return false
+	}
+	return cur.FastBytesPerOp > base.FastBytesPerOp*smokeTolerance+smokeBytesSlack
+}
+
 // runSmoke re-times every hot operation and fails if any fast path runs
-// more than smokeTolerance× slower — or allocates more than
-// smokeTolerance× + smokeAllocSlack more per op — than the committed
+// more than smokeTolerance× slower — or allocates more objects than
+// smokeTolerance× + smokeAllocSlack, or more bytes than
+// smokeTolerance× + smokeBytesSlack, per op — than the committed
 // baseline. When an op looks regressed, the whole suite is re-measured
 // (up to smokeAttempts passes) and the per-op minimum is kept, so
 // one-off scheduler stalls on a busy box do not fail the gate. Ops
@@ -224,7 +244,7 @@ func runSmoke(path string) error {
 	over := func() bool {
 		for _, m := range cur {
 			if b, ok := baseByOp[m.Op]; ok &&
-				(m.FastNsPerOp > b.FastNsPerOp*smokeTolerance || allocRegressed(m, b)) {
+				(m.FastNsPerOp > b.FastNsPerOp*smokeTolerance || allocRegressed(m, b) || bytesRegressed(m, b)) {
 				return true
 			}
 		}
@@ -251,6 +271,9 @@ func runSmoke(path string) error {
 			if a.FastAllocsPerOp < m.FastAllocsPerOp {
 				cur[i].FastAllocsPerOp = a.FastAllocsPerOp
 			}
+			if a.FastBytesPerOp < m.FastBytesPerOp {
+				cur[i].FastBytesPerOp = a.FastBytesPerOp
+			}
 		}
 	}
 	var failed int
@@ -269,9 +292,12 @@ func runSmoke(path string) error {
 		} else if allocRegressed(m, b) {
 			status = "ALLOC "
 			failed++
+		} else if bytesRegressed(m, b) {
+			status = "BYTES "
+			failed++
 		}
-		fmt.Printf("  %s%-44s %10.0f ns/op vs baseline %10.0f (%.2fx), %.0f allocs/op vs %.0f\n",
-			status, m.Op, m.FastNsPerOp, b.FastNsPerOp, ratio, m.FastAllocsPerOp, b.FastAllocsPerOp)
+		fmt.Printf("  %s%-44s %10.0f ns/op vs baseline %10.0f (%.2fx), %.0f allocs/op vs %.0f, %.0f B/op vs %.0f\n",
+			status, m.Op, m.FastNsPerOp, b.FastNsPerOp, ratio, m.FastAllocsPerOp, b.FastAllocsPerOp, m.FastBytesPerOp, b.FastBytesPerOp)
 	}
 	for op := range baseByOp {
 		fmt.Printf("  gone  %-44s (in baseline but no longer measured)\n", op)

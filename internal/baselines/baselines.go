@@ -180,8 +180,8 @@ func (b *Bitwise) Decrypt(ct *BitwiseCiphertext) ([]byte, error) {
 // ciphertext shape (g^t, m·e(g1,g2)^t) — the cost floor: what a scheme
 // with no leakage resilience at all pays.
 type ElGamalGT struct {
-	E   *bn254.GT // e(g1, g2)
-	sk  *bn254.G2 // g2^α
+	E  *bn254.GT // e(g1, g2)
+	sk *bn254.G2 // g2^α
 	// skTab is the precomputed line table for sk: the decryption pairing
 	// e(A, sk) has a fixed G2 side for the life of the key, so every
 	// Decrypt is a table replay.

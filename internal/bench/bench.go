@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness of DESIGN.md §2: one
-// runner per experiment E1–E10, each regenerating a quantitative claim
+// runner per experiment E1–E14, each regenerating a quantitative claim
 // of the paper as a formatted table of paper-claim vs measured values.
 // The runners are shared by cmd/dlrbench and the repository-root
 // testing.B benchmarks.

@@ -38,18 +38,27 @@ type FastPathMeasurement struct {
 	// too noisy for the timing check to catch it.
 	RefAllocsPerOp  float64 `json:"ref_allocs_per_op"`
 	FastAllocsPerOp float64 `json:"fast_allocs_per_op"`
+	// RefBytesPerOp and FastBytesPerOp are mean heap bytes per
+	// evaluation (TotalAlloc delta), from the same pass as the
+	// allocation counts. They catch the regression shape counts miss: a
+	// path that allocates the same number of objects but much larger
+	// ones (e.g. a scratch slice sized per call instead of pooled).
+	RefBytesPerOp  float64 `json:"ref_bytes_per_op"`
+	FastBytesPerOp float64 `json:"fast_bytes_per_op"`
 }
 
-// allocsN returns the mean number of heap allocations per call of f
-// over n calls (global Mallocs delta — run on a quiet process).
-func allocsN(f func(), n int) float64 {
+// memN returns the mean heap allocations and heap bytes per call of f
+// over n calls (global Mallocs/TotalAlloc deltas — run on a quiet
+// process).
+func memN(f func(), n int) (allocs, bytes float64) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for i := 0; i < n; i++ {
 		f()
 	}
 	runtime.ReadMemStats(&after)
-	return float64(after.Mallocs-before.Mallocs) / float64(n)
+	return float64(after.Mallocs-before.Mallocs) / float64(n),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
 }
 
 // measureOps times (and counts allocations for) every op pair.
@@ -65,14 +74,18 @@ func measureOps(ops []fpOp) []FastPathMeasurement {
 		if n > 20 {
 			n = 20 // allocation counts are deterministic; cap the pass
 		}
+		refAllocs, refBytes := memN(op.ref, n)
+		fastAllocs, fastBytes := memN(op.fast, n)
 		out = append(out, FastPathMeasurement{
 			Op:              op.name,
 			Iters:           op.iters,
 			RefNsPerOp:      refNs,
 			FastNsPerOp:     fastNs,
 			Speedup:         refNs / fastNs,
-			RefAllocsPerOp:  allocsN(op.ref, n),
-			FastAllocsPerOp: allocsN(op.fast, n),
+			RefAllocsPerOp:  refAllocs,
+			FastAllocsPerOp: fastAllocs,
+			RefBytesPerOp:   refBytes,
+			FastBytesPerOp:  fastBytes,
 		})
 	}
 	return out

@@ -139,8 +139,8 @@ func decBatchMeasurement() (FastPathMeasurement, error) {
 	const refIters, fastIters = 3, 2
 	refNs := timeN(refFn, refIters)
 	fastNs := timeN(fastFn, fastIters) / e13BatchSize
-	refAllocs := allocsN(refFn, refIters)
-	fastAllocs := allocsN(fastFn, fastIters) / e13BatchSize
+	refAllocs, refBytes := memN(refFn, refIters)
+	fastAllocs, fastBytes := memN(fastFn, fastIters)
 	return FastPathMeasurement{
 		Op:              fmt.Sprintf("DLR.Dec (per-request→batch%d, amortized)", e13BatchSize),
 		Iters:           refIters,
@@ -148,7 +148,9 @@ func decBatchMeasurement() (FastPathMeasurement, error) {
 		FastNsPerOp:     fastNs,
 		Speedup:         refNs / fastNs,
 		RefAllocsPerOp:  refAllocs,
-		FastAllocsPerOp: fastAllocs,
+		FastAllocsPerOp: fastAllocs / e13BatchSize,
+		RefBytesPerOp:   refBytes,
+		FastBytesPerOp:  fastBytes / e13BatchSize,
 	}, nil
 }
 
@@ -172,13 +174,25 @@ func E13Measurements() ([]FastPathMeasurement, error) {
 	return append(out, dec), nil
 }
 
-// PipelinePoint is one point of the batched-decryption worker curve.
+// PipelinePoint is one point of the batched-decryption worker curve,
+// including the GC-pressure metrics behind E14: what the sustained
+// pipeline allocates per request and what the collector charged for it
+// over the run.
 type PipelinePoint struct {
 	Workers   int
 	Requests  int
 	Batch     int
 	ReqPerSec float64
 	P50, P99  time.Duration
+	// AllocsPerReq and BytesPerReq are the serving-phase heap traffic
+	// (Mallocs/TotalAlloc deltas) divided by Requests; setup (key
+	// generation, encryption) is excluded.
+	AllocsPerReq float64
+	BytesPerReq  float64
+	// GCCycles and GCPause are the collections the serving phase
+	// triggered and their cumulative stop-the-world pause.
+	GCCycles int
+	GCPause  time.Duration
 }
 
 // DecPipeline drives the batched decryption pipeline at the given
@@ -232,6 +246,12 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 		mu.Unlock()
 	}
 
+	// Snapshot heap/GC state right before serving starts so the
+	// reported pressure is the protocol's, not the setup's.
+	runtime.GC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -265,6 +285,8 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -274,12 +296,16 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 		return latencies[idx]
 	}
 	return &PipelinePoint{
-		Workers:   workers,
-		Requests:  totalReqs,
-		Batch:     batch,
-		ReqPerSec: float64(totalReqs) / wall.Seconds(),
-		P50:       pct(0.50),
-		P99:       pct(0.99),
+		Workers:      workers,
+		Requests:     totalReqs,
+		Batch:        batch,
+		ReqPerSec:    float64(totalReqs) / wall.Seconds(),
+		P50:          pct(0.50),
+		P99:          pct(0.99),
+		AllocsPerReq: float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalReqs),
+		BytesPerReq:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(totalReqs),
+		GCCycles:     int(memAfter.NumGC - memBefore.NumGC),
+		GCPause:      time.Duration(memAfter.PauseTotalNs - memBefore.PauseTotalNs),
 	}, nil
 }
 

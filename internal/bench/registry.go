@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E13 in order. attackGames
+// Experiments returns the full registry E1–E14 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -28,6 +28,7 @@ func Experiments(attackGames int) []struct {
 		{"E11", E11FastPath},
 		{"E12", E12Endo},
 		{"E13", E13Throughput},
+		{"E14", E14Memory},
 	}
 }
 

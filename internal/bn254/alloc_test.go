@@ -3,97 +3,129 @@
 package bn254
 
 import (
+	"crypto/rand"
 	"math/big"
 	"testing"
 
-	"repro/internal/ff"
+	"repro/internal/scalar"
 )
 
-// Allocation-regression guards for the hot operations. The ceilings are
-// the counts measured when the fast paths landed, with ~30% headroom
-// for run-to-run digit-pattern variation — they exist to catch a change
-// that accidentally reintroduces per-step big.Int traffic (e.g. a
-// constant rebuilt inside the Miller loop), not to pin exact numbers.
-//
-// Context for the ceilings: limb-based Fp arithmetic is alloc-free, so
-// almost everything below comes from Fp.Inverse's big.Int ModInverse.
-// Pair runs ~90 sequential line inversions (≈3.5k allocations);
-// PairingTable replay runs none, which is why its ceiling is two orders
-// of magnitude lower. The file is excluded under the race detector,
-// whose instrumentation inflates allocation counts.
+// Allocation regression tests for the curve and pairing hot paths,
+// running as part of the ordinary `go test ./...` gate (like the ff
+// twins in internal/ff/alloc_test.go). Since the limb tier landed the
+// steady-state budgets are exact: scalar multiplication and GT
+// exponentiation are allocation-free, pairings allocate only the
+// returned *GT. A change that silently reroutes a hot path back
+// through big.Int (the fallback tier costs tens to thousands of
+// allocations per op) fails here immediately, rather than in the
+// opt-in bench-smoke gate. The file is excluded under the race
+// detector, whose instrumentation inflates allocation counts.
 
-func allocScalar() *big.Int {
-	k, _ := new(big.Int).SetString("1234567890abcdef1234567890abcdef1234567890abcdef", 16)
-	return new(big.Int).Mod(k, ff.Order())
+func allocTestPoints(t *testing.T) (*G1, *G2, *big.Int) {
+	t.Helper()
+	p, _, err := RandG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := RandG2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := scalar.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, q, k
 }
 
-func TestPairAllocBudget(t *testing.T) {
-	p, _, err := RandG1(nil)
-	if err != nil {
-		t.Fatal(err)
+func TestScalarMultAllocFree(t *testing.T) {
+	p, q, k := allocTestPoints(t)
+	var zp G1
+	var zq G2
+	if n := testing.AllocsPerRun(10, func() { zp.ScalarMult(p, k) }); n != 0 {
+		t.Fatalf("G1.ScalarMult allocates %v/op, want 0", n)
 	}
-	q, _, err := RandG2(nil)
-	if err != nil {
-		t.Fatal(err)
+	if n := testing.AllocsPerRun(10, func() { zq.ScalarMult(q, k) }); n != 0 {
+		t.Fatalf("G2.ScalarMult allocates %v/op, want 0", n)
 	}
-	if got := testing.AllocsPerRun(10, func() { _ = Pair(p, q) }); got > 4600 {
-		t.Fatalf("Pair allocates %.0f objects/op, budget 4600", got)
+	zp.ScalarBaseMult(k) // warm the fixed-base tables
+	zq.ScalarBaseMult(k)
+	if n := testing.AllocsPerRun(10, func() { zp.ScalarBaseMult(k) }); n != 0 {
+		t.Fatalf("G1.ScalarBaseMult allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { zq.ScalarBaseMult(k) }); n != 0 {
+		t.Fatalf("G2.ScalarBaseMult allocates %v/op, want 0", n)
 	}
 }
 
-func TestPairingTableReplayAllocBudget(t *testing.T) {
-	p, _, err := RandG1(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	q, _, err := RandG2(nil)
-	if err != nil {
-		t.Fatal(err)
+func TestPairAlloc(t *testing.T) {
+	p, q, _ := allocTestPoints(t)
+	// The single allocation is the returned *GT; the Miller loop and
+	// final exponentiation themselves are allocation-free.
+	if n := testing.AllocsPerRun(5, func() { Pair(p, q) }); n > 1 {
+		t.Fatalf("Pair allocates %v/op, want ≤ 1 (the returned GT)", n)
 	}
 	tb := NewPairingTable(q)
-	// Replay has no inversions: only the final-exponentiation easy part
-	// inverts (once). Measured 33.
-	if got := testing.AllocsPerRun(10, func() { _ = tb.Pair(p) }); got > 64 {
-		t.Fatalf("PairingTable.Pair allocates %.0f objects/op, budget 64", got)
+	if n := testing.AllocsPerRun(5, func() { tb.Pair(p) }); n > 1 {
+		t.Fatalf("PairingTable.Pair allocates %v/op, want ≤ 1 (the returned GT)", n)
 	}
 }
 
-func TestG1ScalarMultAllocBudget(t *testing.T) {
-	p, _, err := RandG1(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	k := allocScalar()
-	var sink G1
-	// GLV split + two wNAF recodings + one Jacobian→affine inversion.
-	// Measured 49.
-	if got := testing.AllocsPerRun(10, func() { sink.ScalarMult(p, k) }); got > 96 {
-		t.Fatalf("G1.ScalarMult allocates %.0f objects/op, budget 96", got)
+func TestGTExpAllocFree(t *testing.T) {
+	_, _, k := allocTestPoints(t)
+	g := GTGenerator()
+	var z GT
+	if n := testing.AllocsPerRun(5, func() { z.Exp(g, k) }); n != 0 {
+		t.Fatalf("GT.Exp allocates %v/op, want 0", n)
 	}
 }
 
-func TestG2ScalarMultAllocBudget(t *testing.T) {
-	q, _, err := RandG2(nil)
-	if err != nil {
-		t.Fatal(err)
+func allocTestMulti(t *testing.T, n int) ([]*G1, []*G2, []*big.Int) {
+	t.Helper()
+	g1s := make([]*G1, n)
+	g2s := make([]*G2, n)
+	ks := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if g1s[i], _, err = RandG1(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+		if g2s[i], _, err = RandG2(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+		if ks[i], err = scalar.Rand(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
 	}
-	k := allocScalar()
-	var sink G2
-	// GLS 4-way split + four wNAF recodings. Measured 74.
-	if got := testing.AllocsPerRun(10, func() { sink.ScalarMult(q, k) }); got > 144 {
-		t.Fatalf("G2.ScalarMult allocates %.0f objects/op, budget 144", got)
+	return g1s, g2s, ks
+}
+
+func TestMultiScalarMultAlloc(t *testing.T) {
+	g1s, g2s, ks := allocTestMulti(t, 16)
+	// Three allocations: the terms slice, the shared flat digit buffer
+	// and the returned point. The per-term digit recodings slice into
+	// the flat buffer instead of allocating.
+	if n := testing.AllocsPerRun(5, func() { G1MultiScalarMult(g1s, ks) }); n > 3 {
+		t.Fatalf("G1MultiScalarMult(16) allocates %v/op, want ≤ 3", n)
+	}
+	if n := testing.AllocsPerRun(5, func() { G2MultiScalarMult(g2s, ks) }); n > 3 {
+		t.Fatalf("G2MultiScalarMult(16) allocates %v/op, want ≤ 3", n)
 	}
 }
 
-func TestGTExpAllocBudget(t *testing.T) {
-	g, err := RandGT(nil)
-	if err != nil {
-		t.Fatal(err)
+func TestMultiExpPippengerAlloc(t *testing.T) {
+	g1s, g2s, ks := allocTestMulti(t, 64)
+	// Warm the arena pool: the first call per P allocates the arena's
+	// backing slices, every later call reuses them.
+	G1MultiExpPippenger(g1s, ks)
+	G2MultiExpPippenger(g2s, ks)
+	// Steady state: the returned point plus whatever the pool hands
+	// back; a small budget catches a return to per-call buffers (the
+	// pre-arena path cost ~3000 allocs at this size).
+	if n := testing.AllocsPerRun(5, func() { G1MultiExpPippenger(g1s, ks) }); n > 8 {
+		t.Fatalf("G1MultiExpPippenger(64) allocates %v/op, want ≤ 8", n)
 	}
-	k := allocScalar()
-	var sink GT
-	// Cyclotomic wNAF ladder, no inversions. Measured 5.
-	if got := testing.AllocsPerRun(10, func() { sink.Exp(g, k) }); got > 16 {
-		t.Fatalf("GT.Exp allocates %.0f objects/op, budget 16", got)
+	if n := testing.AllocsPerRun(5, func() { G2MultiExpPippenger(g2s, ks) }); n > 8 {
+		t.Fatalf("G2MultiExpPippenger(64) allocates %v/op, want ≤ 8", n)
 	}
 }

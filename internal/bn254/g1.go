@@ -255,12 +255,15 @@ func (j *g1Jac) addAffine(a *G1) {
 // Not constant-time: the decomposition and digit patterns of k leak
 // through timing.
 func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 || a.inf {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} || a.inf {
 		return z.SetInfinity()
 	}
 	var acc g1Jac
-	g1GLVMult(&acc, a, e)
+	if !g1GLVMultLimbs(&acc, a, &e) {
+		// Limb-unready lattice (never the production one): big.Int tier.
+		g1GLVMult(&acc, a, new(big.Int).Mod(k, ff.Order()))
+	}
 	acc.toAffine(z)
 	return z
 }
@@ -270,12 +273,12 @@ func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 // differential tests and the E12 endomorphism ablation. Semantics
 // match ScalarMult: k is reduced mod r.
 func (z *G1) ScalarMultWNAF(a *G1, k *big.Int) *G1 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 || a.inf {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} || a.inf {
 		return z.SetInfinity()
 	}
 	var acc g1Jac
-	g1WNAFMult(&acc, a, e)
+	g1WNAFMultLimbs(&acc, a, &e)
 	acc.toAffine(z)
 	return z
 }
@@ -307,15 +310,15 @@ func (z *G1) ScalarMultReference(a *G1, k *big.Int) *G1 {
 // most 64 mixed additions with no doublings — several times faster
 // than the generic path. k is reduced mod r.
 func (z *G1) ScalarBaseMult(k *big.Int) *G1 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} {
 		return z.SetInfinity()
 	}
 	tbl := g1FixedBaseTable()
 	var acc g1Jac
 	acc.setInfinity()
 	for w := 0; w < fbWindows; w++ {
-		if d := fbDigit(e, w); d != 0 {
+		if d := fbDigitLimbs(&e, w); d != 0 {
 			acc.addAffine(&tbl[w][d-1])
 		}
 	}

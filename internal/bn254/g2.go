@@ -319,12 +319,15 @@ func (j *g2Jac) addAffine(a *G2) {
 // raw-scalar path g2ScalarMultRaw instead. Not constant-time: the
 // decomposition and digit patterns of k leak through timing.
 func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 || a.inf {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} || a.inf {
 		return z.SetInfinity()
 	}
 	var acc g2Jac
-	g2GLSMult(&acc, a, e)
+	if !g2GLSMultLimbs(&acc, a, &e) {
+		// Limb-unready lattice (never the production one): big.Int tier.
+		g2GLSMult(&acc, a, new(big.Int).Mod(k, ff.Order()))
+	}
 	acc.toAffine(z)
 	return z
 }
@@ -335,12 +338,12 @@ func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 // match ScalarMult: k is reduced mod r, so it too assumes a lies in
 // the r-subgroup.
 func (z *G2) ScalarMultWNAF(a *G2, k *big.Int) *G2 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 || a.inf {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} || a.inf {
 		return z.SetInfinity()
 	}
 	var acc g2Jac
-	g2WNAFMult(&acc, a, e)
+	g2WNAFMultLimbs(&acc, a, &e)
 	acc.toAffine(z)
 	return z
 }
@@ -395,15 +398,15 @@ func (z *G2) ScalarMultReference(a *G2, k *big.Int) *G2 {
 // k is reduced mod r, which is always valid here because the generator
 // has exact order r — including for negative k.
 func (z *G2) ScalarBaseMult(k *big.Int) *G2 {
-	e := new(big.Int).Mod(k, ff.Order())
-	if e.Sign() == 0 {
+	e := ff.ReduceScalar(k)
+	if e == [4]uint64{} {
 		return z.SetInfinity()
 	}
 	tbl := g2FixedBaseTable()
 	var acc g2Jac
 	acc.setInfinity()
 	for w := 0; w < fbWindows; w++ {
-		if d := fbDigit(e, w); d != 0 {
+		if d := fbDigitLimbs(&e, w); d != 0 {
 			acc.addAffine(&tbl[w][d-1])
 		}
 	}

@@ -100,12 +100,22 @@ func (z *GT) Div(a, b *GT) *GT {
 // square-and-multiply, so results stay correct either way. Not
 // constant-time: the bit pattern of k leaks through timing.
 func (z *GT) Exp(a *GT, k *big.Int) *GT {
-	e := new(big.Int).Mod(k, ff.Order())
 	if a.v.IsCyclotomic() {
-		z.v.ExpCyclotomic(&a.v, e)
+		// ff.ReduceScalar + the limb wNAF walk keep the whole
+		// exponentiation off the heap.
+		e := ff.ReduceScalar(k)
+		z.v.ExpCyclotomicLimbs(&a.v, &e)
 	} else {
-		z.v.Exp(&a.v, e)
+		z.v.Exp(&a.v, new(big.Int).Mod(k, ff.Order()))
 	}
+	return z
+}
+
+// ExpReference is the generic big.Int square-and-multiply twin of Exp,
+// retained for differential testing and as the allocation-heavy
+// reference the E14 memory experiment contrasts against.
+func (z *GT) ExpReference(a *GT, k *big.Int) *GT {
+	z.v.Exp(&a.v, new(big.Int).Mod(k, ff.Order()))
 	return z
 }
 

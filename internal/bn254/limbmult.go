@@ -1,0 +1,275 @@
+package bn254
+
+import (
+	"math/big"
+
+	"repro/internal/ff"
+	"repro/internal/scalar"
+)
+
+// This file is the allocation-free twin of the endomorphism scalar
+// multiplications in endo.go/scalarmult.go. The big.Int pipeline
+// (Mod → Lattice.Decompose → ff.WNAF → interleaved ladder) is replaced
+// by fixed-width limb arithmetic end to end: ff.ReduceScalar reduces
+// the caller's scalar into [4]uint64, scalar.DecomposeInto splits it
+// with the fixed-point Babai lattice data, and ff.AppendWNAF recodes
+// each sub-scalar into a caller-provided stack buffer. The ladder state
+// (odd-multiple tables and digit slices) lives in g1LadderTerm /
+// g2LadderTerm values that the single-point entries keep entirely on
+// the stack, so a steady-state ScalarMult performs zero heap
+// allocations.
+//
+// Every limb routine returns bool and leaves the big.Int tier
+// (g1GLVMult, g2GLSMult, g1MultiWNAF, …) in place as its fallback and
+// differential twin: a lattice whose fixed-point data did not fit
+// (scalar.LimbReady() == false) or a sub-scalar overflowing four limbs
+// routes through the original code path and still produces the right
+// answer. The production BN254 lattices always take the limb path —
+// TestLimbMultMatchesBig pins the two tiers to identical outputs.
+
+// g1LadderTerm is one term of an interleaved wNAF ladder: the signed
+// digits of its sub-scalar and the odd multiples {1,3,5,7}·P. Values
+// are plain data so callers can keep small fixed arrays of terms on
+// the stack.
+type g1LadderTerm struct {
+	digits []int8
+	tbl    [1 << (wnafWidth - 2)]g1Jac
+}
+
+// init fills the odd-multiple table for base a. The digit slice is
+// assigned by the caller, directly at the call site: a store through the
+// receiver pointer would be treated as a heap leak by escape analysis
+// and drag the caller's stack digit buffer onto the heap.
+func (t *g1LadderTerm) init(a *G1) {
+	t.tbl[0].setAffine(a)
+	var twoA g1Jac
+	twoA.setAffine(a)
+	twoA.double()
+	for j := 1; j < len(t.tbl); j++ {
+		t.tbl[j] = t.tbl[j-1]
+		t.tbl[j].add(&twoA)
+	}
+}
+
+// g1LadderRun evaluates acc = Σ termᵢ over one shared doubling chain —
+// the same walk as g1MultiWNAF, operating on prepared terms.
+func g1LadderRun(acc *g1Jac, terms []g1LadderTerm) {
+	maxLen := 0
+	for i := range terms {
+		if len(terms[i].digits) > maxLen {
+			maxLen = len(terms[i].digits)
+		}
+	}
+	acc.setInfinity()
+	for i := maxLen - 1; i >= 0; i-- {
+		acc.double()
+		for k := range terms {
+			t := &terms[k]
+			if i >= len(t.digits) {
+				continue
+			}
+			if d := t.digits[i]; d > 0 {
+				acc.add(&t.tbl[d>>1])
+			} else if d < 0 {
+				n := t.tbl[(-d)>>1]
+				n.neg()
+				acc.add(&n)
+			}
+		}
+	}
+}
+
+// g2LadderTerm is g1LadderTerm on the twist.
+type g2LadderTerm struct {
+	digits []int8
+	tbl    [1 << (wnafWidth - 2)]g2Jac
+}
+
+func (t *g2LadderTerm) init(a *G2) {
+	t.tbl[0].setAffine(a)
+	var twoA g2Jac
+	twoA.setAffine(a)
+	twoA.double()
+	for j := 1; j < len(t.tbl); j++ {
+		t.tbl[j] = t.tbl[j-1]
+		t.tbl[j].add(&twoA)
+	}
+}
+
+func g2LadderRun(acc *g2Jac, terms []g2LadderTerm) {
+	maxLen := 0
+	for i := range terms {
+		if len(terms[i].digits) > maxLen {
+			maxLen = len(terms[i].digits)
+		}
+	}
+	acc.setInfinity()
+	for i := maxLen - 1; i >= 0; i-- {
+		acc.double()
+		for k := range terms {
+			t := &terms[k]
+			if i >= len(t.digits) {
+				continue
+			}
+			if d := t.digits[i]; d > 0 {
+				acc.add(&t.tbl[d>>1])
+			} else if d < 0 {
+				n := t.tbl[(-d)>>1]
+				n.neg()
+				acc.add(&n)
+			}
+		}
+	}
+}
+
+// g1WNAFMultLimbs is the limb twin of g1WNAFMult: acc = [e]a for a
+// reduced non-zero e, one term, stack digit buffer.
+func g1WNAFMultLimbs(acc *g1Jac, a *G1, e *[4]uint64) {
+	var buf [ff.WNAFMaxDigits]int8
+	var terms [1]g1LadderTerm
+	terms[0].digits = ff.AppendWNAF(buf[:0], *e, wnafWidth)
+	terms[0].init(a)
+	g1LadderRun(acc, terms[:])
+}
+
+// g2WNAFMultLimbs is g1WNAFMultLimbs on the twist.
+func g2WNAFMultLimbs(acc *g2Jac, a *G2, e *[4]uint64) {
+	var buf [ff.WNAFMaxDigits]int8
+	var terms [1]g2LadderTerm
+	terms[0].digits = ff.AppendWNAF(buf[:0], *e, wnafWidth)
+	terms[0].init(a)
+	g2LadderRun(acc, terms[:])
+}
+
+// g1GLVMultLimbs sets acc = [e]a via the GLV split computed entirely in
+// limb arithmetic. Reports false — without touching acc — when the
+// lattice's fixed-point data cannot decompose e; the caller then falls
+// back to g1GLVMult.
+func g1GLVMultLimbs(acc *g1Jac, a *G1, e *[4]uint64) bool {
+	g1Endo.once.Do(g1EndoInit)
+	var subs [2]scalar.SubScalar
+	if !g1Endo.lat.DecomposeInto(e, subs[:]) {
+		return false
+	}
+	var bases [2]G1
+	bases[0].Set(a)
+	g1Phi(&bases[1], a, &g1Endo.beta)
+	var bufs [2][ff.WNAFMaxDigits]int8
+	var terms [2]g1LadderTerm
+	n := 0
+	for i := range subs {
+		if subs[i].IsZero() || bases[i].inf {
+			continue
+		}
+		if subs[i].Neg {
+			bases[i].Neg(&bases[i])
+		}
+		terms[n].digits = ff.AppendWNAF(bufs[n][:0], subs[i].V, wnafWidth)
+		terms[n].init(&bases[i])
+		n++
+	}
+	g1LadderRun(acc, terms[:n])
+	return true
+}
+
+// g2GLSMultLimbs is the 4-dimensional GLS analogue for r-subgroup
+// points. The ψ chain is built on the UNNEGATED bases first and signs
+// are folded in afterwards: ψ is applied to base i−1 to produce base i,
+// so negating a base before its successor exists would propagate the
+// sign into every later power of ψ.
+func g2GLSMultLimbs(acc *g2Jac, a *G2, e *[4]uint64) bool {
+	g2Endo.once.Do(g2EndoInit)
+	var subs [4]scalar.SubScalar
+	if !g2Endo.lat.DecomposeInto(e, subs[:]) {
+		return false
+	}
+	var bases [4]G2
+	bases[0].Set(a)
+	for i := 1; i < len(bases); i++ {
+		g2Psi(&bases[i], &bases[i-1])
+	}
+	var bufs [4][ff.WNAFMaxDigits]int8
+	var terms [4]g2LadderTerm
+	n := 0
+	for i := range subs {
+		if subs[i].IsZero() || bases[i].inf {
+			continue
+		}
+		if subs[i].Neg {
+			bases[i].Neg(&bases[i])
+		}
+		terms[n].digits = ff.AppendWNAF(bufs[n][:0], subs[i].V, wnafWidth)
+		terms[n].init(&bases[i])
+		n++
+	}
+	g2LadderRun(acc, terms[:n])
+	return true
+}
+
+// glvSplitLimbs decomposes one reduced scalar into GLV ladder terms,
+// appending the digit recodings to the shared flat buffer and the
+// prepared terms to terms. The caller must size the digit buffer so
+// append never reallocates (earlier terms hold slices into it).
+// Reports false when the limb decomposition is unavailable.
+func glvSplitLimbs(p *G1, e *[4]uint64, terms []g1LadderTerm, digits []int8) ([]g1LadderTerm, []int8, bool) {
+	var subs [2]scalar.SubScalar
+	if !g1Endo.lat.DecomposeInto(e, subs[:]) {
+		return terms, digits, false
+	}
+	var bases [2]G1
+	bases[0].Set(p)
+	g1Phi(&bases[1], p, &g1Endo.beta)
+	for j := range subs {
+		if subs[j].IsZero() || bases[j].inf {
+			continue
+		}
+		if subs[j].Neg {
+			bases[j].Neg(&bases[j])
+		}
+		start := len(digits)
+		digits = ff.AppendWNAF(digits, subs[j].V, wnafWidth)
+		terms = append(terms, g1LadderTerm{})
+		terms[len(terms)-1].digits = digits[start:len(digits):len(digits)]
+		terms[len(terms)-1].init(&bases[j])
+	}
+	return terms, digits, true
+}
+
+// glsSplitLimbs is glvSplitLimbs for the 4-way GLS split on the twist.
+func glsSplitLimbs(q *G2, e *[4]uint64, terms []g2LadderTerm, digits []int8) ([]g2LadderTerm, []int8, bool) {
+	var subs [4]scalar.SubScalar
+	if !g2Endo.lat.DecomposeInto(e, subs[:]) {
+		return terms, digits, false
+	}
+	var bases [4]G2
+	bases[0].Set(q)
+	for i := 1; i < len(bases); i++ {
+		g2Psi(&bases[i], &bases[i-1])
+	}
+	for j := range subs {
+		if subs[j].IsZero() || bases[j].inf {
+			continue
+		}
+		if subs[j].Neg {
+			bases[j].Neg(&bases[j])
+		}
+		start := len(digits)
+		digits = ff.AppendWNAF(digits, subs[j].V, wnafWidth)
+		terms = append(terms, g2LadderTerm{})
+		terms[len(terms)-1].digits = digits[start:len(digits):len(digits)]
+		terms[len(terms)-1].init(&bases[j])
+	}
+	return terms, digits, true
+}
+
+// strausFallbackG1 collects the big.Int GLV split of one scalar for the
+// rare limb-unready case (shared by the Straus and Pippenger entries).
+func strausFallbackG1(p *G1, k *big.Int, pts []*G1, es []*big.Int) ([]*G1, []*big.Int) {
+	sp, se := endoSplitG1(p, new(big.Int).Mod(k, ff.Order()))
+	return append(pts, sp...), append(es, se...)
+}
+
+func strausFallbackG2(q *G2, k *big.Int, pts []*G2, es []*big.Int) ([]*G2, []*big.Int) {
+	sp, se := endoSplitG2(q, new(big.Int).Mod(k, ff.Order()))
+	return append(pts, sp...), append(es, se...)
+}

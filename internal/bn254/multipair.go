@@ -46,7 +46,12 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 	for i := range actQ {
 		ts[i].Set(actQ[i])
 	}
+	// One denominator/inverse/prefix triple reused by every lockstep
+	// step: the ~190 per-step batch inversions share these buffers
+	// instead of allocating fresh ones (ff.BatchInverseFp2Into).
 	dens := make([]ff.Fp2, len(actQ))
+	invs := make([]ff.Fp2, len(actQ))
+	prefix := make([]ff.Fp2, len(actQ))
 
 	var f ff.Fp12
 	f.SetOne()
@@ -56,7 +61,7 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 		for k := range ts {
 			dens[k] = doubleStepDen(&ts[k])
 		}
-		invs := ff.BatchInverseFp2(dens)
+		ff.BatchInverseFp2Into(invs, dens, prefix)
 		for k := range ts {
 			l := doubleStepPre(&ts[k], actP[k], &invs[k])
 			f.MulLine(&f, &l.e0, &l.e1, &l.e3)
@@ -65,7 +70,7 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 			for k := range ts {
 				dens[k] = addStepDen(&ts[k], actQ[k])
 			}
-			invs := ff.BatchInverseFp2(dens)
+			ff.BatchInverseFp2Into(invs, dens, prefix)
 			for k := range ts {
 				l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
 				f.MulLine(&f, &l.e0, &l.e1, &l.e3)
@@ -73,9 +78,9 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 		}
 	}
 
-	var out GT
-	out.v.Set(finalExpFast(&f))
-	return &out
+	out := new(GT)
+	finalExpFastInto(&out.v, &f)
+	return out
 }
 
 // PairBatch computes the n pairings e(ps[i], qs[i]) individually,
@@ -112,6 +117,8 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 		fs[i].SetOne()
 	}
 	dens := make([]ff.Fp2, len(actQ))
+	invs := make([]ff.Fp2, len(actQ))
+	prefix := make([]ff.Fp2, len(actQ))
 
 	s := ateLoop
 	for i := s.BitLen() - 2; i >= 0; i-- {
@@ -119,7 +126,7 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 			fs[k].Square(&fs[k])
 			dens[k] = doubleStepDen(&ts[k])
 		}
-		invs := ff.BatchInverseFp2(dens)
+		ff.BatchInverseFp2Into(invs, dens, prefix)
 		for k := range ts {
 			l := doubleStepPre(&ts[k], actP[k], &invs[k])
 			fs[k].MulLine(&fs[k], &l.e0, &l.e1, &l.e3)
@@ -128,7 +135,7 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 			for k := range ts {
 				dens[k] = addStepDen(&ts[k], actQ[k])
 			}
-			invs := ff.BatchInverseFp2(dens)
+			ff.BatchInverseFp2Into(invs, dens, prefix)
 			for k := range ts {
 				l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
 				fs[k].MulLine(&fs[k], &l.e0, &l.e1, &l.e3)
@@ -139,9 +146,9 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 	// The per-pair final exponentiations are independent — fan them out
 	// across CPUs (degrades to a sequential loop on one core).
 	par.ForEach(len(idx), func(k int) {
-		var g GT
-		g.v.Set(finalExpFast(&fs[k]))
-		out[idx[k]] = &g
+		g := new(GT)
+		finalExpFastInto(&g.v, &fs[k])
+		out[idx[k]] = g
 	})
 	return out
 }

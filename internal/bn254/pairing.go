@@ -13,13 +13,14 @@ import (
 // fast Frobenius-decomposed final exponentiation. A structurally
 // independent slow path (PairReference) exists for cross-checking.
 func Pair(p *G1, q *G2) *GT {
+	out := new(GT)
 	if p.IsInfinity() || q.IsInfinity() {
-		return GTOne()
+		return out.SetOne()
 	}
-	f := millerLoopTwisted(p, q)
-	var out GT
-	out.v.Set(finalExpFast(f))
-	return &out
+	var f ff.Fp12
+	millerLoopTwistedInto(&f, p, q)
+	finalExpFastInto(&out.v, &f)
+	return out
 }
 
 // PairReference computes the same pairing via a generic Miller loop over
@@ -64,9 +65,14 @@ func (l *lineEval) toFp12() *ff.Fp12 {
 // doubleStep doubles t in place and returns the tangent line at the old
 // t, evaluated at p. t must not be infinity or 2-torsion.
 func doubleStep(t *G2, p *G1) lineEval {
+	// Line denominators are coordinates of the public input points, so
+	// the variable-time Kaliski inverse is safe here — and the ~100
+	// tangent/chord slopes per Miller loop form a sequential chain
+	// (each feeds the next point update), so they cannot be batched
+	// within one pairing. See ff.InverseVartime.
 	var den ff.Fp2
 	den.Double(&t.y)
-	den.Inverse(&den)
+	den.InverseVartime(&den)
 	return doubleStepPre(t, p, &den)
 }
 
@@ -131,7 +137,7 @@ func lineFromCoeffs(a, b *ff.Fp2, p *G1) lineEval {
 func addStep(t, q *G2, p *G1) lineEval {
 	var den ff.Fp2
 	den.Sub(&q.x, &t.x)
-	den.Inverse(&den)
+	den.InverseVartime(&den) // public operand, as in doubleStep
 	return addStepPre(t, q, p, &den)
 }
 
@@ -174,24 +180,32 @@ func addStepCoeffs(t, q *G2, dinv *ff.Fp2) (a, b ff.Fp2) {
 	return a, b
 }
 
-// millerLoopTwisted computes f_{6u², Q}(P) with all point arithmetic on
-// the twist.
-func millerLoopTwisted(p *G1, q *G2) *ff.Fp12 {
-	var f ff.Fp12
+// millerLoopTwistedInto computes f = f_{6u², Q}(P) with all point
+// arithmetic on the twist. Out-param form: the accumulator lives in the
+// caller's frame, so a steady-state pairing performs no heap
+// allocation for it.
+func millerLoopTwistedInto(f *ff.Fp12, p *G1, q *G2) {
 	f.SetOne()
 	var t G2
 	t.Set(q)
 	s := ateLoop
 	for i := s.BitLen() - 2; i >= 0; i-- {
-		f.Square(&f)
+		f.Square(f)
 		l := doubleStep(&t, p)
-		f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+		f.MulLine(f, &l.e0, &l.e1, &l.e3)
 		if s.Bit(i) == 1 {
 			l := addStep(&t, q, p)
-			f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+			f.MulLine(f, &l.e0, &l.e1, &l.e3)
 		}
 	}
-	return &f
+}
+
+// millerLoopTwisted is the allocating wrapper around
+// millerLoopTwistedInto, retained for tests.
+func millerLoopTwisted(p *G1, q *G2) *ff.Fp12 {
+	f := new(ff.Fp12)
+	millerLoopTwistedInto(f, p, q)
+	return f
 }
 
 // fp12Point is an affine point on E(Fp12): y² = x³ + 3, used by the
@@ -283,9 +297,17 @@ func millerLoopGeneric(p *G1, q *G2) *ff.Fp12 {
 	return &f
 }
 
-// finalExpFast raises f to (p¹²−1)/r using the easy part
+// uLimbs is the BN parameter u as a limb scalar, feeding the
+// allocation-free cyclotomic u-power exponentiations in the final
+// exponentiation's hard part.
+var uLimbs = [4]uint64{4965661367192848881}
+
+// finalExpFastInto sets out = f^((p¹²−1)/r) using the easy part
 // (p⁶−1)(p²+1) followed by the Devegili–Scott hard-part addition chain.
-func finalExpFast(f *ff.Fp12) *ff.Fp12 {
+// out may alias f. Every intermediate lives on the stack and the
+// u-power exponentiations run on limbs, so the whole exponentiation is
+// allocation-free.
+func finalExpFastInto(out, f *ff.Fp12) {
 	// Easy part: t1 = f^((p⁶−1)(p²+1)).
 	var t1, inv, t2 ff.Fp12
 	t1.Conjugate(f) // f^(p⁶)
@@ -303,9 +325,9 @@ func finalExpFast(f *ff.Fp12) *ff.Fp12 {
 	fp3.Frobenius(&fp2)
 
 	var fu, fu2, fu3 ff.Fp12
-	fu.ExpCyclotomic(&t1, u)
-	fu2.ExpCyclotomic(&fu, u)
-	fu3.ExpCyclotomic(&fu2, u)
+	fu.ExpCyclotomicLimbs(&t1, &uLimbs)
+	fu2.ExpCyclotomicLimbs(&fu, &uLimbs)
+	fu3.ExpCyclotomicLimbs(&fu2, &uLimbs)
 
 	var y3, fu2p, fu3p, y2 ff.Fp12
 	y3.Frobenius(&fu)
@@ -340,5 +362,13 @@ func finalExpFast(f *ff.Fp12) *ff.Fp12 {
 	acc.Mul(&acc, &y0)
 	t0.CyclotomicSquare(&t0)
 	t0.Mul(&t0, &acc)
-	return new(ff.Fp12).Set(&t0)
+	out.Set(&t0)
+}
+
+// finalExpFast is the allocating wrapper around finalExpFastInto,
+// retained for tests and differential twins.
+func finalExpFast(f *ff.Fp12) *ff.Fp12 {
+	out := new(ff.Fp12)
+	finalExpFastInto(out, f)
+	return out
 }

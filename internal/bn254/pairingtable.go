@@ -71,13 +71,13 @@ func NewPairingTable(q *G2) *PairingTable {
 	for i := s.BitLen() - 2; i >= 0; i-- {
 		var den ff.Fp2
 		den.Double(&t.y)
-		den.Inverse(&den)
+		den.InverseVartime(&den) // q is public; see doubleStep
 		var ln tableLine
 		ln.a, ln.b = doubleStepCoeffs(&t, &den)
 		tb.lines = append(tb.lines, ln)
 		if s.Bit(i) == 1 {
 			den.Sub(&q.x, &t.x)
-			den.Inverse(&den)
+			den.InverseVartime(&den)
 			ln.a, ln.b = addStepCoeffs(&t, q, &den)
 			tb.lines = append(tb.lines, ln)
 		}
@@ -100,43 +100,44 @@ func (tb *PairingTable) IsIdentity() bool { return len(tb.lines) == 0 }
 // (p⁶−1 is a multiple of p−1) erases it, and the cheaper MulLine01
 // replaces MulLine at every step. P.y ≠ 0 for every affine G1 point:
 // the curve has prime (odd) order, so it carries no 2-torsion.
-func (tb *PairingTable) millerReplay(p *G1) *ff.Fp12 {
+func (tb *PairingTable) millerReplayInto(f *ff.Fp12, p *G1) {
 	var yInv, xOverY ff.Fp
-	yInv.Inverse(&p.y)
+	yInv.InverseVartime(&p.y) // p is a public pairing input
 	xOverY.Mul(&p.x, &yInv)
-	var f ff.Fp12
 	f.SetOne()
 	var e1, e3 ff.Fp2
 	idx := 0
 	s := ateLoop
 	for i := s.BitLen() - 2; i >= 0; i-- {
-		f.Square(&f)
+		f.Square(f)
 		ln := &tb.lines[idx]
 		idx++
 		e1.MulFp(&ln.a, &xOverY)
 		e3.MulFp(&ln.b, &yInv)
-		f.MulLine01(&f, &e1, &e3)
+		f.MulLine01(f, &e1, &e3)
 		if s.Bit(i) == 1 {
 			ln := &tb.lines[idx]
 			idx++
 			e1.MulFp(&ln.a, &xOverY)
 			e3.MulFp(&ln.b, &yInv)
-			f.MulLine01(&f, &e1, &e3)
+			f.MulLine01(f, &e1, &e3)
 		}
 	}
-	return &f
 }
 
 // Pair computes e(p, Q) for the table's fixed Q by replaying the stored
 // lines, then applying the fast final exponentiation. Agrees with
-// Pair(p, Q) on all inputs (differentially tested).
+// Pair(p, Q) on all inputs (differentially tested). Steady-state cost
+// is one heap allocation — the returned GT.
 func (tb *PairingTable) Pair(p *G1) *GT {
+	out := new(GT)
 	if p.IsInfinity() || len(tb.lines) == 0 {
-		return GTOne()
+		return out.SetOne()
 	}
-	var out GT
-	out.v.Set(finalExpFast(tb.millerReplay(p)))
-	return &out
+	var f ff.Fp12
+	tb.millerReplayInto(&f, p)
+	finalExpFastInto(&out.v, &f)
+	return out
 }
 
 // PairTableBatch computes the n pairings e(ps[i], Qᵢ) for tables built
@@ -196,12 +197,14 @@ func MultiPairMixed(ps []*G1, qs []*G2, tps []*G1, tabs []*PairingTable) *GT {
 		ts[i].Set(actQ[i])
 	}
 	dens := make([]ff.Fp2, len(actQ))
+	invs := make([]ff.Fp2, len(actQ))
+	prefix := make([]ff.Fp2, len(actQ))
 	// Per-replay constants for monic line normalization (see
 	// millerReplay): xOverY = P.x/P.y and yInv = 1/P.y.
 	yInvs := make([]ff.Fp, len(actTP))
 	xOverYs := make([]ff.Fp, len(actTP))
 	for j := range actTP {
-		yInvs[j].Inverse(&actTP[j].y)
+		yInvs[j].InverseVartime(&actTP[j].y)
 		xOverYs[j].Mul(&actTP[j].x, &yInvs[j])
 	}
 
@@ -216,7 +219,7 @@ func MultiPairMixed(ps []*G1, qs []*G2, tps []*G1, tabs []*PairingTable) *GT {
 			for k := range ts {
 				dens[k] = doubleStepDen(&ts[k])
 			}
-			invs := ff.BatchInverseFp2(dens)
+			ff.BatchInverseFp2Into(invs, dens, prefix)
 			for k := range ts {
 				l := doubleStepPre(&ts[k], actP[k], &invs[k])
 				f.MulLine(&f, &l.e0, &l.e1, &l.e3)
@@ -234,7 +237,7 @@ func MultiPairMixed(ps []*G1, qs []*G2, tps []*G1, tabs []*PairingTable) *GT {
 				for k := range ts {
 					dens[k] = addStepDen(&ts[k], actQ[k])
 				}
-				invs := ff.BatchInverseFp2(dens)
+				ff.BatchInverseFp2Into(invs, dens, prefix)
 				for k := range ts {
 					l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
 					f.MulLine(&f, &l.e0, &l.e1, &l.e3)
@@ -250,7 +253,7 @@ func MultiPairMixed(ps []*G1, qs []*G2, tps []*G1, tabs []*PairingTable) *GT {
 		}
 	}
 
-	var out GT
-	out.v.Set(finalExpFast(&f))
-	return &out
+	out := new(GT)
+	finalExpFastInto(&out.v, &f)
+	return out
 }

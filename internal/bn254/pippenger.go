@@ -2,8 +2,11 @@ package bn254
 
 import (
 	"math/big"
+	"math/bits"
+	"sync"
 
 	"repro/internal/ff"
+	"repro/internal/scalar"
 )
 
 // Pippenger bucket-method multi-scalar multiplication.
@@ -115,6 +118,47 @@ func pippengerDigits(es []*big.Int, c, windows int) []int32 {
 	return digits
 }
 
+// appendPippengerDigits is pippengerDigits on already-reduced limb
+// sub-scalars, appending into a reusable buffer instead of allocating.
+func appendPippengerDigits(dst []int32, es [][4]uint64, c, windows int) []int32 {
+	half := int64(1) << (c - 1)
+	mask := uint64(1)<<c - 1
+	for i := range es {
+		l := &es[i]
+		carry := int64(0)
+		for w := 0; w < windows; w++ {
+			pos := w * c
+			limb := pos >> 6
+			off := uint(pos & 63)
+			var raw uint64
+			if limb < 4 {
+				raw = l[limb] >> off
+				if off+uint(c) > 64 && limb+1 < 4 {
+					raw |= l[limb+1] << (64 - off)
+				}
+			}
+			d := int64(raw&mask) + carry
+			carry = 0
+			if d > half {
+				d -= int64(1) << c
+				carry = 1
+			}
+			dst = append(dst, int32(d))
+		}
+	}
+	return dst
+}
+
+// limbBitLen returns the bit length of a little-endian limb scalar.
+func limbBitLen(e *[4]uint64) int {
+	for i := 3; i >= 0; i-- {
+		if e[i] != 0 {
+			return 64*i + bits.Len64(e[i])
+		}
+	}
+	return 0
+}
+
 // bucketOp is one pending bucket += points[pt] addition. Both fields
 // are indices (pt into a flat pointer-free point array with the
 // negated copies in the upper half), which keeps the scheduling queues
@@ -126,13 +170,46 @@ type bucketOp struct {
 }
 
 // bucketScratch holds the scheduling work buffers so the accumulation
-// loop allocates per multi-exp, not per round.
+// loop allocates on growth only — and, once its owning arena has warmed
+// up in the pool, not at all.
 type bucketScratch struct {
-	next  []bucketOp
-	dens  []ff.Fp
-	apply []bucketOp
-	kinds []uint8
-	stamp []int32
+	next   []bucketOp
+	dens   []ff.Fp
+	invs   []ff.Fp
+	prefx  []ff.Fp
+	dens2  []ff.Fp2
+	invs2  []ff.Fp2
+	prefx2 []ff.Fp2
+	apply  []bucketOp
+	kinds  []uint8
+	stamp  []int32
+}
+
+// fpSlice returns s[:n], growing the backing array when needed. The
+// generic-free trio below keeps the accumulation loops free of
+// per-round make calls.
+func fpSlice(s *[]ff.Fp, n int) []ff.Fp {
+	if cap(*s) < n {
+		*s = make([]ff.Fp, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func fp2Slice(s *[]ff.Fp2, n int) []ff.Fp2 {
+	if cap(*s) < n {
+		*s = make([]ff.Fp2, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func int32Slice(s *[]int32, n int) []int32 {
+	if cap(*s) < n {
+		*s = make([]int32, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // g1BucketAccumulate folds ops into the affine buckets. Each scheduling
@@ -177,7 +254,8 @@ func g1BucketAccumulate(buckets []G1, points []G1, ops []bucketOp, scratch *buck
 			}
 		}
 		if len(dens) > 0 {
-			invs := ff.BatchInverseFp(dens)
+			invs := fpSlice(&scratch.invs, len(dens))
+			ff.BatchInverseFpInto(invs, dens, fpSlice(&scratch.prefx, len(dens)))
 			for k, op := range apply {
 				dst, pt := &buckets[op.bucket], &points[op.pt]
 				var lam, x3, y3 ff.Fp
@@ -207,9 +285,11 @@ func g1BucketAccumulate(buckets []G1, points []G1, ops []bucketOp, scratch *buck
 	scratch.next, scratch.dens, scratch.apply, scratch.kinds = next, dens, apply, kinds
 }
 
-// g1MultiExpPippenger runs the bucket method over sign-folded affine
-// points and non-negative sub-scalars (the endoSplitG1 output shape).
-func g1MultiExpPippenger(acc *g1Jac, pts []*G1, es []*big.Int) {
+// g1MultiExpPippengerBig runs the bucket method over sign-folded affine
+// points and non-negative big.Int sub-scalars (the endoSplitG1 output
+// shape) — the retained fallback tier for limb-unready lattices and the
+// differential twin of g1MultiExpPippengerLimbs.
+func g1MultiExpPippengerBig(acc *g1Jac, pts []*G1, es []*big.Int) {
 	acc.setInfinity()
 	if len(pts) == 0 {
 		return
@@ -279,8 +359,7 @@ func g2BucketAccumulate(buckets []G2, points []G2, ops []bucketOp, scratch *buck
 	for i := range buckets {
 		stamp[i] = -1
 	}
-	dens2 := make([]ff.Fp2, 0, len(ops))
-	apply, kinds := scratch.apply[:0], scratch.kinds[:0]
+	dens2, apply, kinds := scratch.dens2[:0], scratch.apply[:0], scratch.kinds[:0]
 	for round := int32(0); len(cur) > 0; round++ {
 		next, dens2, apply, kinds = next[:0], dens2[:0], apply[:0], kinds[:0]
 		for _, op := range cur {
@@ -310,7 +389,8 @@ func g2BucketAccumulate(buckets []G2, points []G2, ops []bucketOp, scratch *buck
 			}
 		}
 		if len(dens2) > 0 {
-			invs := ff.BatchInverseFp2(dens2)
+			invs := fp2Slice(&scratch.invs2, len(dens2))
+			ff.BatchInverseFp2Into(invs, dens2, fp2Slice(&scratch.prefx2, len(dens2)))
 			for k, op := range apply {
 				dst, pt := &buckets[op.bucket], &points[op.pt]
 				var lam, x3, y3, t ff.Fp2
@@ -338,12 +418,12 @@ func g2BucketAccumulate(buckets []G2, points []G2, ops []bucketOp, scratch *buck
 		}
 		cur, next = next, cur
 	}
-	scratch.next, scratch.apply, scratch.kinds = next, apply, kinds
+	scratch.next, scratch.dens2, scratch.apply, scratch.kinds = next, dens2, apply, kinds
 }
 
-// g2MultiExpPippenger is g1MultiExpPippenger on the twist, with the
-// same globally scheduled bucket accumulation.
-func g2MultiExpPippenger(acc *g2Jac, pts []*G2, es []*big.Int) {
+// g2MultiExpPippengerBig is g1MultiExpPippengerBig on the twist, with
+// the same globally scheduled bucket accumulation.
+func g2MultiExpPippengerBig(acc *g2Jac, pts []*G2, es []*big.Int) {
 	acc.setInfinity()
 	if len(pts) == 0 {
 		return
@@ -400,6 +480,167 @@ func g2MultiExpPippenger(acc *g2Jac, pts []*G2, es []*big.Int) {
 	}
 }
 
+// --- reusable arenas and limb-scalar cores ---
+
+// pippengerArena owns every buffer one bucket multi-exp needs: the
+// sign-folded input points, the split sub-scalars, the flat digit and
+// op queues, the bucket array and the accumulation scratch. Arenas are
+// recycled through a sync.Pool (one per concurrently running
+// multi-exp), so a steady-state pipeline of multi-exps stops allocating
+// once the pool has warmed up to the working-set size.
+type pippengerArena struct {
+	g1Bases   []G1
+	g1Points  []G1
+	g1Buckets []G1
+	g2Bases   []G2
+	g2Points  []G2
+	g2Buckets []G2
+	vals      [][4]uint64
+	digits    []int32
+	ops       []bucketOp
+	scratch   bucketScratch
+}
+
+var pippengerPool = sync.Pool{New: func() any { return new(pippengerArena) }}
+
+func g1Slice(s *[]G1, n int) []G1 {
+	if cap(*s) < n {
+		*s = make([]G1, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+func g2Slice(s *[]G2, n int) []G2 {
+	if cap(*s) < n {
+		*s = make([]G2, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// g1MultiExpPippengerLimbs runs the bucket method over sign-folded
+// affine points and reduced limb sub-scalars, using the arena's
+// buffers throughout. pts/es normally alias ar.g1Bases/ar.vals.
+func g1MultiExpPippengerLimbs(acc *g1Jac, pts []G1, es [][4]uint64, ar *pippengerArena) {
+	acc.setInfinity()
+	if len(pts) == 0 {
+		return
+	}
+	maxBits := 1
+	for i := range es {
+		if b := limbBitLen(&es[i]); b > maxBits {
+			maxBits = b
+		}
+	}
+	c := pippengerWindow(len(pts))
+	windows := maxBits/c + 2
+	ar.digits = appendPippengerDigits(ar.digits[:0], es, c, windows)
+	digits := ar.digits
+
+	n := len(pts)
+	points := g1Slice(&ar.g1Points, 2*n)
+	for i := range pts {
+		points[i].Set(&pts[i])
+		points[n+i].Neg(&pts[i])
+	}
+	nb := 1 << (c - 1)
+	buckets := g1Slice(&ar.g1Buckets, windows*nb)
+	for i := range buckets {
+		buckets[i].SetInfinity()
+	}
+	ar.scratch.stamp = int32Slice(&ar.scratch.stamp, len(buckets))
+	ops := ar.ops[:0]
+	for i := 0; i < n; i++ {
+		for w := 0; w < windows; w++ {
+			d := digits[i*windows+w]
+			switch {
+			case d > 0:
+				ops = append(ops, bucketOp{bucket: int32(w*nb) + d - 1, pt: int32(i)})
+			case d < 0:
+				ops = append(ops, bucketOp{bucket: int32(w*nb) - d - 1, pt: int32(n + i)})
+			}
+		}
+	}
+	ar.ops = ops
+	g1BucketAccumulate(buckets, points, ops, &ar.scratch)
+
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			acc.double()
+		}
+		var running, sum g1Jac
+		running.setInfinity()
+		sum.setInfinity()
+		win := buckets[w*nb : (w+1)*nb]
+		for b := nb - 1; b >= 0; b-- {
+			running.addAffine(&win[b])
+			sum.add(&running)
+		}
+		acc.add(&sum)
+	}
+}
+
+// g2MultiExpPippengerLimbs is g1MultiExpPippengerLimbs on the twist.
+func g2MultiExpPippengerLimbs(acc *g2Jac, pts []G2, es [][4]uint64, ar *pippengerArena) {
+	acc.setInfinity()
+	if len(pts) == 0 {
+		return
+	}
+	maxBits := 1
+	for i := range es {
+		if b := limbBitLen(&es[i]); b > maxBits {
+			maxBits = b
+		}
+	}
+	c := pippengerWindow(len(pts))
+	windows := maxBits/c + 2
+	ar.digits = appendPippengerDigits(ar.digits[:0], es, c, windows)
+	digits := ar.digits
+
+	n := len(pts)
+	points := g2Slice(&ar.g2Points, 2*n)
+	for i := range pts {
+		points[i].Set(&pts[i])
+		points[n+i].Neg(&pts[i])
+	}
+	nb := 1 << (c - 1)
+	buckets := g2Slice(&ar.g2Buckets, windows*nb)
+	for i := range buckets {
+		buckets[i].SetInfinity()
+	}
+	ar.scratch.stamp = int32Slice(&ar.scratch.stamp, len(buckets))
+	ops := ar.ops[:0]
+	for i := 0; i < n; i++ {
+		for w := 0; w < windows; w++ {
+			d := digits[i*windows+w]
+			switch {
+			case d > 0:
+				ops = append(ops, bucketOp{bucket: int32(w*nb) + d - 1, pt: int32(i)})
+			case d < 0:
+				ops = append(ops, bucketOp{bucket: int32(w*nb) - d - 1, pt: int32(n + i)})
+			}
+		}
+	}
+	ar.ops = ops
+	g2BucketAccumulate(buckets, points, ops, &ar.scratch)
+
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			acc.double()
+		}
+		var running, sum g2Jac
+		running.setInfinity()
+		sum.setInfinity()
+		win := buckets[w*nb : (w+1)*nb]
+		for b := nb - 1; b >= 0; b-- {
+			running.addAffine(&win[b])
+			sum.add(&running)
+		}
+		acc.add(&sum)
+	}
+}
+
 // --- exported tiers and dispatchers ---
 
 // G1MultiExpPippenger computes Σ [scalars[i]]·points[i] with the bucket
@@ -411,19 +652,48 @@ func G1MultiExpPippenger(points []*G1, scalars []*big.Int) *G1 {
 	if len(points) != len(scalars) {
 		panic("bn254: G1MultiExpPippenger: mismatched lengths")
 	}
-	var pts []*G1
-	var es []*big.Int
+	g1Endo.once.Do(g1EndoInit)
+	ar := pippengerPool.Get().(*pippengerArena)
+	bases := ar.g1Bases[:0]
+	vals := ar.vals[:0]
+	var fbPts []*G1
+	var fbEs []*big.Int
 	for i := range points {
-		e := new(big.Int).Mod(scalars[i], ff.Order())
-		if e.Sign() == 0 || points[i].inf {
+		if points[i].inf {
 			continue
 		}
-		p, s := endoSplitG1(points[i], e)
-		pts = append(pts, p...)
-		es = append(es, s...)
+		e := ff.ReduceScalar(scalars[i])
+		if e == [4]uint64{} {
+			continue
+		}
+		var subs [2]scalar.SubScalar
+		if !g1Endo.lat.DecomposeInto(&e, subs[:]) {
+			fbPts, fbEs = strausFallbackG1(points[i], scalars[i], fbPts, fbEs)
+			continue
+		}
+		var b [2]G1
+		b[0].Set(points[i])
+		g1Phi(&b[1], points[i], &g1Endo.beta)
+		for j := range subs {
+			if subs[j].IsZero() || b[j].inf {
+				continue
+			}
+			if subs[j].Neg {
+				b[j].Neg(&b[j])
+			}
+			bases = append(bases, b[j])
+			vals = append(vals, subs[j].V)
+		}
 	}
+	ar.g1Bases, ar.vals = bases, vals
 	var acc g1Jac
-	g1MultiExpPippenger(&acc, pts, es)
+	g1MultiExpPippengerLimbs(&acc, bases, vals, ar)
+	pippengerPool.Put(ar)
+	if len(fbPts) > 0 {
+		var fbAcc g1Jac
+		g1MultiExpPippengerBig(&fbAcc, fbPts, fbEs)
+		acc.add(&fbAcc)
+	}
 	out := new(G1)
 	acc.toAffine(out)
 	return out
@@ -436,19 +706,50 @@ func G2MultiExpPippenger(points []*G2, scalars []*big.Int) *G2 {
 	if len(points) != len(scalars) {
 		panic("bn254: G2MultiExpPippenger: mismatched lengths")
 	}
-	var pts []*G2
-	var es []*big.Int
+	g2Endo.once.Do(g2EndoInit)
+	ar := pippengerPool.Get().(*pippengerArena)
+	bases := ar.g2Bases[:0]
+	vals := ar.vals[:0]
+	var fbPts []*G2
+	var fbEs []*big.Int
 	for i := range points {
-		e := new(big.Int).Mod(scalars[i], ff.Order())
-		if e.Sign() == 0 || points[i].inf {
+		if points[i].inf {
 			continue
 		}
-		p, s := endoSplitG2(points[i], e)
-		pts = append(pts, p...)
-		es = append(es, s...)
+		e := ff.ReduceScalar(scalars[i])
+		if e == [4]uint64{} {
+			continue
+		}
+		var subs [4]scalar.SubScalar
+		if !g2Endo.lat.DecomposeInto(&e, subs[:]) {
+			fbPts, fbEs = strausFallbackG2(points[i], scalars[i], fbPts, fbEs)
+			continue
+		}
+		var b [4]G2
+		b[0].Set(points[i])
+		for j := 1; j < len(b); j++ {
+			g2Psi(&b[j], &b[j-1])
+		}
+		for j := range subs {
+			if subs[j].IsZero() || b[j].inf {
+				continue
+			}
+			if subs[j].Neg {
+				b[j].Neg(&b[j])
+			}
+			bases = append(bases, b[j])
+			vals = append(vals, subs[j].V)
+		}
 	}
+	ar.g2Bases, ar.vals = bases, vals
 	var acc g2Jac
-	g2MultiExpPippenger(&acc, pts, es)
+	g2MultiExpPippengerLimbs(&acc, bases, vals, ar)
+	pippengerPool.Put(ar)
+	if len(fbPts) > 0 {
+		var fbAcc g2Jac
+		g2MultiExpPippengerBig(&fbAcc, fbPts, fbEs)
+		acc.add(&fbAcc)
+	}
 	out := new(G2)
 	acc.toAffine(out)
 	return out

@@ -335,6 +335,13 @@ func fbDigit(e *big.Int, w int) uint {
 		e.Bit(int(base)+3)<<3
 }
 
+// fbDigitLimbs is fbDigit on a reduced limb scalar. Windows are 4 bits,
+// so no digit straddles a limb boundary.
+func fbDigitLimbs(e *[4]uint64, w int) uint {
+	pos := uint(w) * fbWindowBits
+	return uint(e[pos>>6]>>(pos&63)) & (1<<fbWindowBits - 1)
+}
+
 // --- interleaved multi-wNAF cores ---
 
 // g1MultiWNAF sets acc = Σ [es[i]]·pts[i] with one shared doubling
@@ -446,19 +453,34 @@ func G1MultiScalarMult(points []*G1, scalars []*big.Int) *G1 {
 	if len(points) != len(scalars) {
 		panic("bn254: G1MultiScalarMult: mismatched lengths")
 	}
-	var pts []*G1
-	var es []*big.Int
+	g1Endo.once.Do(g1EndoInit)
+	// Exactly-sized flat digit buffer: every term appends at most
+	// WNAFMaxDigits, and append must never reallocate because earlier
+	// terms hold slices into the buffer.
+	terms := make([]g1LadderTerm, 0, 2*len(points))
+	digits := make([]int8, 0, 2*len(points)*ff.WNAFMaxDigits)
+	var fbPts []*G1
+	var fbEs []*big.Int
 	for i := range points {
-		e := new(big.Int).Mod(scalars[i], ff.Order())
-		if e.Sign() == 0 || points[i].inf {
+		if points[i].inf {
 			continue
 		}
-		p, s := endoSplitG1(points[i], e)
-		pts = append(pts, p...)
-		es = append(es, s...)
+		e := ff.ReduceScalar(scalars[i])
+		if e == [4]uint64{} {
+			continue
+		}
+		var ok bool
+		if terms, digits, ok = glvSplitLimbs(points[i], &e, terms, digits); !ok {
+			fbPts, fbEs = strausFallbackG1(points[i], scalars[i], fbPts, fbEs)
+		}
 	}
 	var acc g1Jac
-	g1MultiWNAF(&acc, pts, es)
+	g1LadderRun(&acc, terms)
+	if len(fbPts) > 0 {
+		var fbAcc g1Jac
+		g1MultiWNAF(&fbAcc, fbPts, fbEs)
+		acc.add(&fbAcc)
+	}
 	out := new(G1)
 	acc.toAffine(out)
 	return out
@@ -474,19 +496,31 @@ func G2MultiScalarMult(points []*G2, scalars []*big.Int) *G2 {
 	if len(points) != len(scalars) {
 		panic("bn254: G2MultiScalarMult: mismatched lengths")
 	}
-	var pts []*G2
-	var es []*big.Int
+	g2Endo.once.Do(g2EndoInit)
+	terms := make([]g2LadderTerm, 0, 4*len(points))
+	digits := make([]int8, 0, 4*len(points)*ff.WNAFMaxDigits)
+	var fbPts []*G2
+	var fbEs []*big.Int
 	for i := range points {
-		e := new(big.Int).Mod(scalars[i], ff.Order())
-		if e.Sign() == 0 || points[i].inf {
+		if points[i].inf {
 			continue
 		}
-		p, s := endoSplitG2(points[i], e)
-		pts = append(pts, p...)
-		es = append(es, s...)
+		e := ff.ReduceScalar(scalars[i])
+		if e == [4]uint64{} {
+			continue
+		}
+		var ok bool
+		if terms, digits, ok = glsSplitLimbs(points[i], &e, terms, digits); !ok {
+			fbPts, fbEs = strausFallbackG2(points[i], scalars[i], fbPts, fbEs)
+		}
 	}
 	var acc g2Jac
-	g2MultiWNAF(&acc, pts, es)
+	g2LadderRun(&acc, terms)
+	if len(fbPts) > 0 {
+		var fbAcc g2Jac
+		g2MultiWNAF(&fbAcc, fbPts, fbEs)
+		acc.add(&fbAcc)
+	}
 	out := new(G2)
 	acc.toAffine(out)
 	return out

@@ -1,0 +1,102 @@
+//go:build !race
+
+package ff
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+// Allocation regression tests for the tower hot paths. These run as
+// part of the ordinary `go test ./...` gate (the opt-in bench-smoke
+// check also watches allocs, but only when CI_BENCH=1), so a change
+// that re-introduces big.Int churn inside field arithmetic fails CI
+// immediately. Budgets are exact: steady-state tower arithmetic
+// performs zero heap allocations.
+
+func fpAllocTestElems(t *testing.T) (*Fp, *Fp2, *Fp12) {
+	t.Helper()
+	x, err := RandFp(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := RandFp2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x12, err := RandFp12(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, x2, x12
+}
+
+func TestTowerMulAllocFree(t *testing.T) {
+	x, x2, x12 := fpAllocTestElems(t)
+	var z Fp
+	var z2 Fp2
+	var z12 Fp12
+	if n := testing.AllocsPerRun(100, func() { z.Mul(x, x) }); n != 0 {
+		t.Fatalf("Fp.Mul allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { z2.Mul(x2, x2) }); n != 0 {
+		t.Fatalf("Fp2.Mul allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { z12.Mul(x12, x12) }); n != 0 {
+		t.Fatalf("Fp12.Mul allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { z12.Square(x12) }); n != 0 {
+		t.Fatalf("Fp12.Square allocates %v/op, want 0", n)
+	}
+}
+
+func TestInverseAllocFree(t *testing.T) {
+	x, x2, x12 := fpAllocTestElems(t)
+	var z Fp
+	var z2 Fp2
+	var z12 Fp12
+	if n := testing.AllocsPerRun(20, func() { z.Inverse(x) }); n != 0 {
+		t.Fatalf("Fp.Inverse allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { z2.Inverse(x2) }); n != 0 {
+		t.Fatalf("Fp2.Inverse allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { z12.Inverse(x12) }); n != 0 {
+		t.Fatalf("Fp12.Inverse allocates %v/op, want 0", n)
+	}
+}
+
+func TestSqrtAllocFree(t *testing.T) {
+	x, _, _ := fpAllocTestElems(t)
+	var sq Fp
+	sq.Square(x)
+	var z Fp
+	if n := testing.AllocsPerRun(10, func() { z.Sqrt(&sq) }); n != 0 {
+		t.Fatalf("Fp.Sqrt allocates %v/op, want 0", n)
+	}
+}
+
+func TestExpCyclotomicLimbsAllocFree(t *testing.T) {
+	u := cyclotomicElement(t)
+	e := [4]uint64{0x123456789abcdef0, 0xfedcba9876543210, 0x0f1e2d3c4b5a6978, 0x1}
+	var z Fp12
+	if n := testing.AllocsPerRun(10, func() { z.ExpCyclotomicLimbs(u, &e) }); n != 0 {
+		t.Fatalf("ExpCyclotomicLimbs allocates %v/op, want 0", n)
+	}
+}
+
+func TestBatchInverseIntoAllocFree(t *testing.T) {
+	xs := make([]Fp2, 32)
+	for i := range xs {
+		x, err := RandFp2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i].Set(x)
+	}
+	out := make([]Fp2, len(xs))
+	prefix := make([]Fp2, len(xs))
+	if n := testing.AllocsPerRun(10, func() { BatchInverseFp2Into(out, xs, prefix) }); n != 0 {
+		t.Fatalf("BatchInverseFp2Into allocates %v/op, want 0", n)
+	}
+}

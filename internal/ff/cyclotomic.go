@@ -138,6 +138,9 @@ func (z *Fp12) ExpCyclotomic(x *Fp12, e *big.Int) *Fp12 {
 	if e.Sign() == 0 {
 		return z.SetOne()
 	}
+	if l, ok := limbsFromBig(e); ok {
+		return z.ExpCyclotomicLimbs(x, &l)
+	}
 	var base Fp12
 	base.Set(x)
 	exp := e
@@ -146,34 +149,7 @@ func (z *Fp12) ExpCyclotomic(x *Fp12, e *big.Int) *Fp12 {
 		exp = new(big.Int).Neg(e)
 	}
 	digits := WNAF(exp, 4)
-
-	// Odd powers base^1, base^3, base^5, base^7.
-	var tbl [4]Fp12
-	tbl[0].Set(&base)
-	var sq Fp12
-	sq.CyclotomicSquare(&base)
-	for i := 1; i < len(tbl); i++ {
-		tbl[i].Mul(&tbl[i-1], &sq)
-	}
-
-	var acc Fp12
-	acc.SetOne()
-	started := false
-	for i := len(digits) - 1; i >= 0; i-- {
-		if started {
-			acc.CyclotomicSquare(&acc)
-		}
-		if d := digits[i]; d > 0 {
-			acc.Mul(&acc, &tbl[d>>1])
-			started = true
-		} else if d < 0 {
-			var t Fp12
-			t.Conjugate(&tbl[(-d)>>1])
-			acc.Mul(&acc, &t)
-			started = true
-		}
-	}
-	return z.Set(&acc)
+	return z.expCyclotomicDigits(&base, digits)
 }
 
 // fp6MulSparse01 sets z = x·(y0 + y1·v) — a multiplication by an Fp6
@@ -207,7 +183,7 @@ func fp6MulSparse01(z, x *Fp6, y0, y1 *Fp2) {
 func (z *Fp12) MulLine(x *Fp12, e0, e1, e3 *Fp2) *Fp12 {
 	// ℓ = B0 + B1·w with B0 = (e0, 0, 0) and B1 = (e1, e3, 0) in Fp6.
 	var t0, t1 Fp6
-	t0.MulFp2(&x.C0, e0)              // A0·B0
+	t0.MulFp2(&x.C0, e0)               // A0·B0
 	fp6MulSparse01(&t1, &x.C1, e1, e3) // A1·B1
 
 	// r1 = (A0+A1)(B0+B1) − t0 − t1, with B0+B1 = (e0+e1, e3, 0).

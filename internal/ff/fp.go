@@ -380,17 +380,36 @@ func (z *Fp) MulInt64(x *Fp, c int64) *Fp {
 }
 
 // Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+//
+// The inverse is the Fermat power x^(p−2), evaluated with a fixed
+// 4-bit-window limb exponentiation: the sequence of Montgomery
+// operations depends only on the public constant p−2, never on the
+// value of x, so a secret-derived input does not modulate the run time
+// — unlike the variable-time big.Int.ModInverse this replaced (binary
+// extended GCD, whose iteration count tracks the input). The zero
+// short-circuit is the one input-dependent branch left; inverting zero
+// is a degenerate, public event (point at infinity, malformed input).
+// It also performs no heap allocation.
+//
+// This is the default inverse — anything touching secret-derived
+// elements must use it. Hot paths whose operands are public (the
+// Miller loop's sequential line denominators) use the ~6× faster
+// InverseVartime instead.
 func (z *Fp) Inverse(x *Fp) *Fp {
 	if x.IsZero() {
 		return z.SetZero()
 	}
-	inv := new(big.Int).ModInverse(x.Big(), p)
-	return z.SetBig(inv)
+	return z.expLimbs(x, &pMinus2Limbs)
 }
 
 // Exp sets z = x^e (e interpreted as an arbitrary-precision integer;
-// negative exponents invert) and returns z.
+// negative exponents invert) and returns z. Non-negative exponents of
+// at most 256 bits take the allocation-free limb window; anything else
+// falls back to the big.Int bit loop.
 func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
+	if l, ok := limbsFromBig(e); ok {
+		return z.expLimbs(x, &l)
+	}
 	var base Fp
 	base.Set(x)
 	exp := e
@@ -413,7 +432,7 @@ func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
 // does. Uses the p ≡ 3 (mod 4) shortcut z = x^((p+1)/4).
 func (z *Fp) Sqrt(x *Fp) (*Fp, bool) {
 	var cand Fp
-	cand.Exp(x, sqrtExp)
+	cand.expLimbs(x, &sqrtExpLimbs)
 	var check Fp
 	check.Square(&cand)
 	if !check.Equal(x) {

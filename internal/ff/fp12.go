@@ -148,7 +148,12 @@ func (z *Fp12) Inverse(x *Fp12) *Fp12 {
 }
 
 // Exp sets z = x^e and returns z. Negative exponents invert.
+// Non-negative exponents of at most 256 bits take the allocation-free
+// limb bit loop.
 func (z *Fp12) Exp(x *Fp12, e *big.Int) *Fp12 {
+	if l, ok := limbsFromBig(e); ok {
+		return z.expLimbs(x, &l)
+	}
 	var base Fp12
 	base.Set(x)
 	exp := e

@@ -161,7 +161,12 @@ func (z *Fp2) Inverse(x *Fp2) *Fp2 {
 }
 
 // Exp sets z = x^e and returns z. Negative exponents invert.
+// Non-negative exponents of at most 256 bits take the allocation-free
+// limb window.
 func (z *Fp2) Exp(x *Fp2, e *big.Int) *Fp2 {
+	if l, ok := limbsFromBig(e); ok {
+		return z.expLimbs(x, &l)
+	}
 	var base Fp2
 	base.Set(x)
 	exp := e
@@ -188,10 +193,8 @@ func (z *Fp2) Sqrt(x *Fp2) (*Fp2, bool) {
 		return z, true
 	}
 	// a1 = x^((p−3)/4); α = a1²·x; x0 = a1·x.
-	exp := new(big.Int).Sub(p, big.NewInt(3))
-	exp.Rsh(exp, 2)
 	var a1, alpha, x0 Fp2
-	a1.Exp(x, exp)
+	a1.expLimbs(x, &fp2SqrtALimbs)
 	alpha.Square(&a1)
 	alpha.Mul(&alpha, x)
 	x0.Mul(&a1, x)
@@ -210,9 +213,7 @@ func (z *Fp2) Sqrt(x *Fp2) (*Fp2, bool) {
 		var b Fp2
 		b.SetOne()
 		b.Add(&b, &alpha)
-		half := new(big.Int).Sub(p, big.NewInt(1))
-		half.Rsh(half, 1)
-		b.Exp(&b, half)
+		b.expLimbs(&b, &pHalfLimbs)
 		cand.Mul(&b, &x0)
 	}
 	var check Fp2

@@ -181,14 +181,16 @@ func (z *Fp6) MulFp2(x *Fp6, c *Fp2) *Fp6 {
 	return z
 }
 
-// MulByV sets z = v·x = (ξ·c2, c0, c1) and returns z.
+// MulByV sets z = v·x = (ξ·c2, c0, c1) and returns z. Alias-safe via
+// stack value copies (this sits inside every Fp12 multiplication, so it
+// must not heap-allocate).
 func (z *Fp6) MulByV(x *Fp6) *Fp6 {
 	var r0 Fp2
 	r0.MulXi(&x.C2)
-	c0, c1 := new(Fp2).Set(&x.C0), new(Fp2).Set(&x.C1)
+	c0, c1 := x.C0, x.C1
 	z.C0.Set(&r0)
-	z.C1.Set(c0)
-	z.C2.Set(c1)
+	z.C1.Set(&c0)
+	z.C2.Set(&c1)
 	return z
 }
 

@@ -1,0 +1,141 @@
+package ff
+
+import "math/bits"
+
+// This file holds the variable-time inversion used on public operands.
+//
+// The default Fp.Inverse is the Fermat ladder: a fixed schedule of
+// Montgomery multiplications (~380 of them), so a secret input does not
+// modulate the run time. That robustness costs ~3.5× the wall time of a
+// binary extended GCD, and the cold Miller loop pays it ~100 times per
+// pairing — the line-slope denominators form a sequential chain (each
+// slope feeds the next point update), so they cannot be batched within
+// one pairing the way multi-pairing batches across pairings.
+//
+// Those denominators are coordinates of the *public* input points, so
+// the timing argument does not apply, and InverseVartime exists for
+// exactly that call site: Kaliski's almost Montgomery inverse — a
+// right-shifting binary extended GCD on raw limbs, allocation-free,
+// whose iteration count (and hence timing) tracks the input value.
+// Anything touching secret scalars or key material must stay on
+// Inverse.
+
+// InverseVartime sets z = x⁻¹ and returns z. Inverting zero yields
+// zero.
+//
+// NOT constant-time: the loop trip count and branch pattern depend on
+// the value of x. Use only where x is public — pairing line
+// denominators, batch-inversion aggregates over public curve points —
+// and never on secret-derived field elements.
+func (z *Fp) InverseVartime(x *Fp) *Fp {
+	if x.IsZero() {
+		return z.SetZero()
+	}
+
+	// Phase 1 (Kaliski): starting from u = p, v = x̃ (the Montgomery
+	// representation a·2²⁵⁶, treated as a plain residue), maintain
+	//
+	//	x̃·r ≡ −u·2ᵏ  and  x̃·s ≡ v·2ᵏ (mod p)
+	//
+	// while halving u or v each step. When v reaches 0, u = gcd = 1 and
+	// p − r = x̃⁻¹·2ᵏ mod p with k ∈ [254, 508]; r and s stay below 2p,
+	// which fits four limbs for our 254-bit p.
+	u := q
+	v := x.v
+	var r [4]uint64
+	s := [4]uint64{1, 0, 0, 0}
+	k := 0
+	for v != ([4]uint64{}) {
+		switch {
+		case u[0]&1 == 0:
+			limb4Shr1(&u)
+			limb4Shl1(&s)
+		case v[0]&1 == 0:
+			limb4Shr1(&v)
+			limb4Shl1(&r)
+		case !limb4Geq(&v, &u): // u > v; ties MUST take the v branch
+			// (v−u halves v to 0 and terminates; u−v would zero u
+			// while v stays odd, and the loop would spin forever).
+			limb4Sub(&u, &v)
+			limb4Shr1(&u)
+			limb4Add(&r, &s)
+			limb4Shl1(&s)
+		default:
+			limb4Sub(&v, &u)
+			limb4Shr1(&v)
+			limb4Add(&s, &r)
+			limb4Shl1(&r)
+		}
+		k++
+	}
+	if geqQ(&r) {
+		subQ(&r)
+	}
+	// r < p here, and r ≠ 0 because x is invertible, so p − r needs no
+	// borrow handling.
+	var bw uint64
+	r[0], bw = bits.Sub64(q[0], r[0], 0)
+	r[1], bw = bits.Sub64(q[1], r[1], bw)
+	r[2], bw = bits.Sub64(q[2], r[2], bw)
+	r[3], _ = bits.Sub64(q[3], r[3], bw)
+
+	// Phase 2: r = x̃⁻¹·2ᵏ = a⁻¹·2^(k−256) mod p, and the Montgomery
+	// form of the inverse is a⁻¹·2²⁵⁶ — multiply by 2^(512−k) with at
+	// most 258 modular doublings (each a shift plus a branchless
+	// conditional subtract).
+	for ; k < 512; k++ {
+		var c uint64
+		r[0], c = bits.Add64(r[0], r[0], 0)
+		r[1], c = bits.Add64(r[1], r[1], c)
+		r[2], c = bits.Add64(r[2], r[2], c)
+		r[3], c = bits.Add64(r[3], r[3], c)
+		reduceOnce(&r, c)
+	}
+	z.v = r
+	return z
+}
+
+// InverseVartime sets z = x⁻¹ and returns z, routing the single base
+// field inversion of 1/(a+bi) = (a−bi)/(a²+b²) through Fp's
+// variable-time path. Same contract: public operands only.
+func (z *Fp2) InverseVartime(x *Fp2) *Fp2 {
+	var norm, t Fp
+	norm.Square(&x.C0)
+	t.Square(&x.C1)
+	norm.Add(&norm, &t)
+	norm.InverseVartime(&norm)
+	var r0, r1 Fp
+	r0.Mul(&x.C0, &norm)
+	r1.Neg(&x.C1)
+	r1.Mul(&r1, &norm)
+	z.C0.Set(&r0)
+	z.C1.Set(&r1)
+	return z
+}
+
+// limb4Shr1 halves a (a must be even for exact division semantics; the
+// GCD only ever halves even values).
+func limb4Shr1(a *[4]uint64) {
+	a[0] = a[0]>>1 | a[1]<<63
+	a[1] = a[1]>>1 | a[2]<<63
+	a[2] = a[2]>>1 | a[3]<<63
+	a[3] >>= 1
+}
+
+// limb4Shl1 doubles a. Kaliski's invariants keep r, s < 2p < 2²⁵⁶, so
+// the shift cannot overflow four limbs.
+func limb4Shl1(a *[4]uint64) {
+	a[3] = a[3]<<1 | a[2]>>63
+	a[2] = a[2]<<1 | a[1]>>63
+	a[1] = a[1]<<1 | a[0]>>63
+	a[0] <<= 1
+}
+
+// limb4Add sets a = a + b (no overflow under the same < 2p bound).
+func limb4Add(a, b *[4]uint64) {
+	var c uint64
+	a[0], c = bits.Add64(a[0], b[0], 0)
+	a[1], c = bits.Add64(a[1], b[1], c)
+	a[2], c = bits.Add64(a[2], b[2], c)
+	a[3], _ = bits.Add64(a[3], b[3], c)
+}

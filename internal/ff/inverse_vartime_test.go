@@ -1,0 +1,92 @@
+package ff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestInverseVartimeMatchesInverse checks the Kaliski binary-GCD
+// inverse against the fixed-schedule Fermat inverse on random and edge
+// inputs — both must agree with big.Int.ModInverse and multiply back to
+// one.
+func TestInverseVartimeMatchesInverse(t *testing.T) {
+	check := func(x *Fp) {
+		t.Helper()
+		var fermat, kaliski, prod Fp
+		fermat.Inverse(x)
+		kaliski.InverseVartime(x)
+		if !fermat.Equal(&kaliski) {
+			t.Fatalf("InverseVartime(%v) = %v, Inverse = %v", x, &kaliski, &fermat)
+		}
+		if x.IsZero() {
+			if !kaliski.IsZero() {
+				t.Fatalf("InverseVartime(0) = %v, want 0", &kaliski)
+			}
+			return
+		}
+		if prod.Mul(x, &kaliski); !prod.IsOne() {
+			t.Fatalf("x·InverseVartime(x) = %v, want 1", &prod)
+		}
+	}
+
+	var x Fp
+	check(x.SetZero())
+	check(x.SetOne())
+	check(x.SetBig(big.NewInt(2)))
+	check(x.SetBig(new(big.Int).Sub(Modulus(), big.NewInt(1))))
+	check(x.SetBig(new(big.Int).Sub(Modulus(), big.NewInt(2))))
+	// Powers of two exercise the long even-branch runs of the GCD.
+	for sh := uint(1); sh < 254; sh += 13 {
+		check(x.SetBig(new(big.Int).Lsh(big.NewInt(1), sh)))
+	}
+	for i := 0; i < 200; i++ {
+		r, err := rand.Int(rand.Reader, Modulus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(x.SetBig(r))
+	}
+}
+
+// TestFp2InverseVartimeMatchesInverse does the same for the quadratic
+// extension.
+func TestFp2InverseVartimeMatchesInverse(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x, err := RandFp2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fermat, kaliski, prod Fp2
+		fermat.Inverse(x)
+		kaliski.InverseVartime(x)
+		if !fermat.Equal(&kaliski) {
+			t.Fatalf("Fp2 InverseVartime(%v) = %v, Inverse = %v", x, &kaliski, &fermat)
+		}
+		if prod.Mul(x, &kaliski); !prod.IsOne() {
+			t.Fatalf("x·InverseVartime(x) = %v, want 1", &prod)
+		}
+	}
+}
+
+// TestInverseVartimeAllocFree pins the vartime inverse to zero heap
+// allocations — it exists precisely so the Miller loop's ~100
+// sequential denominator inversions stay both cheap and garbage-free.
+func TestInverseVartimeAllocFree(t *testing.T) {
+	x, err := RandFp(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Fp
+	if n := testing.AllocsPerRun(50, func() { out.InverseVartime(x) }); n != 0 {
+		t.Fatalf("Fp.InverseVartime allocates %v/op, want 0", n)
+	}
+	x2, err := RandFp2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 Fp2
+	if n := testing.AllocsPerRun(50, func() { out2.InverseVartime(x2) }); n != 0 {
+		t.Fatalf("Fp2.InverseVartime allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,282 @@
+package ff
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// This file is the limb-arithmetic layer behind the zero-allocation hot
+// paths: fixed-window exponentiation driven by precomputed [4]uint64
+// exponents (Fermat inversion, square roots, cyclotomic powering), wNAF
+// recoding into caller-provided buffers, and scalar reduction mod r —
+// all without materializing a big.Int. The big.Int entry points remain
+// and delegate here when the exponent fits; they also serve as the
+// differential twins for the fuzz targets.
+
+// Limb forms of the fixed exponents used on hot paths. All are derived
+// from p (and r) at start-up, mirroring the big.Int originals.
+var (
+	// pMinus2Limbs is p−2, the Fermat inversion exponent.
+	pMinus2Limbs = toLimbs(pMinus2)
+	// sqrtExpLimbs is (p+1)/4, the Fp square-root exponent (p ≡ 3 mod 4).
+	sqrtExpLimbs = toLimbs(sqrtExp)
+	// fp2SqrtALimbs is (p−3)/4, the first exponent of the Fp2
+	// complex-method square root.
+	fp2SqrtALimbs = toLimbs(new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(3)), 2))
+	// pHalfLimbs is (p−1)/2, the second exponent of the Fp2 square root
+	// (and the Euler quadratic-character exponent).
+	pHalfLimbs = toLimbs(new(big.Int).Rsh(new(big.Int).Sub(p, bigOne), 1))
+	// rLimbs is the group order r, used by ReduceScalar.
+	rLimbs = toLimbs(r)
+)
+
+// limbsFromBig loads a non-negative big.Int of at most 256 bits into
+// four little-endian limbs without allocating (big.Int.Bits aliases the
+// existing storage). The second return is false when e is negative or
+// too wide; callers then fall back to the big.Int path.
+func limbsFromBig(e *big.Int) ([4]uint64, bool) {
+	var out [4]uint64
+	if e.Sign() < 0 || e.BitLen() > 256 {
+		return out, false
+	}
+	words := e.Bits()
+	if bits.UintSize == 64 {
+		for i, w := range words {
+			out[i] = uint64(w)
+		}
+	} else {
+		for i, w := range words {
+			out[i/2] |= uint64(w) << (32 * uint(i%2))
+		}
+	}
+	return out, true
+}
+
+// limb4Geq reports whether a ≥ b as 256-bit little-endian values.
+func limb4Geq(a, b *[4]uint64) bool {
+	for i := 3; i >= 0; i-- {
+		if a[i] > b[i] {
+			return true
+		}
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// limb4Sub sets a = a − b (caller guarantees a ≥ b).
+func limb4Sub(a, b *[4]uint64) {
+	var bw uint64
+	a[0], bw = bits.Sub64(a[0], b[0], 0)
+	a[1], bw = bits.Sub64(a[1], b[1], bw)
+	a[2], bw = bits.Sub64(a[2], b[2], bw)
+	a[3], _ = bits.Sub64(a[3], b[3], bw)
+}
+
+// ReduceScalar returns k mod r as four little-endian limbs. For the
+// common case 0 ≤ k < 2²⁵⁶ the reduction is a handful of conditional
+// limb subtractions and performs no heap allocation; negative or wider
+// inputs take a (cold) big.Int detour. This is the entry point the
+// group scalar-multiplication tiers use to leave big.Int behind.
+func ReduceScalar(k *big.Int) [4]uint64 {
+	limbs, ok := limbsFromBig(k)
+	if !ok {
+		var red big.Int
+		red.Mod(k, r)
+		return toLimbs(&red)
+	}
+	// k < 2²⁵⁶ < 5r, so at most four subtractions reduce it.
+	for limb4Geq(&limbs, &rLimbs) {
+		limb4Sub(&limbs, &rLimbs)
+	}
+	return limbs
+}
+
+// OrderLimbs returns the group order r as four little-endian limbs.
+func OrderLimbs() [4]uint64 { return rLimbs }
+
+// expLimbs sets z = x^e for a 256-bit little-endian limb exponent,
+// using a fixed 4-bit window: at most 16 table entries on the stack,
+// four squarings plus one table multiplication per window, and no heap
+// allocation. The operation schedule depends only on the exponent, so
+// for the fixed public exponents this is used with (p−2, (p+1)/4, …)
+// the run time is independent of the value of x.
+func (z *Fp) expLimbs(x *Fp, e *[4]uint64) *Fp {
+	var tbl [16]Fp
+	tbl[1].Set(x)
+	for i := 2; i < 16; i++ {
+		tbl[i].Mul(&tbl[i-1], x)
+	}
+	var acc Fp
+	acc.SetOne()
+	started := false
+	for i := 3; i >= 0; i-- {
+		for shift := 60; shift >= 0; shift -= 4 {
+			if started {
+				acc.Square(&acc)
+				acc.Square(&acc)
+				acc.Square(&acc)
+				acc.Square(&acc)
+			}
+			if d := (e[i] >> uint(shift)) & 0xf; d != 0 {
+				acc.Mul(&acc, &tbl[d])
+				started = true
+			}
+		}
+	}
+	return z.Set(&acc)
+}
+
+// expLimbs is the Fp2 counterpart of Fp.expLimbs (same fixed 4-bit
+// window, same allocation-free schedule).
+func (z *Fp2) expLimbs(x *Fp2, e *[4]uint64) *Fp2 {
+	var tbl [16]Fp2
+	tbl[1].Set(x)
+	for i := 2; i < 16; i++ {
+		tbl[i].Mul(&tbl[i-1], x)
+	}
+	var acc Fp2
+	acc.SetOne()
+	started := false
+	for i := 3; i >= 0; i-- {
+		for shift := 60; shift >= 0; shift -= 4 {
+			if started {
+				acc.Square(&acc)
+				acc.Square(&acc)
+				acc.Square(&acc)
+				acc.Square(&acc)
+			}
+			if d := (e[i] >> uint(shift)) & 0xf; d != 0 {
+				acc.Mul(&acc, &tbl[d])
+				started = true
+			}
+		}
+	}
+	return z.Set(&acc)
+}
+
+// expLimbs is the Fp12 counterpart, a plain square-and-multiply bit
+// loop (the generic-Fp12 power is only the cold fallback when an
+// exponent base is outside the cyclotomic subgroup; a 16-entry Fp12
+// window table would be 9 KiB of stack for no hot-path win).
+func (z *Fp12) expLimbs(x *Fp12, e *[4]uint64) *Fp12 {
+	var acc Fp12
+	acc.SetOne()
+	started := false
+	for i := 3; i >= 0; i-- {
+		for bit := 63; bit >= 0; bit-- {
+			if started {
+				acc.Square(&acc)
+			}
+			if e[i]>>uint(bit)&1 == 1 {
+				acc.Mul(&acc, x)
+				started = true
+			}
+		}
+	}
+	return z.Set(&acc)
+}
+
+// AppendWNAF appends the width-w non-adjacent form of the 256-bit
+// little-endian value e to dst (least significant digit first) and
+// returns the extended slice, matching WNAF's digit convention exactly
+// but recoding in limb arithmetic with no big.Int churn. Callers that
+// pass a slice backed by a stack array (dst := buf[:0]) get an
+// allocation-free recoding as long as the result does not escape; the
+// digit count never exceeds 258 for 256-bit inputs, so a [258]int8
+// buffer always suffices. w must be in [2, 8].
+func AppendWNAF(dst []int8, e [4]uint64, w uint) []int8 {
+	if w < 2 || w > 8 {
+		panic("ff: WNAF width out of range")
+	}
+	// A fifth limb absorbs the transient carry when a negative digit is
+	// added back near the top of the value.
+	var v [5]uint64
+	v[0], v[1], v[2], v[3] = e[0], e[1], e[2], e[3]
+	mask := uint64(1)<<w - 1
+	half := int64(1) << (w - 1)
+	for v != [5]uint64{} {
+		var d int64
+		if v[0]&1 == 1 {
+			d = int64(v[0] & mask)
+			if d >= half {
+				d -= int64(1) << w
+				// v += −d
+				var c uint64
+				v[0], c = bits.Add64(v[0], uint64(-d), 0)
+				v[1], c = bits.Add64(v[1], 0, c)
+				v[2], c = bits.Add64(v[2], 0, c)
+				v[3], c = bits.Add64(v[3], 0, c)
+				v[4], _ = bits.Add64(v[4], 0, c)
+			} else {
+				// v −= d
+				var b uint64
+				v[0], b = bits.Sub64(v[0], uint64(d), 0)
+				v[1], b = bits.Sub64(v[1], 0, b)
+				v[2], b = bits.Sub64(v[2], 0, b)
+				v[3], b = bits.Sub64(v[3], 0, b)
+				v[4], _ = bits.Sub64(v[4], 0, b)
+			}
+		}
+		dst = append(dst, int8(d))
+		v[0] = v[0]>>1 | v[1]<<63
+		v[1] = v[1]>>1 | v[2]<<63
+		v[2] = v[2]>>1 | v[3]<<63
+		v[3] = v[3]>>1 | v[4]<<63
+		v[4] >>= 1
+	}
+	return dst
+}
+
+// WNAFMaxDigits bounds the AppendWNAF output length for 256-bit inputs
+// (one extra digit for the add-back carry, one for slack).
+const WNAFMaxDigits = 258
+
+// ExpCyclotomicLimbs sets z = x^e for x in the cyclotomic subgroup and
+// a 256-bit little-endian limb exponent: the limb twin of
+// ExpCyclotomic, recoding into a stack buffer so repeated fixed
+// exponents (the curve parameter u in the final exponentiation, GT.Exp
+// in the decryption inner loop) never touch the heap. The result is
+// undefined when x is outside G_Φ12.
+func (z *Fp12) ExpCyclotomicLimbs(x *Fp12, e *[4]uint64) *Fp12 {
+	var buf [WNAFMaxDigits]int8
+	digits := AppendWNAF(buf[:0], *e, 4)
+	if len(digits) == 0 {
+		return z.SetOne()
+	}
+	return z.expCyclotomicDigits(x, digits)
+}
+
+// expCyclotomicDigits is the shared digit walk behind ExpCyclotomic and
+// ExpCyclotomicLimbs: width-4 wNAF digits (LSB first), Granger–Scott
+// squarings, conjugation in place of inversion.
+func (z *Fp12) expCyclotomicDigits(x *Fp12, digits []int8) *Fp12 {
+	// Odd powers x^1, x^3, x^5, x^7.
+	var tbl [4]Fp12
+	tbl[0].Set(x)
+	var sq Fp12
+	sq.CyclotomicSquare(x)
+	for i := 1; i < len(tbl); i++ {
+		tbl[i].Mul(&tbl[i-1], &sq)
+	}
+
+	var acc Fp12
+	acc.SetOne()
+	started := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		if started {
+			acc.CyclotomicSquare(&acc)
+		}
+		if d := digits[i]; d > 0 {
+			acc.Mul(&acc, &tbl[d>>1])
+			started = true
+		} else if d < 0 {
+			var t Fp12
+			t.Conjugate(&tbl[(-d)>>1])
+			acc.Mul(&acc, &t)
+			started = true
+		}
+	}
+	return z.Set(&acc)
+}

@@ -58,6 +58,10 @@ type Lattice struct {
 	// for target (k,0,…,0) are round(k·cof0[i]/det).
 	det  *big.Int
 	cof0 []*big.Int
+	// limb holds the fixed-point data for the allocation-free
+	// DecomposeInto twin (limb.go); nil/!ok means only the big.Int
+	// Decompose is available.
+	limb *lattLimbs
 }
 
 // NewLattice validates basis as an n×n full-rank set of relation
@@ -106,7 +110,9 @@ func NewLattice(mod, mu *big.Int, basis [][]*big.Int) (*Lattice, error) {
 		}
 		cof0[i] = c
 	}
-	return &Lattice{mod: mod, dim: n, basis: rows, det: det, cof0: cof0}, nil
+	l := &Lattice{mod: mod, dim: n, basis: rows, det: det, cof0: cof0}
+	l.limb = buildLattLimbs(l)
+	return l, nil
 }
 
 // Dim returns the lattice dimension n (the number of sub-scalars

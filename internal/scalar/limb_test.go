@@ -1,0 +1,233 @@
+package scalar
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// The differential tests below pin DecomposeInto to the big.Int
+// Decompose twin on the production GLV lattice: BN254's group order r
+// and the λ eigenvalue of the degree-2 endomorphism, with the
+// extended-Euclid reduced basis — the same (mod, μ, basis) triple
+// internal/bn254 constructs at start-up. The parameters are re-derived
+// here from the curve parameter u rather than imported, keeping scalar
+// free of a bn254 dependency.
+
+func bn254GLVLattice(t testing.TB) (*Lattice, *big.Int, *big.Int) {
+	u := new(big.Int).SetUint64(4965661367192848881)
+	// r = 36u⁴ + 36u³ + 18u² + 6u + 1
+	r := polyU(u, 36, 36, 18, 6, 1)
+	// λ = 36u³ + 18u² + 6u + 1 mod r (a primitive cube root of unity).
+	lam := polyU(u, 0, 36, 18, 6, 1)
+	lam.Mod(lam, r)
+	basis, err := ReducedBasis2(r, lam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := NewLattice(r, lam, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat, r, lam
+}
+
+// polyU evaluates c4·u⁴ + c3·u³ + c2·u² + c1·u + c0.
+func polyU(u *big.Int, c4, c3, c2, c1, c0 int64) *big.Int {
+	out := big.NewInt(c4)
+	for _, c := range []int64{c3, c2, c1, c0} {
+		out.Mul(out, u)
+		out.Add(out, big.NewInt(c))
+	}
+	return out
+}
+
+func limbsOf(t testing.TB, e *big.Int) [4]uint64 {
+	if e.Sign() < 0 || e.BitLen() > 256 {
+		t.Fatalf("scalar out of limb range: %v", e)
+	}
+	var out [4]uint64
+	b := make([]byte, 32)
+	e.FillBytes(b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			out[i] |= uint64(b[31-8*i-j]) << (8 * j)
+		}
+	}
+	return out
+}
+
+// checkDecomposeInto verifies the limb decomposition of e against the
+// recomposition identity and the big.Int twin's sub-scalar sizes.
+func checkDecomposeInto(t testing.TB, lat *Lattice, mod, mu, e *big.Int) {
+	el := limbsOf(t, e)
+	out := make([]SubScalar, lat.Dim())
+	if !lat.DecomposeInto(&el, out) {
+		t.Fatalf("DecomposeInto failed for e=%v", e)
+	}
+	// Σ aⱼ·μʲ ≡ e (mod mod).
+	acc := new(big.Int)
+	muPow := big.NewInt(1)
+	for j := range out {
+		acc.Add(acc, new(big.Int).Mul(out[j].Big(), muPow))
+		muPow.Mul(muPow, mu)
+		muPow.Mod(muPow, mod)
+	}
+	acc.Mod(acc, mod)
+	want := new(big.Int).Mod(e, mod)
+	if acc.Cmp(want) != 0 {
+		t.Fatalf("recomposition failed for e=%v: got %v", e, acc)
+	}
+	// Size: each fixed-point Babai coefficient differs from the exact
+	// rounding by at most one, so sub-scalar j differs from the twin's
+	// by at most Σᵢ |bᵢⱼ| — together with the Babai guarantee that
+	// bounds |aⱼ| by (3/2)·dim·max|bᵢⱼ|, i.e. max basis bit length
+	// plus 3 bits for dim ≤ 4.
+	maxB := 0
+	for i := range lat.basis {
+		for j := range lat.basis[i] {
+			if b := lat.basis[i][j].BitLen(); b > maxB {
+				maxB = b
+			}
+		}
+	}
+	twin := lat.Decompose(e)
+	for j := range out {
+		got := out[j].BitLen()
+		if got <= twin[j].BitLen()+2 {
+			continue
+		}
+		if got > maxB+3 {
+			t.Fatalf("sub-scalar %d too long for e=%v: %d bits (twin %d, basis max %d)", j, e, got, twin[j].BitLen(), maxB)
+		}
+	}
+}
+
+func TestDecomposeIntoGLV(t *testing.T) {
+	lat, r, lam := bn254GLVLattice(t)
+	if !lat.LimbReady() {
+		t.Fatal("GLV lattice limb data did not fit")
+	}
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Set(lam),
+	}
+	for i := 0; i < 200; i++ {
+		k, err := Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, k)
+	}
+	for _, e := range cases {
+		checkDecomposeInto(t, lat, r, lam, e)
+	}
+}
+
+// bn254GLSLattice re-derives the 4-dimensional Galbraith–Scott lattice
+// internal/bn254 uses for G2 (μ = 6u², basis entries O(u)), the widest
+// fixed-point data the limb path must carry (g ≈ 2¹⁹⁹).
+func bn254GLSLattice(t testing.TB) (*Lattice, *big.Int, *big.Int) {
+	u := new(big.Int).SetUint64(4965661367192848881)
+	r := polyU(u, 36, 36, 18, 6, 1)
+	mu := new(big.Int).Mul(u, u)
+	mu.Mul(mu, big.NewInt(6))
+	mk := func(cs ...[2]int64) []*big.Int {
+		row := make([]*big.Int, len(cs))
+		for i, c := range cs {
+			v := new(big.Int).Mul(big.NewInt(c[0]), u)
+			row[i] = v.Add(v, big.NewInt(c[1]))
+		}
+		return row
+	}
+	basis := [][]*big.Int{
+		mk([2]int64{1, 1}, [2]int64{1, 0}, [2]int64{1, 0}, [2]int64{-2, 0}),
+		mk([2]int64{2, 1}, [2]int64{-1, 0}, [2]int64{-1, -1}, [2]int64{-1, 0}),
+		mk([2]int64{2, 0}, [2]int64{2, 1}, [2]int64{2, 1}, [2]int64{2, 1}),
+		mk([2]int64{1, -1}, [2]int64{4, 2}, [2]int64{-2, 1}, [2]int64{1, -1}),
+	}
+	lat, err := NewLattice(r, mu, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat, r, mu
+}
+
+func TestDecomposeIntoGLS(t *testing.T) {
+	lat, r, mu := bn254GLSLattice(t)
+	if !lat.LimbReady() {
+		t.Fatal("GLS lattice limb data did not fit")
+	}
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(r, big.NewInt(1)),
+		new(big.Int).Set(mu),
+	}
+	for i := 0; i < 200; i++ {
+		k, err := Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, k)
+	}
+	for _, e := range cases {
+		checkDecomposeInto(t, lat, r, mu, e)
+	}
+}
+
+func TestDecomposeIntoAllocFree(t *testing.T) {
+	lat, _, _ := bn254GLVLattice(t)
+	k, err := Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := limbsOf(t, k)
+	out := make([]SubScalar, lat.Dim())
+	if n := testing.AllocsPerRun(100, func() { lat.DecomposeInto(&el, out) }); n != 0 {
+		t.Fatalf("DecomposeInto allocates %v/op, want 0", n)
+	}
+}
+
+// TestDecomposeIntoRejectsWideBasis checks the fallback signal: a valid
+// relation basis with entries too wide for the fixed-point path must
+// report LimbReady() == false rather than decompose incorrectly.
+func TestDecomposeIntoRejectsWideBasis(t *testing.T) {
+	_, r, lam := bn254GLVLattice(t)
+	// Trivial (valid, unreduced) relation basis: rows (r, 0), (−λ, 1).
+	basis := [][]*big.Int{
+		{new(big.Int).Set(r), big.NewInt(0)},
+		{new(big.Int).Neg(lam), big.NewInt(1)},
+	}
+	lat, err := NewLattice(r, lam, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.LimbReady() {
+		t.Fatal("expected wide basis to disable the limb path")
+	}
+	var el [4]uint64
+	el[0] = 12345
+	out := make([]SubScalar, 2)
+	if lat.DecomposeInto(&el, out) {
+		t.Fatal("DecomposeInto should fail on a limb-unready lattice")
+	}
+}
+
+// FuzzGLVDecompose differentially tests the fixed-point limb
+// decomposition against the retained big.Int twin on the production
+// GLV lattice.
+func FuzzGLVDecompose(f *testing.F) {
+	lat, r, lam := bn254GLVLattice(f)
+	f.Add(make([]byte, 32))
+	f.Add(new(big.Int).Sub(r, big.NewInt(1)).Bytes())
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := new(big.Int).SetBytes(data)
+		e.Mod(e, r)
+		checkDecomposeInto(t, lat, r, lam, e)
+	})
+}
