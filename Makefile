@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke fuzz-smoke ci baseline profile clean
+.PHONY: all build test race vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -19,13 +19,25 @@ race:
 vet:
 	$(GO) vet ./...
 
-# ci is the tier-1 gate: build, vet, the full test suite under the
-# race detector (the protocol stack fans work out across goroutines),
-# and a short differential fuzz pass over the lazy-tower and Pippenger
-# twins. Timing-sensitive bench regression checks are opt-in:
-# CI_BENCH=1 make ci additionally fails if any hot operation regressed
-# >25% against the committed bench_baseline.json.
-ci: build vet race fuzz-smoke
+# lint runs dlrlint, the repo's own static-analysis suite (see
+# internal/lint): secret-taint tracking, ...Into aliasing contracts,
+# //dlr:noalloc hot-path allocation checks and unchecked wire/storage
+# decodes. Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/dlrlint ./...
+
+# fmt-check fails if any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the tier-1 gate: build, vet, dlrlint, gofmt cleanliness, the
+# full test suite under the race detector (the protocol stack fans work
+# out across goroutines), and a short differential fuzz pass over the
+# lazy-tower and Pippenger twins. Timing-sensitive bench regression
+# checks are opt-in: CI_BENCH=1 make ci additionally fails if any hot
+# operation regressed >25% against the committed bench_baseline.json.
+ci: build vet lint fmt-check race fuzz-smoke
 ifeq ($(CI_BENCH),1)
 	$(MAKE) bench-smoke
 endif

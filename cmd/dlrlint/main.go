@@ -1,0 +1,45 @@
+// Command dlrlint runs the repo's static-analysis suite (internal/lint)
+// over the module: vartime-taint, into-aliasing, hot-path-alloc and
+// unchecked-serialization. It is standard-library only — package
+// discovery shells out to `go list`, type information comes from
+// build-cache export data — and is wired into `make lint` / `make ci`.
+//
+// Usage:
+//
+//	dlrlint [-list] [packages|testdata-dirs]
+//
+// Arguments are go-list package patterns (default ./...); bare
+// directory arguments (testdata golden packages) are loaded directly.
+// Exits 1 when any finding survives its //dlrlint:ignore filters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-24s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	diags, err := lint.Main(".", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlrlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dlrlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

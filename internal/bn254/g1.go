@@ -254,6 +254,8 @@ func (j *g1Jac) addAffine(a *G1) {
 // ScalarMultReference the naive loop, both for differential testing.
 // Not constant-time: the decomposition and digit patterns of k leak
 // through timing.
+//
+//dlr:noalloc
 func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	e := ff.ReduceScalar(k)
 	if e == [4]uint64{} || a.inf {
@@ -262,6 +264,7 @@ func (z *G1) ScalarMult(a *G1, k *big.Int) *G1 {
 	var acc g1Jac
 	if !g1GLVMultLimbs(&acc, a, &e) {
 		// Limb-unready lattice (never the production one): big.Int tier.
+		//dlrlint:ignore hot-path-alloc cold fallback for limb-unready lattices, never taken in production
 		g1GLVMult(&acc, a, new(big.Int).Mod(k, ff.Order()))
 	}
 	acc.toAffine(z)
@@ -309,6 +312,8 @@ func (z *G1) ScalarMultReference(a *G1, k *big.Int) *G1 {
 // multiples of G (radix-16 windows), so the whole multiplication is at
 // most 64 mixed additions with no doublings — several times faster
 // than the generic path. k is reduced mod r.
+//
+//dlr:noalloc
 func (z *G1) ScalarBaseMult(k *big.Int) *G1 {
 	e := ff.ReduceScalar(k)
 	if e == [4]uint64{} {

@@ -318,6 +318,8 @@ func (j *g2Jac) addAffine(a *G2) {
 // Cofactor clearing of points outside the subgroup uses the internal
 // raw-scalar path g2ScalarMultRaw instead. Not constant-time: the
 // decomposition and digit patterns of k leak through timing.
+//
+//dlr:noalloc
 func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 	e := ff.ReduceScalar(k)
 	if e == [4]uint64{} || a.inf {
@@ -326,6 +328,7 @@ func (z *G2) ScalarMult(a *G2, k *big.Int) *G2 {
 	var acc g2Jac
 	if !g2GLSMultLimbs(&acc, a, &e) {
 		// Limb-unready lattice (never the production one): big.Int tier.
+		//dlrlint:ignore hot-path-alloc cold fallback for limb-unready lattices, never taken in production
 		g2GLSMult(&acc, a, new(big.Int).Mod(k, ff.Order()))
 	}
 	acc.toAffine(z)
@@ -397,6 +400,8 @@ func (z *G2) ScalarMultReference(a *G2, k *big.Int) *G2 {
 // affine generator multiples (radix-16 windows, mixed additions only).
 // k is reduced mod r, which is always valid here because the generator
 // has exact order r — including for negative k.
+//
+//dlr:noalloc
 func (z *G2) ScalarBaseMult(k *big.Int) *G2 {
 	e := ff.ReduceScalar(k)
 	if e == [4]uint64{} {

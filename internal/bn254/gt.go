@@ -99,6 +99,8 @@ func (z *GT) Div(a, b *GT) *GT {
 // elements smuggled in through SetBytes fall back to the generic
 // square-and-multiply, so results stay correct either way. Not
 // constant-time: the bit pattern of k leaks through timing.
+//
+//dlr:noalloc
 func (z *GT) Exp(a *GT, k *big.Int) *GT {
 	if a.v.IsCyclotomic() {
 		// ff.ReduceScalar + the limb wNAF walk keep the whole
@@ -106,6 +108,7 @@ func (z *GT) Exp(a *GT, k *big.Int) *GT {
 		e := ff.ReduceScalar(k)
 		z.v.ExpCyclotomicLimbs(&a.v, &e)
 	} else {
+		//dlrlint:ignore hot-path-alloc cold path for non-cyclotomic elements smuggled in via SetBytes
 		z.v.Exp(&a.v, new(big.Int).Mod(k, ff.Order()))
 	}
 	return z

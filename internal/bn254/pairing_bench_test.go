@@ -23,9 +23,19 @@ func BenchmarkPairReference(b *testing.B) {
 	}
 }
 
+// benchScalar returns the fixed scalar the scalar-mult and
+// exponentiation benchmarks share.
+func benchScalar(tb testing.TB) *big.Int {
+	k, ok := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	if !ok {
+		tb.Fatal("bad benchmark scalar literal")
+	}
+	return k
+}
+
 func BenchmarkG1ScalarMult(b *testing.B) {
 	g := G1Generator()
-	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	k := benchScalar(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		new(G1).ScalarMult(g, k)
@@ -34,7 +44,7 @@ func BenchmarkG1ScalarMult(b *testing.B) {
 
 func BenchmarkG2ScalarMult(b *testing.B) {
 	g := G2Generator()
-	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	k := benchScalar(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		new(G2).ScalarMult(g, k)
@@ -61,7 +71,7 @@ func BenchmarkNewPairingTable(b *testing.B) {
 
 func BenchmarkGTExp(b *testing.B) {
 	e := GTGenerator()
-	k, _ := new(big.Int).SetString("1234567890123456789012345678901234567890", 10)
+	k := benchScalar(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		new(GT).Exp(e, k)

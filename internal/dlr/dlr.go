@@ -106,9 +106,11 @@ type P1 struct {
 	gt   group.GT
 
 	// sk1 is the plaintext share (ModeBasic only; nil otherwise).
+	//dlr:secret
 	sk1 *pss.Share1
 
 	// skcomm is the current period's Π_comm key.
+	//dlr:secret
 	skcomm hpske.Key
 
 	// encSK1[i] = Enc'_{skcomm}(aᵢ) — the fᵢ of the protocols — and
@@ -136,6 +138,7 @@ type P2 struct {
 	g2   group.G2
 	gt   group.GT
 
+	//dlr:secret
 	sk2 hpske.Key
 
 	period uint64
@@ -289,6 +292,9 @@ func (p *P1) rebuildEncryptedShare(rng io.Reader) error {
 	if err != nil {
 		return err
 	}
+	// Wipe the outgoing period key before dropping the reference (nil on
+	// the first call from newP1).
+	p.skcomm.Zeroize()
 	p.skcomm = key
 	p.encSK1 = make([]*hpske.Ciphertext[*bn254.G2], p.prm.Ell)
 	for i, ai := range p.sk1.Coins {
@@ -351,6 +357,9 @@ func (p *P1) BeginPeriod(rng io.Reader) error {
 		return err
 	}
 	p.encPhi = re
+	// Every ciphertext now lives under newKey; wipe the outgoing period
+	// key before dropping the reference.
+	p.skcomm.Zeroize()
 	p.skcomm = newKey
 	p.transTabs = nil
 	return nil

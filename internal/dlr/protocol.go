@@ -213,7 +213,9 @@ func (p *P2) handleRef1(msg wire.Msg) (wire.Msg, error) {
 		return wire.Msg{}, err
 	}
 	// Erase the old share and install the new one (the paper's erasure
-	// at the end of refresh).
+	// at the end of refresh): the outgoing scalars are wiped in place
+	// before the reference is dropped.
+	p.sk2.Zeroize()
 	p.sk2 = hpske.Key(sPrime)
 	p.period++
 	return wire.Msg{Kind: kindRef2, Payload: payload}, nil

@@ -1,0 +1,121 @@
+package dlr
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/hpske"
+	"repro/internal/params"
+)
+
+// captureLimbs snapshots the limb storage backing every coordinate of
+// k, so a test can verify the arrays themselves were overwritten (not
+// merely unreferenced).
+func captureLimbs(t *testing.T, k hpske.Key) [][]big.Word {
+	t.Helper()
+	limbs := make([][]big.Word, len(k))
+	for i, c := range k {
+		limbs[i] = c.Bits()
+		if len(limbs[i]) == 0 {
+			t.Fatalf("key coordinate %d is zero before the rotation under test", i)
+		}
+	}
+	return limbs
+}
+
+// assertWiped checks that every retained coordinate reads zero and
+// every captured limb was overwritten.
+func assertWiped(t *testing.T, what string, k hpske.Key, limbs [][]big.Word) {
+	t.Helper()
+	for i, c := range k {
+		if c.Sign() != 0 {
+			t.Errorf("%s: coordinate %d not reset", what, i)
+		}
+	}
+	for i, ws := range limbs {
+		for j, w := range ws {
+			if w != 0 {
+				t.Errorf("%s: coordinate %d limb %d not wiped", what, i, j)
+			}
+		}
+	}
+}
+
+// TestRefreshZeroizesOldShares asserts the paper's erasure step is
+// real: after a 2-party refresh the previous share material is wiped
+// in place, and the devices still decrypt correctly.
+func TestRefreshZeroizesOldShares(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pk, p1, p2 := genTest(t, mode)
+
+			oldSK2 := p2.sk2
+			sk2Limbs := captureLimbs(t, oldSK2)
+			var oldKC hpske.Key
+			var kcLimbs [][]big.Word
+			if mode == params.ModeBasic {
+				// ModeBasic refresh rotates skcomm too
+				// (rebuildEncryptedShare); ModeOptimalRate rotates it only
+				// at period boundaries (see TestBeginPeriodZeroizesOldKey).
+				oldKC = p1.skcomm
+				kcLimbs = captureLimbs(t, oldKC)
+			}
+
+			if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+				t.Fatal(err)
+			}
+
+			assertWiped(t, "P2 sk2", oldSK2, sk2Limbs)
+			if mode == params.ModeBasic {
+				assertWiped(t, "P1 skcomm", oldKC, kcLimbs)
+			}
+
+			m, err := RandMessage(rand.Reader, pk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Encrypt(rand.Reader, pk, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := Decrypt(rand.Reader, p1, p2, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(m) {
+				t.Fatal("decryption broken after refresh with erasure")
+			}
+		})
+	}
+}
+
+// TestBeginPeriodZeroizesOldKey asserts the ModeOptimalRate period
+// rotation wipes the outgoing Π_comm key.
+func TestBeginPeriodZeroizesOldKey(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+
+	oldKC := p1.skcomm
+	kcLimbs := captureLimbs(t, oldKC)
+
+	if err := p1.BeginPeriod(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	assertWiped(t, "P1 skcomm", oldKC, kcLimbs)
+
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decrypt(rand.Reader, p1, p2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption broken after period rotation with erasure")
+	}
+}

@@ -100,3 +100,19 @@ func TestBatchInverseIntoAllocFree(t *testing.T) {
 		t.Fatalf("BatchInverseFp2Into allocates %v/op, want 0", n)
 	}
 }
+
+func TestBatchInverseFpIntoAllocFree(t *testing.T) {
+	xs := make([]Fp, 32)
+	for i := range xs {
+		x, err := RandFp(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i].Set(x)
+	}
+	out := make([]Fp, len(xs))
+	prefix := make([]Fp, len(xs))
+	if n := testing.AllocsPerRun(10, func() { BatchInverseFpInto(out, xs, prefix) }); n != 0 {
+		t.Fatalf("BatchInverseFpInto allocates %v/op, want 0", n)
+	}
+}

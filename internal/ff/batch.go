@@ -30,6 +30,8 @@ func BatchInverseFp(xs []Fp) []Fp {
 // (in-place inversion), prefix may not alias either. The loops that
 // call this once per Miller-loop step or bucket round keep one out and
 // one prefix slice alive across the whole run.
+//
+//dlr:noalloc
 func BatchInverseFpInto(out, xs, prefix []Fp) {
 	if len(xs) == 0 {
 		return
@@ -68,6 +70,8 @@ func BatchInverseFp2(xs []Fp2) []Fp2 {
 
 // BatchInverseFp2Into is the scratch-reusing form of BatchInverseFp2,
 // with the same contract as BatchInverseFpInto.
+//
+//dlr:noalloc
 func BatchInverseFp2Into(out, xs, prefix []Fp2) {
 	if len(xs) == 0 {
 		return

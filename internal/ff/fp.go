@@ -345,6 +345,8 @@ func (z *Fp) Neg(x *Fp) *Fp {
 }
 
 // Mul sets z = x·y and returns z.
+//
+//dlr:noalloc
 func (z *Fp) Mul(x, y *Fp) *Fp {
 	montMul(&z.v, &x.v, &y.v)
 	return z
@@ -395,6 +397,8 @@ func (z *Fp) MulInt64(x *Fp, c int64) *Fp {
 // elements must use it. Hot paths whose operands are public (the
 // Miller loop's sequential line denominators) use the ~6× faster
 // InverseVartime instead.
+//
+//dlr:noalloc
 func (z *Fp) Inverse(x *Fp) *Fp {
 	if x.IsZero() {
 		return z.SetZero()
@@ -430,6 +434,8 @@ func (z *Fp) Exp(x *Fp, e *big.Int) *Fp {
 
 // Sqrt sets z to a square root of x if one exists and reports whether it
 // does. Uses the p ≡ 3 (mod 4) shortcut z = x^((p+1)/4).
+//
+//dlr:noalloc
 func (z *Fp) Sqrt(x *Fp) (*Fp, bool) {
 	var cand Fp
 	cand.expLimbs(x, &sqrtExpLimbs)

@@ -79,6 +79,8 @@ func (z *Fp12) Neg(x *Fp12) *Fp12 {
 
 // Mul sets z = x·y and returns z (Karatsuba over the quadratic extension,
 // with w² = v).
+//
+//dlr:noalloc
 func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
 	var t0, t1, t2, r0, r1 Fp6
 	t0.Mul(&x.C0, &y.C0)
@@ -104,6 +106,8 @@ func (z *Fp12) Mul(x, y *Fp12) *Fp12 {
 // Square sets z = x² and returns z using complex squaring over Fp6
 // (two Fp6 multiplications instead of the three a generic Mul costs):
 // c0 = (a0+a1)(a0+v·a1) − t − v·t and c1 = 2t with t = a0·a1.
+//
+//dlr:noalloc
 func (z *Fp12) Square(x *Fp12) *Fp12 {
 	var t, s, u, r0, r1 Fp6
 	t.Mul(&x.C0, &x.C1)
@@ -130,6 +134,8 @@ func (z *Fp12) Conjugate(x *Fp12) *Fp12 {
 }
 
 // Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+//
+//dlr:noalloc
 func (z *Fp12) Inverse(x *Fp12) *Fp12 {
 	// 1/(a0 + a1 w) = (a0 − a1 w)/(a0² − v·a1²).
 	var t0, t1 Fp6

@@ -100,6 +100,8 @@ func (z *Fp2) Double(x *Fp2) *Fp2 { return z.Add(x, x) }
 // the schoolbook formula (kept as fp2MulGeneric, the differential twin).
 // Operand coefficients may be one unreduced addition deep (< 2p); the
 // result is always fully reduced.
+//
+//dlr:noalloc
 func (z *Fp2) Mul(x, y *Fp2) *Fp2 {
 	fp2MulLazy(z, x, y)
 	return z
@@ -144,6 +146,8 @@ func (z *Fp2) Conjugate(x *Fp2) *Fp2 {
 }
 
 // Inverse sets z = x⁻¹ and returns z. Inverting zero yields zero.
+//
+//dlr:noalloc
 func (z *Fp2) Inverse(x *Fp2) *Fp2 {
 	// 1/(a+bi) = (a−bi)/(a²+b²).
 	var norm, t Fp

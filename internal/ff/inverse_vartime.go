@@ -27,6 +27,8 @@ import "math/bits"
 // the value of x. Use only where x is public — pairing line
 // denominators, batch-inversion aggregates over public curve points —
 // and never on secret-derived field elements.
+//
+//dlr:noalloc
 func (z *Fp) InverseVartime(x *Fp) *Fp {
 	if x.IsZero() {
 		return z.SetZero()
@@ -98,6 +100,8 @@ func (z *Fp) InverseVartime(x *Fp) *Fp {
 // InverseVartime sets z = x⁻¹ and returns z, routing the single base
 // field inversion of 1/(a+bi) = (a−bi)/(a²+b²) through Fp's
 // variable-time path. Same contract: public operands only.
+//
+//dlr:noalloc
 func (z *Fp2) InverseVartime(x *Fp2) *Fp2 {
 	var norm, t Fp
 	norm.Square(&x.C0)

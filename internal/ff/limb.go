@@ -239,6 +239,8 @@ const WNAFMaxDigits = 258
 // exponents (the curve parameter u in the final exponentiation, GT.Exp
 // in the decryption inner loop) never touch the heap. The result is
 // undefined when x is outside G_Φ12.
+//
+//dlr:noalloc
 func (z *Fp12) ExpCyclotomicLimbs(x *Fp12, e *[4]uint64) *Fp12 {
 	var buf [WNAFMaxDigits]int8
 	digits := AppendWNAF(buf[:0], *e, 4)

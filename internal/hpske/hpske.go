@@ -35,10 +35,29 @@ import (
 )
 
 // Key is an HPSKE secret key skcomm = (σ1,…,σκ).
+//
+//dlr:secret
 type Key []*big.Int
 
 // Clone returns a deep copy of the key.
 func (k Key) Clone() Key { return Key(scalar.CopyVector(k)) }
+
+// Zeroize wipes the key in place: every limb of every coordinate is
+// overwritten with zero before the big.Int is reset. The refresh
+// protocols call this on an outgoing key so that erased shares do not
+// linger on the heap — the paper's erasure step, made observable.
+func (k Key) Zeroize() {
+	for _, s := range k {
+		if s == nil {
+			continue
+		}
+		limbs := s.Bits()
+		for i := range limbs {
+			limbs[i] = 0
+		}
+		s.SetInt64(0)
+	}
+}
 
 // Bytes returns the canonical encoding of the key.
 func (k Key) Bytes() []byte { return scalar.Bytes(k) }

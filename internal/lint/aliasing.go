@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IntoAliasing enforces the documented aliasing preconditions of the
+// in-place ...Into forms. Each entry in aliasRules encodes one
+// function's contract as the pairs of operands that must NOT refer to
+// the same storage; calls violating a pair with syntactically
+// identical operands are flagged. Calls to an ...Into function with no
+// recorded contract that repeat an operand are flagged too — the fix
+// is to record the function's contract in the table (or document the
+// aliasing as safe with an ignore directive), so the table stays the
+// single source of truth.
+var IntoAliasing = &Analyzer{
+	Name: "into-aliasing",
+	Doc:  "flags receiver/argument aliasing that violates ...Into preconditions",
+	Run:  runIntoAliasing,
+}
+
+// aliasRule is one function's aliasing contract. Operand indices: -1
+// is the receiver, n ≥ 0 the n-th argument. forbidden lists operand
+// pairs that must not alias; allowed marks the contract as fully
+// alias-safe (suppressing the unknown-contract check).
+type aliasRule struct {
+	forbidden [][2]int
+	names     []string // operand names for messages, indexed as above
+}
+
+// aliasRules is keyed by types.Func.FullName.
+var aliasRules = map[string]aliasRule{
+	// "out may alias xs (in-place inversion), prefix may not alias
+	// either" — ff/batch.go.
+	"repro/internal/ff.BatchInverseFpInto": {
+		forbidden: [][2]int{{2, 0}, {2, 1}},
+		names:     []string{"out", "xs", "prefix"},
+	},
+	"repro/internal/ff.BatchInverseFp2Into": {
+		forbidden: [][2]int{{2, 0}, {2, 1}},
+		names:     []string{"out", "xs", "prefix"},
+	},
+}
+
+// aliasSafeInto lists ...Into functions whose contracts explicitly
+// allow any aliasing, so repeated operands are fine.
+var aliasSafeInto = map[string]bool{
+	// "out may alias f" — bn254/pairing.go.
+	"repro/internal/bn254.finalExpFastInto": true,
+}
+
+func runIntoAliasing(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			full := fn.FullName()
+			if rule, ok := aliasRules[full]; ok {
+				checkAliasRule(pass, call, fn, rule)
+				return true
+			}
+			if strings.HasSuffix(fn.Name(), "Into") && !aliasSafeInto[full] {
+				checkUnknownInto(pass, call, fn)
+			}
+			return true
+		})
+	}
+}
+
+// operandExpr returns the operand at index idx (-1 = receiver).
+func operandExpr(call *ast.CallExpr, idx int) ast.Expr {
+	if idx == -1 {
+		return receiverExpr(call)
+	}
+	if idx >= 0 && idx < len(call.Args) {
+		return call.Args[idx]
+	}
+	return nil
+}
+
+func checkAliasRule(pass *Pass, call *ast.CallExpr, fn *types.Func, rule aliasRule) {
+	name := func(idx int) string {
+		if idx == -1 {
+			return "receiver"
+		}
+		if rule.names != nil && idx < len(rule.names) {
+			return rule.names[idx]
+		}
+		return fmt.Sprintf("arg %d", idx)
+	}
+	for _, pair := range rule.forbidden {
+		a := canonicalOperand(pass, operandExpr(call, pair[0]))
+		b := canonicalOperand(pass, operandExpr(call, pair[1]))
+		if a != "" && a == b {
+			pass.Reportf(call.Pos(), "%s: %s must not alias %s (both are %s); use a separate buffer",
+				fn.Name(), name(pair[0]), name(pair[1]), a)
+		}
+	}
+}
+
+// checkUnknownInto flags repeated operands in calls to ...Into
+// functions without a recorded contract.
+func checkUnknownInto(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	seen := map[string]int{}
+	for idx := -1; idx < len(call.Args); idx++ {
+		e := operandExpr(call, idx)
+		c := canonicalOperand(pass, e)
+		if c == "" {
+			continue
+		}
+		// Only pointerish operands can alias by reference.
+		if tv, ok := pass.Pkg.Info.Types[e]; ok && !pointerish(tv.Type) {
+			continue
+		}
+		if prev, ok := seen[c]; ok {
+			pass.Reportf(call.Pos(), "%s has no aliasing contract recorded in the into-aliasing table, but operands %d and %d both pass %s; record the contract or justify with //dlrlint:ignore",
+				fn.Name(), prev, idx, c)
+			return
+		}
+		seen[c] = idx
+	}
+}
+
+func pointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// canonicalOperand renders an operand as a canonical storage path:
+// identifier/selector chains (with &, *, parens and whole-slice
+// expressions stripped) rooted at a resolved object. Expressions that
+// cannot be canonicalized — calls, literals, arithmetic — return "";
+// two equal non-empty paths denote the same storage.
+func canonicalOperand(pass *Pass, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				e = x.X
+				continue
+			}
+			return ""
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.SliceExpr:
+			// a[i:j] overlaps a for any bounds the linter can't see;
+			// treat it as the whole backing array.
+			e = x.X
+			continue
+		default:
+			return canonicalChain(pass, e)
+		}
+	}
+}
+
+func canonicalChain(pass *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[x]
+		}
+		if obj == nil {
+			return ""
+		}
+		// Two nil operands are not aliased storage.
+		if _, isNil := obj.(*types.Nil); isNil {
+			return ""
+		}
+		// Distinguish same-named objects from different scopes via the
+		// declaration position.
+		return fmt.Sprintf("%s@%d", x.Name, obj.Pos())
+	case *ast.SelectorExpr:
+		base := canonicalChain(pass, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := canonicalOperand(pass, x.X)
+		idx := canonicalIndex(pass, x.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.ParenExpr:
+		return canonicalChain(pass, x.X)
+	}
+	return ""
+}
+
+// canonicalIndex renders constant or identifier indices; anything else
+// defeats canonicalization (conservatively treated as distinct).
+func canonicalIndex(pass *Pass, e ast.Expr) string {
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return tv.Value.ExactString()
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			return fmt.Sprintf("%s@%d", id.Name, obj.Pos())
+		}
+	}
+	return ""
+}

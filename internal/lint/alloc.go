@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc guards the PR-4 zero-allocation hot paths: a function
+// annotated //dlr:noalloc must not introduce heap traffic that the
+// runtime AllocsPerRun gates would only catch after the fact (and only
+// on the configurations CI happens to run). Within an annotated body
+// it flags the syntactic allocation sources — make, new, append,
+// closures, address-taken or reference-typed composite literals,
+// big.Int construction, string↔slice conversions and go statements.
+//
+// The analysis is intra-procedural: calls to other functions are not
+// flagged (callees carry their own annotations and runtime gates), and
+// escape analysis is not modeled — a clean report here plus the
+// AllocsPerRun twin is the invariant, not a substitute for it.
+var HotPathAlloc = &Analyzer{
+	Name: "hot-path-alloc",
+	Doc:  "flags allocation sources inside //dlr:noalloc functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Reg.Noalloc(pass.Pkg.Info.Defs[fd.Name]) {
+				continue
+			}
+			checkNoallocBody(pass, fd)
+		}
+	}
+}
+
+func checkNoallocBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkNoallocCall(pass, name, x)
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "%s is //dlr:noalloc but defines a closure (captured variables escape to the heap)", name)
+			return false // the closure body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "%s is //dlr:noalloc but starts a goroutine", name)
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "%s is //dlr:noalloc but takes the address of a composite literal (escapes to the heap)", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(x.Pos(), "%s is //dlr:noalloc but builds a %s literal (allocates backing storage)", name, tv.Type)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// Conversions: string ↔ []byte/[]rune copy into fresh storage.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		if av, ok := info.Types[call.Args[0]]; ok {
+			from := av.Type.Underlying()
+			if isStringSliceConv(to, from) {
+				pass.Reportf(call.Pos(), "%s is //dlr:noalloc but converts between string and slice (copies into fresh storage)", name)
+			}
+		}
+		return
+	}
+	switch calleeName(info, call) {
+	case "make":
+		pass.Reportf(call.Pos(), "%s is //dlr:noalloc but calls make; preallocate or use a scratch arena", name)
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "%s is //dlr:noalloc but calls new; declare a stack value instead", name)
+		return
+	case "append":
+		pass.Reportf(call.Pos(), "%s is //dlr:noalloc but calls append (may grow the backing array)", name)
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		switch fn.FullName() {
+		case "math/big.NewInt", "math/big.NewFloat", "math/big.NewRat":
+			pass.Reportf(call.Pos(), "%s is //dlr:noalloc but constructs a big.Int temporary; hot paths must stay on limb arithmetic", name)
+		case "(*math/big.Int).SetBytes", "(*math/big.Int).SetString":
+			pass.Reportf(call.Pos(), "%s is //dlr:noalloc but materializes big.Int digits (allocates); hot paths must stay on limb arithmetic", name)
+		}
+	}
+}
+
+func isStringSliceConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}

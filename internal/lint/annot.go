@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation grammar.
+//
+//	//dlr:secret [name ...]
+//
+// marks a value as secret-bearing for the vartime-taint analyzer:
+//
+//   - on a struct field (doc comment or same-line comment): the field;
+//
+//   - on a type declaration: every value of that named type (aliases
+//     forward the mark to the aliased type);
+//
+//   - on a var declaration: the declared names;
+//
+//   - in a function's doc comment with trailing names: the listed
+//     parameters;
+//
+//   - on (or directly above) a statement inside a function body: the
+//     identifiers assigned on that statement's line.
+//
+//     //dlr:noalloc
+//
+// in a function's doc comment marks it as a zero-allocation hot path
+// for the hot-path-alloc analyzer; the function is expected to carry a
+// testing.AllocsPerRun gate as its runtime twin.
+const (
+	secretMarker  = "//dlr:secret"
+	noallocMarker = "//dlr:noalloc"
+)
+
+// Registry holds the module-wide annotation state shared by analyzers.
+type Registry struct {
+	// secretObjs are fields, params and vars marked //dlr:secret.
+	secretObjs map[types.Object]bool
+	// secretTypes are type names whose every value is secret.
+	secretTypes map[*types.TypeName]bool
+	// noalloc are functions marked //dlr:noalloc.
+	noalloc map[types.Object]bool
+	// secretLines are (file, line) positions of //dlr:secret comments,
+	// used for statement-level seeds inside function bodies.
+	secretLines map[string]map[int]bool
+
+	// Problems are malformed annotations found while building.
+	Problems []Diagnostic
+}
+
+// SecretObj reports whether obj is annotated secret.
+func (r *Registry) SecretObj(obj types.Object) bool { return obj != nil && r.secretObjs[obj] }
+
+// SecretType reports whether t (or the named type it instantiates or
+// points to) is annotated secret.
+func (r *Registry) SecretType(t types.Type) bool {
+	for i := 0; i < 4; i++ { // unwrap a few levels of pointers
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Named:
+			if r.secretTypes[tt.Obj()] {
+				return true
+			}
+			return false
+		case *types.Alias:
+			t = types.Unalias(tt)
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+// Noalloc reports whether fn is annotated //dlr:noalloc.
+func (r *Registry) Noalloc(fn types.Object) bool { return fn != nil && r.noalloc[fn] }
+
+// NoallocNames returns the declared names of every //dlr:noalloc
+// function, for the cross-check against runtime allocation gates.
+func (r *Registry) NoallocNames() []string {
+	var names []string
+	for obj := range r.noalloc {
+		names = append(names, obj.Name())
+	}
+	return names
+}
+
+// SecretLine reports whether a //dlr:secret comment sits on (file,
+// line), for statement-level seeds: a marker covers its own line and
+// the next, so it can trail the statement or stand above it.
+func (r *Registry) SecretLine(file string, line int) bool {
+	m := r.secretLines[file]
+	return m != nil && (m[line] || m[line-1])
+}
+
+func hasMarker(groups []*ast.CommentGroup, marker string) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if text := strings.TrimSpace(c.Text); text == marker || strings.HasPrefix(text, marker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markerArgs returns the names following marker in any of the groups'
+// comments, and whether the marker was present at all.
+func markerArgs(groups []*ast.CommentGroup, marker string) ([]string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if text == marker {
+				return nil, true
+			}
+			if strings.HasPrefix(text, marker+" ") {
+				return strings.Fields(strings.TrimPrefix(text, marker+" ")), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// BuildRegistry scans every package's comments and builds the shared
+// annotation registry. Because module-internal packages are
+// type-checked from one source cache, the object identities recorded
+// here are valid in every pass, whichever package the use occurs in.
+func BuildRegistry(pkgs []*Package) *Registry {
+	r := &Registry{
+		secretObjs:  make(map[types.Object]bool),
+		secretTypes: make(map[*types.TypeName]bool),
+		noalloc:     make(map[types.Object]bool),
+		secretLines: make(map[string]map[int]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			r.scanFile(pkg, f)
+		}
+	}
+	return r
+}
+
+func (r *Registry) scanFile(pkg *Package, f *ast.File) {
+	// Record every //dlr:secret comment position for statement-level
+	// seeds.
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if text == secretMarker || strings.HasPrefix(text, secretMarker+" ") {
+				pos := pkg.Fset.Position(c.Pos())
+				m := r.secretLines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					r.secretLines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					r.scanType(pkg, d, s)
+				case *ast.ValueSpec:
+					if hasMarker([]*ast.CommentGroup{d.Doc, s.Doc, s.Comment}, secretMarker) {
+						for _, name := range s.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								r.secretObjs[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			r.scanFunc(pkg, d)
+		}
+	}
+}
+
+func (r *Registry) scanType(pkg *Package, d *ast.GenDecl, s *ast.TypeSpec) {
+	if hasMarker([]*ast.CommentGroup{d.Doc, s.Doc, s.Comment}, secretMarker) {
+		if tn, ok := pkg.Info.Defs[s.Name].(*types.TypeName); ok {
+			r.secretTypes[tn] = true
+			// An annotated alias forwards the mark to its target, so
+			// `type Share2 = hpske.Key` marks Key values everywhere.
+			if named, ok := types.Unalias(tn.Type()).(*types.Named); ok {
+				r.secretTypes[named.Obj()] = true
+			}
+		}
+	}
+	st, ok := s.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if !hasMarker([]*ast.CommentGroup{field.Doc, field.Comment}, secretMarker) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				r.secretObjs[obj] = true
+			}
+		}
+	}
+}
+
+func (r *Registry) scanFunc(pkg *Package, d *ast.FuncDecl) {
+	if hasMarker([]*ast.CommentGroup{d.Doc}, noallocMarker) {
+		if obj := pkg.Info.Defs[d.Name]; obj != nil {
+			r.noalloc[obj] = true
+		}
+	}
+	args, ok := markerArgs([]*ast.CommentGroup{d.Doc}, secretMarker)
+	if !ok {
+		return
+	}
+	if len(args) == 0 {
+		r.Problems = append(r.Problems, Diagnostic{
+			Analyzer: "dlrlint",
+			Pos:      pkg.Fset.Position(d.Pos()),
+			Message:  "function-level //dlr:secret must name the secret parameters",
+		})
+		return
+	}
+	params := map[string]types.Object{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				params[name.Name] = pkg.Info.Defs[name]
+			}
+		}
+	}
+	if d.Recv != nil {
+		collect(d.Recv)
+	}
+	collect(d.Type.Params)
+	for _, a := range args {
+		obj, ok := params[a]
+		if !ok || obj == nil {
+			r.Problems = append(r.Problems, Diagnostic{
+				Analyzer: "dlrlint",
+				Pos:      pkg.Fset.Position(d.Pos()),
+				Message:  "//dlr:secret names unknown parameter " + a,
+			})
+			continue
+		}
+		r.secretObjs[obj] = true
+	}
+}

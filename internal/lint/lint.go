@@ -1,0 +1,238 @@
+// Package lint implements dlrlint, the repo's static-analysis suite.
+//
+// The paper's security model is side-channel leakage, and three of the
+// codebase's invariants exist only as comments: variable-time
+// arithmetic (ff.InverseVartime, selected math/big methods) may touch
+// public operands only; the in-place ...Into forms carry aliasing
+// preconditions; and the zero-allocation hot paths must not silently
+// regress. dlrlint turns those comments into machine-checked rules —
+// see vartime.go, aliasing.go, alloc.go and serial.go for the four
+// analyzers, annot.go for the //dlr:secret and //dlr:noalloc
+// annotation grammar, and load.go for the stdlib-only package loader.
+//
+// Findings can be suppressed, one line at a time, with
+//
+//	//dlrlint:ignore <analyzer> <reason>
+//
+// where <reason> is mandatory: an unexplained suppression is itself a
+// finding. The directive silences matching diagnostics on its own line
+// or, when it stands alone, on the line directly below it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the violated invariant and the fix.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg *Package
+	// Reg holds the module-wide annotations (secrets, noalloc marks).
+	Reg *Registry
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// An Analyzer is one named check.
+type Analyzer struct {
+	// Name is the identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Analyzers is the dlrlint suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		VartimeTaint,
+		IntoAliasing,
+		HotPathAlloc,
+		UncheckedSerialization,
+	}
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position. The registry must have been built over
+// all packages whose annotations should be visible (BuildRegistry).
+func Run(pkgs []*Package, analyzers []*Analyzer, reg *Registry) []Diagnostic {
+	diags := append([]Diagnostic(nil), reg.Problems...)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, Reg: reg, analyzer: a.Name, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	diags = applyIgnores(pkgs, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags
+}
+
+// ignoreKey identifies the scope of one ignore directive.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "//dlrlint:ignore"
+
+// applyIgnores drops diagnostics covered by well-formed ignore
+// directives and adds diagnostics for malformed ones.
+func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignored := map[ignoreKey]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0 || !known[fields[0]]:
+						diags = append(diags, Diagnostic{
+							Analyzer: "dlrlint",
+							Pos:      pos,
+							Message:  fmt.Sprintf("malformed ignore directive: want %q with a known analyzer", ignorePrefix+" <analyzer> <reason>"),
+						})
+					case len(fields) < 2:
+						diags = append(diags, Diagnostic{
+							Analyzer: "dlrlint",
+							Pos:      pos,
+							Message:  fmt.Sprintf("ignore directive for %s needs a reason", fields[0]),
+						})
+					default:
+						// The directive covers its own line and — so it
+						// can stand above the offending statement — the
+						// next one.
+						ignored[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+						ignored[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// Main is the dlrlint entry point shared by cmd/dlrlint and the tests:
+// it loads the arguments (go list patterns, or bare directories for
+// golden packages), runs the full suite and returns the findings.
+func Main(dir string, args []string) ([]Diagnostic, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var patterns, dirs []string
+	for _, a := range args {
+		if isDirArg(a) {
+			dirs = append(dirs, a)
+		} else {
+			patterns = append(patterns, a)
+		}
+	}
+	ldr := NewLoader(dir, true)
+	var pkgs, regPkgs []*Package
+	if len(patterns) > 0 || len(dirs) == 0 {
+		loaded, err := ldr.Load(patterns...)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = loaded
+		regPkgs = loaded
+	} else {
+		// Directory-only invocations still load the module so testdata
+		// packages can import it — and its annotations (e.g. the
+		// //dlr:secret on hpske.Key) must be in the registry even though
+		// only the requested directories are analyzed.
+		loaded, err := ldr.Load("./...")
+		if err != nil {
+			return nil, err
+		}
+		regPkgs = loaded
+	}
+	for _, d := range dirs {
+		p, err := ldr.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+		regPkgs = append(regPkgs, p)
+	}
+	reg := BuildRegistry(regPkgs)
+	return Run(pkgs, Analyzers(), reg), nil
+}
+
+func isDirArg(a string) bool {
+	if strings.Contains(a, "...") {
+		return false
+	}
+	return strings.Contains(a, "testdata") || strings.HasPrefix(a, "/")
+}
+
+// funcDeclOf returns the innermost function declaration enclosing pos
+// in file, or nil.
+func funcDeclOf(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root (the directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// goldenDirs are the testdata packages with `// want` expectations.
+var goldenDirs = []string{"vartime", "annot", "aliasing", "alloc", "serial"}
+
+// goldenState caches one Main run over every golden package (module
+// loading dominates the cost; one load serves all golden tests).
+var goldenState struct {
+	once  sync.Once
+	diags []Diagnostic
+	err   error
+}
+
+func goldenDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	goldenState.once.Do(func() {
+		root := repoRoot(t)
+		args := make([]string, 0, len(goldenDirs)+1)
+		for _, d := range append(append([]string{}, goldenDirs...), "ignore") {
+			args = append(args, filepath.Join(root, "internal/lint/testdata/src", d))
+		}
+		goldenState.diags, goldenState.err = Main(root, args)
+	})
+	if goldenState.err != nil {
+		t.Fatalf("loading golden packages: %v", goldenState.err)
+	}
+	return goldenState.diags
+}
+
+// wantExpectation is one `// want `regex“ comment.
+type wantExpectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+func collectWants(t *testing.T, dir string) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", de.Name(), line, m[1], err)
+			}
+			wants = append(wants, &wantExpectation{file: de.Name(), line: line, re: re})
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestGolden checks every golden package: each `// want` line must
+// produce a matching diagnostic, and no unexpected diagnostics may
+// appear.
+func TestGolden(t *testing.T) {
+	root := repoRoot(t)
+	diags := goldenDiags(t)
+	for _, pkg := range goldenDirs {
+		t.Run(pkg, func(t *testing.T) {
+			dir := filepath.Join(root, "internal/lint/testdata/src", pkg)
+			wants := collectWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("no want expectations in %s", dir)
+			}
+			for _, d := range diags {
+				if filepath.Dir(d.Pos.Filename) != dir {
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectives asserts the suppression semantics on the ignore
+// golden package: a well-formed directive silences the next line, an
+// unjustified or unknown-analyzer directive is itself a finding, and
+// unsuppressed findings survive.
+func TestIgnoreDirectives(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal/lint/testdata/src/ignore")
+	var got []Diagnostic
+	for _, d := range goldenDiags(t) {
+		if filepath.Dir(d.Pos.Filename) == dir {
+			got = append(got, d)
+		}
+	}
+	wants := []struct {
+		analyzer string
+		msg      string
+	}{
+		{"hot-path-alloc", "calls new"},           // tmp2: the unsuppressed allocation
+		{"dlrlint", "needs a reason"},             // directive without a reason
+		{"dlrlint", "malformed ignore directive"}, // unknown analyzer
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(wants), got)
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range got {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.msg) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic containing %q in %v", w.analyzer, w.msg, got)
+		}
+	}
+}
+
+// TestRepoIsClean is the gate `make lint` enforces: the full module,
+// tests included, must produce no findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := repoRoot(t)
+	diags, err := Main(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestUnannotatedShareIsFlagged proves the annotation-presence check
+// covers the real scheme state: a copy of internal/dlr with the
+// //dlr:secret above P2.sk2 stripped must trigger a finding.
+func TestUnannotatedShareIsFlagged(t *testing.T) {
+	root := repoRoot(t)
+	src := filepath.Join(root, "internal/dlr")
+	tmp := t.TempDir()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := false
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(raw), "\n")
+		var kept []string
+		for i, l := range lines {
+			// Drop the //dlr:secret marker standing directly above the
+			// sk2 field declaration.
+			if strings.TrimSpace(l) == "//dlr:secret" && i+1 < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[i+1]), "sk2 ") {
+				stripped = true
+				continue
+			}
+			kept = append(kept, l)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !stripped {
+		t.Fatal("did not find a //dlr:secret marker above sk2 in internal/dlr")
+	}
+	diags, err := Main(root, []string{tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`field dlr\.P2\.sk2 .*must be annotated //dlr:secret`)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "vartime-taint" && re.MatchString(d.Message) {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic on stripped copy: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("stripping //dlr:secret from P2.sk2 produced no annotation-presence finding; got %v", diags)
+	}
+}
+
+// TestExitNonZeroOnViolation runs the real binary against a seeded
+// violation and demands a non-zero exit.
+func TestExitNonZeroOnViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs cmd/dlrlint")
+	}
+	root := repoRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/dlrlint", "internal/lint/testdata/src/serial")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got err=%v, output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("want exit code 1, got %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "unchecked-serialization") {
+		t.Fatalf("output does not mention the analyzer:\n%s", out)
+	}
+}
+
+// TestNoallocFunctionsHaveRuntimeGates cross-checks the static
+// annotation against the runtime twin: every //dlr:noalloc function
+// must appear in a *_test.go file of its package that pins an
+// AllocsPerRun budget.
+func TestNoallocFunctionsHaveRuntimeGates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root := repoRoot(t)
+	ldr := NewLoader(root, false)
+	pkgs, err := ldr.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := BuildRegistry(pkgs)
+	if len(reg.noalloc) == 0 {
+		t.Fatal("no //dlr:noalloc functions found in the module")
+	}
+	// Cache test-file contents per package directory.
+	testFiles := map[string][]string{}
+	for obj := range reg.noalloc {
+		pkgPath := obj.Pkg().Path()
+		dir := filepath.Join(root, strings.TrimPrefix(pkgPath, "repro/"))
+		contents, ok := testFiles[dir]
+		if !ok {
+			des, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, de := range des {
+				if strings.HasSuffix(de.Name(), "_test.go") {
+					raw, err := os.ReadFile(filepath.Join(dir, de.Name()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					contents = append(contents, string(raw))
+				}
+			}
+			testFiles[dir] = contents
+		}
+		gated := false
+		for _, c := range contents {
+			if strings.Contains(c, "AllocsPerRun") && strings.Contains(c, obj.Name()+"(") {
+				gated = true
+				break
+			}
+		}
+		if !gated {
+			t.Errorf("%s.%s is //dlr:noalloc but no *_test.go in %s pins an AllocsPerRun budget exercising it", pkgPath, obj.Name(), dir)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is dlrlint's package loader. The repo's no-external-modules
+// stance rules out golang.org/x/tools/go/packages, so loading is built
+// from the pieces the standard library does ship:
+//
+//   - `go list -json` discovers the module's packages (directories,
+//     file lists, import graphs) without hard-coding layout;
+//   - `go list -export -deps -json` compiles dependencies and reports
+//     the build-cache export-data file for each, and
+//   - importer.ForCompiler(fset, "gc", lookup) turns those export files
+//     into *types.Package values for type-checking.
+//
+// Module-internal packages are type-checked from source in dependency
+// order (so analyzers see full ASTs and share identical types.Object
+// values across packages), while everything outside the module — in
+// this repo, only the standard library — is imported from export data.
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/ff"); for packages
+	// loaded from a bare directory it is a synthetic path.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Fset positions every file; shared across the whole load.
+	Fset *token.FileSet
+	// Types and Info are the type-checker outputs.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader uses.
+type listEntry struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Deps         []string
+}
+
+// Loader loads and type-checks packages for analysis.
+type Loader struct {
+	fset *token.FileSet
+	dir  string // module root the go commands run in
+
+	exports map[string]string // import path → export-data file
+	gcImp   types.ImporterFrom
+
+	mod     map[string]*listEntry // module packages by import path
+	checked map[string]*Package   // source-checked packages by path
+	pending map[string]bool       // cycle guard
+	tests   bool                  // include *_test.go files
+}
+
+// NewLoader returns a loader rooted at dir (the module root).
+// If tests is true, in-package and external test files are loaded too.
+func NewLoader(dir string, tests bool) *Loader {
+	return &Loader{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		exports: make(map[string]string),
+		mod:     make(map[string]*listEntry),
+		checked: make(map[string]*Package),
+		pending: make(map[string]bool),
+		tests:   tests,
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func (l *Loader) goList(args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w", strings.Join(args, " "), err)
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// Load discovers the packages matching patterns (go list syntax, e.g.
+// "./..."), type-checks them and returns them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	entries, err := l.goList(append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.Standard {
+			l.mod[e.ImportPath] = e
+		}
+	}
+
+	// Gather every import path reachable from the matched packages that
+	// is not part of the module itself, and resolve export data for the
+	// full transitive closure in one -deps call.
+	extSet := map[string]bool{}
+	for _, e := range entries {
+		for _, imps := range [][]string{e.Imports, e.TestImports, e.XTestImports, e.Deps} {
+			for _, imp := range imps {
+				if imp == "C" || imp == "unsafe" {
+					continue
+				}
+				if _, ok := l.mod[imp]; !ok {
+					extSet[imp] = true
+				}
+			}
+		}
+	}
+	if err := l.resolveExports(extSet); err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	for path := range l.mod {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+		if xp, err := l.checkXTest(path); err != nil {
+			return nil, err
+		} else if xp != nil {
+			pkgs = append(pkgs, xp)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// resolveExports fills l.exports for paths (plus their dependency
+// closure) and prepares the export-data importer.
+func (l *Loader) resolveExports(paths map[string]bool) error {
+	var missing []string
+	for p := range paths {
+		if _, ok := l.exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		entries, err := l.goList(append([]string{"-export", "-deps", "-json=ImportPath,Export,Standard"}, missing...)...)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Export != "" {
+				l.exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	if l.gcImp == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			f, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		l.gcImp = importer.ForCompiler(l.fset, "gc", lookup).(types.ImporterFrom)
+	}
+	return nil
+}
+
+// Import implements types.Importer: module packages come from the
+// source-checked cache, everything else from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.mod[path]; ok {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gcImp.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func (l *Loader) typesConfig() *types.Config {
+	return &types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+}
+
+// check type-checks module package path (GoFiles plus, when the loader
+// was created with tests=true, TestGoFiles) from source.
+func (l *Loader) check(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	e, ok := l.mod[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: %q is not a module package", path)
+	}
+	if l.pending[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.pending[path] = true
+	defer delete(l.pending, path)
+
+	names := append([]string{}, e.GoFiles...)
+	names = append(names, e.CgoFiles...)
+	if l.tests {
+		names = append(names, e.TestGoFiles...)
+	}
+	files, err := l.parseFiles(e.Dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg := types.NewPackage(path, e.Name)
+	info := newInfo()
+	chk := types.NewChecker(l.typesConfig(), l.fset, pkg, info)
+	if err := chk.Files(files); err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: e.Dir, Files: files, Fset: l.fset, Types: pkg, Info: info}
+	l.checked[path] = p
+	return p, nil
+}
+
+// checkXTest type-checks the external test package (package foo_test)
+// of path, if one exists and tests are enabled.
+func (l *Loader) checkXTest(path string) (*Package, error) {
+	e := l.mod[path]
+	if !l.tests || e == nil || len(e.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := l.parseFiles(e.Dir, e.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	xpath := path + "_test"
+	pkg := types.NewPackage(xpath, e.Name+"_test")
+	info := newInfo()
+	chk := types.NewChecker(l.typesConfig(), l.fset, pkg, info)
+	if err := chk.Files(files); err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", xpath, err)
+	}
+	return &Package{Path: xpath, Dir: e.Dir, Files: files, Fset: l.fset, Types: pkg, Info: info}, nil
+}
+
+// LoadDir parses and type-checks the .go files in a bare directory —
+// outside `go list`'s view, e.g. a testdata package — against the
+// module and stdlib dependencies already known to the loader. Extra
+// stdlib imports found in the files are resolved on demand.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			names = append(names, de.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	ext := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "C" || path == "unsafe" {
+				continue
+			}
+			if _, ok := l.mod[path]; !ok {
+				ext[path] = true
+			}
+		}
+	}
+	if err := l.resolveExports(ext); err != nil {
+		return nil, err
+	}
+	path := "testdata/" + filepath.Base(dir)
+	pkg := types.NewPackage(path, files[0].Name.Name)
+	info := newInfo()
+	chk := types.NewChecker(l.typesConfig(), l.fset, pkg, info)
+	if err := chk.Files(files); err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Fset: l.fset, Types: pkg, Info: info}, nil
+}
+
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedSerialization flags decode calls whose error (or ok-bool)
+// result is discarded. Wire frames and stored ciphertexts are
+// attacker-influenced inputs: a dropped SetBytes error turns a
+// malformed group encoding into an undefined point that flows on into
+// protocol arithmetic. The check is table-driven — decode-shaped
+// method names, FromBytes-suffixed constructors and the wire/hpske
+// framing entry points — rather than a blanket errcheck, so ordinary
+// control-flow errors stay out of scope.
+var UncheckedSerialization = &Analyzer{
+	Name: "unchecked-serialization",
+	Doc:  "flags dropped errors/ok results from wire and storage decode paths",
+	Run:  runUncheckedSerialization,
+}
+
+// decodeMethodNames match by bare method name on any receiver.
+var decodeMethodNames = map[string]bool{
+	"SetBytes":        true,
+	"SetString":       true,
+	"UnmarshalBinary": true,
+	"UnmarshalText":   true,
+	"UnmarshalJSON":   true,
+	"GobDecode":       true,
+	"DecodeFrom":      true,
+}
+
+// decodeFuncs match by full name.
+var decodeFuncs = map[string]bool{
+	"repro/internal/wire.Read":        true,
+	"repro/internal/hpske.DecodeList": true,
+	"encoding/binary.Read":            true,
+	"encoding/json.Unmarshal":         true,
+}
+
+func isDecodeCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	full := fn.FullName()
+	if decodeFuncs[full] {
+		return full, true
+	}
+	name := fn.Name()
+	if fn.Type().(*types.Signature).Recv() != nil && decodeMethodNames[name] {
+		return full, true
+	}
+	if strings.HasSuffix(name, "FromBytes") {
+		return full, true
+	}
+	return "", false
+}
+
+func runUncheckedSerialization(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if full, ok := isDecodeCall(info, call); ok && hasCheckableResult(info, call) {
+						pass.Reportf(call.Pos(), "result of %s dropped: decode failures on wire/storage input must be checked", full)
+					}
+				}
+			case *ast.GoStmt:
+				if full, ok := isDecodeCall(info, s.Call); ok && hasCheckableResult(info, s.Call) {
+					pass.Reportf(s.Call.Pos(), "result of %s dropped by go statement: decode failures on wire/storage input must be checked", full)
+				}
+			case *ast.DeferStmt:
+				if full, ok := isDecodeCall(info, s.Call); ok && hasCheckableResult(info, s.Call) {
+					pass.Reportf(s.Call.Pos(), "result of %s dropped by defer: decode failures on wire/storage input must be checked", full)
+				}
+			case *ast.AssignStmt:
+				checkAssignedDecode(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// hasCheckableResult reports whether the call returns an error or bool
+// anywhere in its result tuple.
+func hasCheckableResult(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if checkable(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return checkable(tv.Type)
+	}
+}
+
+func checkable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.String() == "error" {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// checkAssignedDecode flags `x, _ := Decode(...)`-style assignments
+// that blank precisely the error/ok slots.
+func checkAssignedDecode(pass *Pass, s *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	full, ok := isDecodeCall(info, call)
+	if !ok {
+		return
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return
+	}
+	var resultTypes []types.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			resultTypes = append(resultTypes, tuple.At(i).Type())
+		}
+	} else {
+		resultTypes = []types.Type{tv.Type}
+	}
+	if len(resultTypes) != len(s.Lhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if checkable(resultTypes[i]) {
+			pass.Reportf(s.Pos(), "error/ok result of %s assigned to _: decode failures on wire/storage input must be checked", full)
+			return
+		}
+	}
+}

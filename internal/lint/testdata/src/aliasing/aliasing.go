@@ -1,0 +1,30 @@
+// Package aliasing is golden input for the into-aliasing analyzer.
+package aliasing
+
+import (
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+func batch(out, xs, prefix, buf []ff.Fp) {
+	ff.BatchInverseFpInto(out, xs, prefix)
+	ff.BatchInverseFpInto(xs, xs, prefix) // out may alias xs per contract
+	ff.BatchInverseFpInto(out, xs, out)   // want `BatchInverseFpInto: prefix must not alias out`
+	ff.BatchInverseFpInto(buf, xs, xs)    // want `BatchInverseFpInto: prefix must not alias xs`
+	ff.BatchInverseFp2Into(nil, nil, nil) // nil operands are not shared storage
+}
+
+func sliced(out, xs []ff.Fp) {
+	// A subslice overlaps its base for all the linter knows.
+	ff.BatchInverseFpInto(out, xs, out[1:]) // want `BatchInverseFpInto: prefix must not alias out`
+}
+
+func sumInto(dst, a, b *big.Int) { dst.Add(a, b) }
+
+func callers(x, y, dst *big.Int) {
+	sumInto(dst, x, y)
+	sumInto(x, x, y) // want `sumInto has no aliasing contract recorded in the into-aliasing table`
+	//dlrlint:ignore into-aliasing in-place doubling is safe: Add reads both operands before writing
+	sumInto(y, y, y) // suppressed by the directive above
+}

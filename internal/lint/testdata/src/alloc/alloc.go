@@ -1,0 +1,36 @@
+// Package alloc is golden input for the hot-path-alloc analyzer.
+package alloc
+
+import "math/big"
+
+func helper() {}
+
+// hot is a zero-allocation hot path; every allocation source inside it
+// must be flagged.
+//
+//dlr:noalloc
+func hot(dst, a, b *big.Int) {
+	dst.Add(a, b)
+	tmp := new(big.Int) // want `hot is //dlr:noalloc but calls new`
+	dst.Add(dst, tmp)
+	s := make([]byte, 8) // want `hot is //dlr:noalloc but calls make`
+	s = append(s, 1)     // want `hot is //dlr:noalloc but calls append`
+	_ = s
+	f := func() {} // want `hot is //dlr:noalloc but defines a closure`
+	f()
+	go helper()     // want `hot is //dlr:noalloc but starts a goroutine`
+	p := &big.Int{} // want `hot is //dlr:noalloc but takes the address of a composite literal`
+	_ = p
+	v := []int{1, 2} // want `hot is //dlr:noalloc but builds a \[\]int literal`
+	_ = v
+	k := big.NewInt(3) // want `hot is //dlr:noalloc but constructs a big\.Int temporary`
+	k.SetBytes(nil)    // want `hot is //dlr:noalloc but materializes big\.Int digits`
+	_ = k
+	_ = []byte("hi") // want `hot is //dlr:noalloc but converts between string and slice`
+}
+
+// cold is unannotated: the same constructs are fine.
+func cold() *big.Int {
+	_ = make([]byte, 8)
+	return new(big.Int)
+}

@@ -1,0 +1,16 @@
+// Package dlr (a golden stand-in, matched by name) exercises the
+// annotation-presence check: the scheme's long-lived shares must carry
+// //dlr:secret, so stripping an annotation is itself a finding.
+package dlr
+
+// P1 mirrors the real P1's secret fields, unannotated.
+type P1 struct {
+	sk1    int // want `field dlr\.P1\.sk1 holds key-share material and must be annotated //dlr:secret`
+	skcomm int // want `field dlr\.P1\.skcomm holds key-share material and must be annotated //dlr:secret`
+}
+
+// P2 carries the annotation and must stay silent.
+type P2 struct {
+	//dlr:secret
+	sk2 int
+}

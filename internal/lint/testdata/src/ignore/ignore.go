@@ -1,0 +1,26 @@
+// Package ignore exercises the //dlrlint:ignore directive: a
+// well-formed directive suppresses its analyzer on its own line and
+// the next; a directive missing its reason, or naming an unknown
+// analyzer, is itself a finding. The expectations for this package are
+// asserted programmatically in lint_test.go (a directive line cannot
+// also carry a want comment).
+package ignore
+
+import "math/big"
+
+// hot is a hot path with one justified and one unjustified allocation.
+//
+//dlr:noalloc
+func hot(dst *big.Int) {
+	//dlrlint:ignore hot-path-alloc one-time warmup allocation, amortized by the caller
+	tmp := new(big.Int)
+	dst.Add(dst, tmp)
+	tmp2 := new(big.Int) // this one survives
+	dst.Add(dst, tmp2)
+}
+
+//dlrlint:ignore hot-path-alloc
+var missingReason = 0
+
+//dlrlint:ignore no-such-analyzer because reasons
+var unknownAnalyzer = 0

@@ -1,0 +1,42 @@
+// Package serial is golden input for the unchecked-serialization
+// analyzer.
+package serial
+
+import "math/big"
+
+type frame struct{ n big.Int }
+
+// DecodeFrom is decode-shaped by name.
+func (f *frame) DecodeFrom(raw []byte) error {
+	f.n.SetBytes(raw)
+	return nil
+}
+
+func sigFromBytes(raw []byte) (*frame, error) {
+	f := &frame{}
+	return f, f.DecodeFrom(raw)
+}
+
+func bad(raw []byte, s string) *frame {
+	var f frame
+	f.DecodeFrom(raw)       // want `result of \(\*testdata/serial\.frame\)\.DecodeFrom dropped`
+	defer f.DecodeFrom(raw) // want `dropped by defer`
+	go f.DecodeFrom(raw)    // want `dropped by go statement`
+
+	x, _ := new(big.Int).SetString(s, 10) // want `error/ok result of \(\*math/big\.Int\)\.SetString assigned to _`
+	f.n.Set(x)
+
+	g, _ := sigFromBytes(raw) // want `error/ok result of testdata/serial\.sigFromBytes assigned to _`
+	return g
+}
+
+func good(raw []byte, s string) (*frame, error) {
+	var f frame
+	if err := f.DecodeFrom(raw); err != nil {
+		return nil, err
+	}
+	if _, ok := new(big.Int).SetString(s, 10); !ok {
+		return nil, nil
+	}
+	return sigFromBytes(raw)
+}

@@ -1,0 +1,72 @@
+// Package vartime is golden input for the vartime-taint analyzer.
+// Lines carrying a `// want ...` comment must produce a matching
+// diagnostic; every other line must stay silent.
+package vartime
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+
+	"repro/internal/ff"
+	"repro/internal/hpske"
+)
+
+// T pairs a secret share with a public value.
+type T struct {
+	//dlr:secret
+	share []*big.Int
+	pub   *big.Int
+}
+
+func logShare(t *T) {
+	fmt.Printf("share[0] = %v\n", t.share[0]) // want `secret value reaches fmt\.Printf`
+	fmt.Printf("pub = %v\n", t.pub)           // public value: fine
+}
+
+func stringify(t *T) string {
+	return t.share[0].String() // want `secret value reaches \(\*math/big\.Int\)\.String`
+}
+
+func compare(t *T, guess []byte) bool {
+	return bytes.Equal(t.share[0].Bytes(), guess) // want `secret value reaches bytes\.Equal`
+}
+
+func modInverse(t *T) *big.Int {
+	return new(big.Int).ModInverse(t.share[0], ff.Order()) // want `secret value reaches \(\*math/big\.Int\)\.ModInverse`
+}
+
+// invert lowers scalars into the field and inverts them.
+//
+//dlr:secret sk
+func invert(sk, pub *big.Int) ff.Fp {
+	var x, z ff.Fp
+	x.SetBig(sk)
+	z.InverseVartime(&x) // want `secret value reaches \(\*repro/internal/ff\.Fp\)\.InverseVartime`
+
+	var p, zp ff.Fp
+	p.SetBig(pub)
+	zp.InverseVartime(&p) // public operand: the intended use
+	return z
+}
+
+// keyString exercises the cross-package type annotation on hpske.Key.
+func keyString(k hpske.Key) string {
+	return k[0].String() // want `secret value reaches \(\*math/big\.Int\)\.String`
+}
+
+func statementMark() *big.Int {
+	//dlr:secret
+	w := big.NewInt(5)
+	fmt.Println(w) // want `secret value reaches fmt\.Println`
+	return w
+}
+
+func digest(x *big.Int) []byte { return x.Bytes() }
+
+// okLaunder documents the intra-procedural stance: taint does not
+// survive a call to an ordinary (non value-preserving) function.
+func okLaunder(t *T) {
+	fmt.Println(digest(t.share[0]))
+	fmt.Println(len(t.share)) // len sanitizes
+}

@@ -1,0 +1,620 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// VartimeTaint enforces the repo's central side-channel invariant: a
+// //dlr:secret value (key shares, decryption scalars, witnesses) must
+// never reach variable-time arithmetic, a formatting/log sink, or a
+// non-constant-time comparison.
+//
+// The analysis is intra-procedural: within each function body it seeds
+// taint from annotated parameters, fields, types and statements,
+// propagates it through assignments and expressions (conservatively —
+// a call with a tainted operand has a tainted result, except for
+// error/bool values and a small sanitizer set), and reports when a
+// tainted expression lands in one of the sinks below. Passing a secret
+// to an ordinary function is not a finding; the callee is analyzed on
+// its own terms against its own annotations.
+//
+// It also enforces annotation presence: the fields and types listed in
+// requiredSecret (the scheme's long-lived shares) must carry
+// //dlr:secret, so removing an annotation is itself a finding rather
+// than a silent loss of coverage.
+var VartimeTaint = &Analyzer{
+	Name: "vartime-taint",
+	Doc:  "flags secret-annotated values flowing into variable-time or logging sinks",
+	Run:  runVartime,
+}
+
+// vartimeSink describes one sink. Operands lists which call operands
+// are checked: -1 is the receiver, n ≥ 0 the n-th argument; nil means
+// every operand including the receiver.
+type vartimeSink struct {
+	operands []int
+	why      string
+}
+
+// vartimeSinks is keyed by types.Func.FullName (methods render as
+// "(*pkg/path.Type).Name").
+var vartimeSinks = map[string]vartimeSink{
+	// Variable-time field inversion: public operands only (see
+	// ff/inverse_vartime.go). The constant-time fix is Fp.Inverse.
+	"(*repro/internal/ff.Fp).InverseVartime":  {operands: []int{0}, why: "Kaliski inversion is variable-time; use Inverse for secret-derived operands"},
+	"(*repro/internal/ff.Fp2).InverseVartime": {operands: []int{0}, why: "Kaliski inversion is variable-time; use Inverse for secret-derived operands"},
+	// The batch-inversion helpers funnel into InverseVartime.
+	"repro/internal/ff.BatchInverseFpInto":  {operands: []int{1}, why: "batch inversion is variable-time (InverseVartime aggregate); secrets must use Inverse"},
+	"repro/internal/ff.BatchInverseFp2Into": {operands: []int{1}, why: "batch inversion is variable-time (InverseVartime aggregate); secrets must use Inverse"},
+	"repro/internal/ff.BatchInverseFp":      {operands: []int{0}, why: "batch inversion is variable-time (InverseVartime aggregate); secrets must use Inverse"},
+	"repro/internal/ff.BatchInverseFp2":     {operands: []int{0}, why: "batch inversion is variable-time (InverseVartime aggregate); secrets must use Inverse"},
+
+	// Classic variable-time big.Int number theory whose branch pattern
+	// tracks operand values far more finely than the modular-arithmetic
+	// leakage the model tolerates.
+	"(*math/big.Int).ModInverse":    {why: "big.Int.ModInverse is value-dependent variable-time"},
+	"(*math/big.Int).ModSqrt":       {why: "big.Int.ModSqrt is value-dependent variable-time"},
+	"(*math/big.Int).GCD":           {why: "big.Int.GCD is value-dependent variable-time"},
+	"(*math/big.Int).ProbablyPrime": {operands: []int{-1}, why: "big.Int.ProbablyPrime is value-dependent variable-time"},
+
+	// Stringification/serialization of secrets into logs or errors.
+	"(*math/big.Int).String":      {operands: []int{-1}, why: "stringifies a secret"},
+	"(*math/big.Int).Text":        {operands: []int{-1}, why: "stringifies a secret"},
+	"(*math/big.Int).Append":      {operands: []int{-1}, why: "stringifies a secret"},
+	"(*math/big.Int).Format":      {operands: []int{-1}, why: "stringifies a secret"},
+	"(*math/big.Int).MarshalText": {operands: []int{-1}, why: "stringifies a secret"},
+	"(*math/big.Int).MarshalJSON": {operands: []int{-1}, why: "stringifies a secret"},
+
+	// Non-constant-time comparisons; use crypto/subtle.
+	"bytes.Equal":       {why: "byte comparison is not constant-time; use crypto/subtle.ConstantTimeCompare"},
+	"bytes.Compare":     {why: "byte comparison is not constant-time; use crypto/subtle.ConstantTimeCompare"},
+	"reflect.DeepEqual": {why: "reflective comparison is not constant-time; use crypto/subtle.ConstantTimeCompare"},
+	"strings.EqualFold": {why: "string comparison is not constant-time"},
+	"strings.Compare":   {why: "string comparison is not constant-time"},
+	"strings.HasPrefix": {why: "string comparison is not constant-time"},
+	"bytes.HasPrefix":   {why: "byte comparison is not constant-time; use crypto/subtle.ConstantTimeCompare"},
+}
+
+// fmtLogSinks are formatting/printing functions: any tainted argument
+// is a secret escaping into output. Keyed by FullName prefixes.
+var fmtLogSinks = []string{
+	"fmt.Print", "fmt.Sprint", "fmt.Fprint", "fmt.Errorf", "fmt.Append",
+	"log.Print", "log.Fatal", "log.Panic", "log.Output",
+	"(*log.Logger).Print", "(*log.Logger).Fatal", "(*log.Logger).Panic", "(*log.Logger).Output",
+	"(*testing.common).Log", "(*testing.common).Error", "(*testing.common).Fatal", "(*testing.common).Skip",
+}
+
+// requiredSecret lists the long-lived secret state that MUST carry a
+// //dlr:secret annotation. Matching is by package name (not path) so
+// golden copies of the packages are checked identically. An empty
+// field requires the annotation on the type declaration itself.
+var requiredSecret = []struct{ pkg, typ, field string }{
+	{"dlr", "P1", "sk1"},         // plaintext Π_ss share (ModeBasic)
+	{"dlr", "P1", "skcomm"},      // period Π_comm key
+	{"dlr", "P2", "sk2"},         // Π_ss key share (s1,…,sℓ)
+	{"hpske", "Key", ""},         // HPSKE secret key type
+	{"pss", "Share2", ""},        // P2's share alias
+	{"ots", "SigningKey", "pre"}, // Lamport preimages
+}
+
+func runVartime(pass *Pass) {
+	// Annotation-presence check (only meaningful in the package that
+	// declares the state).
+	checkRequiredSecret(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ft := newFuncTaint(pass, fd)
+			ft.propagate()
+			ft.checkSinks()
+		}
+	}
+}
+
+func checkRequiredSecret(pass *Pass) {
+	pkgName := pass.Pkg.Types.Name()
+	for _, req := range requiredSecret {
+		if req.pkg != pkgName {
+			continue
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != req.typ {
+						continue
+					}
+					if req.field == "" {
+						tn, _ := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+						if tn == nil || !pass.Reg.secretTypes[tn] {
+							pass.Reportf(ts.Pos(), "type %s.%s holds key-share material and must be annotated //dlr:secret", req.pkg, req.typ)
+						}
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if name.Name != req.field {
+								continue
+							}
+							if !pass.Reg.SecretObj(pass.Pkg.Info.Defs[name]) {
+								pass.Reportf(name.Pos(), "field %s.%s.%s holds key-share material and must be annotated //dlr:secret", req.pkg, req.typ, req.field)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// funcTaint tracks intra-procedural taint for one function body.
+type funcTaint struct {
+	pass    *Pass
+	fd      *ast.FuncDecl
+	tainted map[types.Object]bool
+}
+
+func newFuncTaint(pass *Pass, fd *ast.FuncDecl) *funcTaint {
+	ft := &funcTaint{pass: pass, fd: fd, tainted: make(map[types.Object]bool)}
+	// Seed annotated parameters and receivers; secret-typed values are
+	// handled structurally in exprTainted.
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil && pass.Reg.SecretObj(obj) {
+					ft.tainted[obj] = true
+				}
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+	return ft
+}
+
+// neverTaint reports types that sanitize taint: lengths, errors and
+// booleans derived from secret-bearing calls are not secrets.
+func neverTaint(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Bool || u.Kind() == types.UntypedBool
+	case *types.Interface:
+		return t.String() == "error"
+	}
+	return false
+}
+
+// propagate runs two forward passes over the body (the second catches
+// flows through loop back-edges) marking assigned objects tainted when
+// their sources are.
+func (ft *funcTaint) propagate() {
+	info := ft.pass.Pkg.Info
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(ft.fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				ft.flowAssign(s)
+			case *ast.CallExpr:
+				ft.flowCall(s)
+			case *ast.ValueSpec:
+				marked := ft.stmtMarked(s.Pos())
+				for _, name := range s.Names {
+					obj := info.Defs[name]
+					if obj == nil || neverTaint(obj.Type()) {
+						continue
+					}
+					if marked {
+						ft.tainted[obj] = true
+					}
+				}
+				for i, name := range s.Names {
+					obj := info.Defs[name]
+					if obj == nil || neverTaint(obj.Type()) {
+						continue
+					}
+					switch {
+					case len(s.Values) == len(s.Names):
+						if ft.exprTainted(s.Values[i]) {
+							ft.tainted[obj] = true
+						}
+					case len(s.Values) == 1:
+						if ft.exprTainted(s.Values[0]) {
+							ft.tainted[obj] = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if ft.exprTainted(s.X) {
+					// The element is secret data; the key is a plain index
+					// except when ranging over a map (whose keys are data).
+					targets := []ast.Expr{s.Value}
+					if tv, ok := info.Types[s.X]; ok && tv.Type != nil {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							targets = append(targets, s.Key)
+						}
+					}
+					for _, e := range targets {
+						if id, ok := e.(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil && !neverTaint(obj.Type()) {
+								ft.tainted[obj] = true
+							} else if obj := info.Uses[id]; obj != nil && !neverTaint(obj.Type()) {
+								ft.tainted[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stmtMarked reports whether pos sits on a //dlr:secret-marked line.
+func (ft *funcTaint) stmtMarked(pos token.Pos) bool {
+	p := ft.pass.Pkg.Fset.Position(pos)
+	return ft.pass.Reg.SecretLine(p.Filename, p.Line)
+}
+
+func (ft *funcTaint) flowAssign(s *ast.AssignStmt) {
+	info := ft.pass.Pkg.Info
+	marked := ft.stmtMarked(s.Pos())
+	taintLHS := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && !neverTaint(obj.Type()) {
+			ft.tainted[obj] = true
+		}
+	}
+	switch {
+	case len(s.Rhs) == len(s.Lhs):
+		for i, rhs := range s.Rhs {
+			if marked || ft.exprTainted(rhs) {
+				taintLHS(s.Lhs[i])
+			}
+		}
+	case len(s.Rhs) == 1: // multi-value call/assertion
+		if marked || ft.exprTainted(s.Rhs[0]) {
+			for _, lhs := range s.Lhs {
+				taintLHS(lhs)
+			}
+		}
+	}
+}
+
+// flowCall models in-place mutation: the ff/bn254 idiom writes results
+// through the receiver (z.Mul(x, y)) or through pointer/slice
+// out-params (BatchInverseFpInto(out, xs, prefix)), so a call with any
+// tainted operand taints every mutable operand rooted at a local
+// identifier. copy(dst, src) with tainted src taints dst.
+func (ft *funcTaint) flowCall(call *ast.CallExpr) {
+	info := ft.pass.Pkg.Info
+	if calleeName(info, call) == "copy" && len(call.Args) == 2 {
+		if ft.exprTainted(call.Args[1]) {
+			ft.taintRoot(call.Args[0])
+		}
+		return
+	}
+	if !ft.callPropagates(call) {
+		return
+	}
+	var recv ast.Expr
+	if r := receiverExpr(call); r != nil {
+		// Skip package qualifiers (fmt.Printf has no receiver value).
+		if id, ok := r.(*ast.Ident); !ok || info.Uses[id] == nil || !isPkgName(info.Uses[id]) {
+			recv = r
+		}
+	}
+	any := recv != nil && ft.exprTainted(recv)
+	for _, e := range call.Args {
+		if ft.exprTainted(e) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	// The receiver is written through regardless of its syntactic type:
+	// `var x ff.Fp; x.SetUint64(…)` auto-addresses x.
+	if recv != nil {
+		ft.taintRoot(recv)
+	}
+	for _, e := range call.Args {
+		if tv, ok := info.Types[e]; ok && !mutableThrough(tv.Type) {
+			continue
+		}
+		ft.taintRoot(e)
+	}
+}
+
+func isPkgName(obj types.Object) bool {
+	_, ok := obj.(*types.PkgName)
+	return ok
+}
+
+// mutableThrough reports whether a callee can write secret data back
+// through a value of type t.
+func mutableThrough(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// taintRoot marks the identifier at the root of e (stripping &, *,
+// parens, indexing and slicing) as tainted.
+func (ft *funcTaint) taintRoot(e ast.Expr) {
+	info := ft.pass.Pkg.Info
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj != nil && !neverTaint(obj.Type()) && !isPkgName(obj) {
+				ft.tainted[obj] = true
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// exprTainted reports whether e carries secret data.
+func (ft *funcTaint) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	info := ft.pass.Pkg.Info
+	if tv, ok := info.Types[e]; ok {
+		if neverTaint(tv.Type) {
+			return false
+		}
+		if ft.pass.Reg.SecretType(tv.Type) {
+			return true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		return obj != nil && (ft.tainted[obj] || ft.pass.Reg.SecretObj(obj))
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil && ft.pass.Reg.SecretObj(obj) {
+			return true
+		}
+		return ft.exprTainted(x.X)
+	case *ast.IndexExpr:
+		return ft.exprTainted(x.X)
+	case *ast.IndexListExpr:
+		return ft.exprTainted(x.X)
+	case *ast.SliceExpr:
+		return ft.exprTainted(x.X)
+	case *ast.StarExpr:
+		return ft.exprTainted(x.X)
+	case *ast.ParenExpr:
+		return ft.exprTainted(x.X)
+	case *ast.UnaryExpr:
+		return ft.exprTainted(x.X)
+	case *ast.BinaryExpr:
+		return ft.exprTainted(x.X) || ft.exprTainted(x.Y)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if ft.exprTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if ft.exprTainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// Conversions preserve the value: Key(v), []byte(s), …
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			return len(x.Args) == 1 && ft.exprTainted(x.Args[0])
+		}
+		switch calleeName(info, x) {
+		case "len", "cap": // sanitizers
+			return false
+		case "append", "min", "max":
+			for _, arg := range x.Args {
+				if ft.exprTainted(arg) {
+					return true
+				}
+			}
+			return false
+		}
+		// Only value-preserving calls propagate taint — big.Int/ff/
+		// scalar arithmetic and methods on secret types (key.Clone(),
+		// key.Bytes(), Neg(sk[i])). Scheme-level functions (Encrypt,
+		// LinComb, group exponentiation) do NOT: their outputs are
+		// public by construction, and what the model guards is raw
+		// arithmetic and formatting on secret scalars.
+		if !ft.callPropagates(x) {
+			return false
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && ft.exprTainted(sel.X) {
+			return true
+		}
+		for _, arg := range x.Args {
+			if ft.exprTainted(arg) {
+				return true
+			}
+		}
+		return false
+	case *ast.TypeAssertExpr:
+		return ft.exprTainted(x.X)
+	}
+	return false
+}
+
+// taintPropagatingPkgs are the packages whose functions are
+// value-preserving over their operands: a tainted input yields a
+// tainted output (and tainted writes through mutable operands).
+var taintPropagatingPkgs = map[string]bool{
+	"math/big":              true,
+	"repro/internal/ff":     true,
+	"repro/internal/scalar": true,
+}
+
+// callPropagates reports whether a call carries taint from operands to
+// results/out-params (see the comment in exprTainted).
+func (ft *funcTaint) callPropagates(call *ast.CallExpr) bool {
+	fn := calleeFunc(ft.pass.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && taintPropagatingPkgs[fn.Pkg().Path()] {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ft.pass.Reg.SecretType(sig.Recv().Type())
+	}
+	return false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// calleeFunc resolves the called *types.Func, looking through method
+// selections and generic instantiation.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if f, ok := info.Uses[id].(*types.Func); ok {
+		return f
+	}
+	return nil
+}
+
+// checkSinks scans every call in the body against the sink tables.
+func (ft *funcTaint) checkSinks() {
+	info := ft.pass.Pkg.Info
+	ast.Inspect(ft.fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		full := fn.FullName()
+		if sink, ok := vartimeSinks[full]; ok {
+			ft.checkCall(call, full, sink)
+			return true
+		}
+		for _, prefix := range fmtLogSinks {
+			if strings.HasPrefix(full, prefix) {
+				ft.checkCall(call, full, vartimeSink{why: "secret escapes into formatted output"})
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func (ft *funcTaint) checkCall(call *ast.CallExpr, full string, sink vartimeSink) {
+	recv := receiverExpr(call)
+	reported := false
+	check := func(idx int) {
+		if reported {
+			return
+		}
+		var e ast.Expr
+		if idx == -1 {
+			e = recv
+		} else if idx < len(call.Args) {
+			e = call.Args[idx]
+		}
+		if e != nil && ft.exprTainted(e) {
+			reported = true
+			ft.pass.Reportf(call.Pos(), "secret value reaches %s: %s", full, sink.why)
+		}
+	}
+	if sink.operands == nil {
+		check(-1)
+		for i := range call.Args {
+			check(i)
+		}
+		return
+	}
+	for _, idx := range sink.operands {
+		check(idx)
+	}
+}
+
+// receiverExpr returns the receiver expression of a method call, nil
+// for plain function calls.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}

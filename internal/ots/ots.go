@@ -28,6 +28,7 @@ const SignatureLen = digestBits * preimageLen
 
 // SigningKey is a one-time signing key.
 type SigningKey struct {
+	//dlr:secret
 	pre  [2][digestBits][preimageLen]byte
 	vk   VerifyKey
 	used bool

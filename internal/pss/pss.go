@@ -28,6 +28,8 @@ import (
 type Share1 = hpske.Ciphertext[*bn254.G2]
 
 // Share2 is P2's share: the Π_ss key (s1,…,sℓ).
+//
+//dlr:secret
 type Share2 = hpske.Key
 
 // Scheme is a Π_ss instance with sharing length ℓ over G2.
@@ -89,10 +91,17 @@ func (s *Scheme) Verify(sh1 *Share1, sh2 Share2, msk *bn254.G2) bool {
 // the same secret, given both shares in one place. It is the
 // single-party reference implementation of what the 2-party Ref protocol
 // achieves without ever co-locating the shares; tests compare the two.
+// Like the protocol, it erases the outgoing key share: sh2 is wiped in
+// place once the new sharing exists.
 func (s *Scheme) RefreshLocal(rng io.Reader, sh1 *Share1, sh2 Share2) (*Share1, Share2, error) {
 	msk, err := s.Reconstruct(sh1, sh2)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.Share(rng, msk)
+	nsh1, nsh2, err := s.Share(rng, msk)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh2.Zeroize()
+	return nsh1, nsh2, nil
 }

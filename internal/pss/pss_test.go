@@ -2,6 +2,7 @@ package pss
 
 import (
 	"crypto/rand"
+	"math/big"
 	"testing"
 
 	"repro/internal/bn254"
@@ -86,6 +87,9 @@ func TestRefreshProducesFreshShares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// RefreshLocal wipes sh2 in place, so snapshot the coordinate the
+	// freshness check compares against.
+	oldS1 := new(big.Int).Set(sh2[0])
 	nsh1, nsh2, err := s.RefreshLocal(rand.Reader, sh1, sh2)
 	if err != nil {
 		t.Fatal(err)
@@ -93,8 +97,44 @@ func TestRefreshProducesFreshShares(t *testing.T) {
 	if nsh1.Payload.Equal(sh1.Payload) {
 		t.Fatal("refresh reused Φ")
 	}
-	if nsh2[0].Cmp(sh2[0]) == 0 {
+	if nsh2[0].Cmp(oldS1) == 0 {
 		t.Fatal("refresh reused s1 (vanishing probability)")
+	}
+}
+
+func TestRefreshLocalZeroizesOldShare(t *testing.T) {
+	s := newScheme(t)
+	msk := randMsk(t)
+	sh1, sh2, err := s.Share(rand.Reader, msk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := sh2
+	// Capture the limb storage of every coordinate: Zeroize must
+	// overwrite the backing arrays, not just swap in fresh values.
+	limbs := make([][]big.Word, len(old))
+	for i, c := range old {
+		limbs[i] = c.Bits()
+		if len(limbs[i]) == 0 {
+			t.Fatalf("share coordinate %d is zero before refresh", i)
+		}
+	}
+	nsh1, nsh2, err := s.RefreshLocal(rand.Reader, sh1, sh2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range old {
+		if c.Sign() != 0 {
+			t.Errorf("old share coordinate %d not reset after refresh", i)
+		}
+		for j, w := range limbs[i] {
+			if w != 0 {
+				t.Errorf("old share coordinate %d limb %d not wiped", i, j)
+			}
+		}
+	}
+	if !s.Verify(nsh1, nsh2, msk) {
+		t.Fatal("refresh with erasure broke the sharing")
 	}
 }
 

@@ -259,6 +259,8 @@ func (l *Lattice) LimbReady() bool { return l.limb != nil && l.limb.ok }
 // differ from Decompose's by one, and the sub-scalars by one basis
 // entry — both paths satisfy the recomposition identity the
 // differential tests check).
+//
+//dlr:noalloc
 func (l *Lattice) DecomposeInto(e *[4]uint64, out []SubScalar) bool {
 	ll := l.limb
 	if ll == nil || !ll.ok || len(out) != l.dim {
