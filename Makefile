@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
+.PHONY: all build test race race-par vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -15,6 +15,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-par is the focused race pass over the packages that fan work
+# out across goroutines (chunk-parallel primitives, the table cache,
+# the batched-decryption pipeline). A subset of `race` — useful while
+# iterating on parallel code without paying for the full suite.
+race-par:
+	$(GO) test -race -count=1 ./internal/par ./internal/ff ./internal/bn254 ./internal/cache ./internal/dlr
 
 vet:
 	$(GO) vet ./...

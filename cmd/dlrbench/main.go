@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E14 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E15 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -8,9 +8,20 @@
 //	dlrbench -smoke bench_baseline.json     # fail if a hot op regressed >25%
 //	dlrbench -pipeline -workers 1,2,4 -reqs 128 -batch 16
 //	                                    # batched-decryption worker curve
+//	dlrbench -pipeline -workers 2 -tenants 3 -cache 4
+//	                                    # multi-tenant curve with a shared
+//	                                    # rotation-aware table cache (hit
+//	                                    # rates reported per point)
+//
+// -cache N attaches an N-entry internal/cache LRU of batch pairing
+// tables to every tenant's P1; 0 (the default) runs uncached. -tenants
+// round-robins the request stream over that many independent DLR
+// instances, which is what makes capacity pressure visible: size the
+// cache below the tenant count and the hit rate collapses (see
+// docs/PERFORMANCE.md for sizing guidance).
 //
 // -cpuprofile and -memprofile write pprof profiles of whichever mode
-// runs, for digging into the hot loops the E13 numbers summarize.
+// runs, for digging into the hot loops the E13/E15 numbers summarize.
 package main
 
 import (
@@ -48,7 +59,7 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp        = flag.String("e", "", "run a single experiment (E1..E14); empty = all")
+		exp        = flag.String("e", "", "run a single experiment (E1..E15); empty = all")
 		games      = flag.Int("games", 1, "games per configuration in E5")
 		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
 		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
@@ -56,6 +67,8 @@ func main() {
 		workers    = flag.String("workers", "1,2,4", "comma-separated worker counts for -pipeline")
 		reqs       = flag.Int("reqs", 128, "total decryption requests per -pipeline point")
 		batchSize  = flag.Int("batch", 16, "requests per RunDecBatch call in -pipeline")
+		tenants    = flag.Int("tenants", 1, "independent DLR instances the -pipeline request stream round-robins over")
+		cacheCap   = flag.Int("cache", 0, "capacity of the shared rotation-aware table cache for -pipeline; 0 = uncached")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
@@ -86,21 +99,21 @@ func main() {
 		}()
 	}
 
-	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize); err != nil {
+	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize, *tenants, *cacheCap); err != nil {
 		// log.Fatal would skip the profile-writing defers above.
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize int) error {
+func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize, tenants, cacheCap int) error {
 	switch {
 	case baseline != "":
 		return writeBaseline(baseline)
 	case smoke != "":
 		return runSmoke(smoke)
 	case pipeline:
-		return runPipeline(workers, reqs, batchSize)
+		return runPipeline(workers, reqs, batchSize, tenants, cacheCap)
 	}
 
 	start := time.Now()
@@ -116,10 +129,12 @@ func run(exp string, games int, baseline, smoke string, pipeline bool, workers s
 }
 
 // runPipeline sweeps the batched decryption pipeline across the
-// requested worker counts and prints the req/s-vs-workers curve.
-func runPipeline(workers string, reqs, batchSize int) error {
-	fmt.Printf("batched decryption pipeline: %d requests per point, batch=%d, GOMAXPROCS=%d\n",
-		reqs, batchSize, runtime.GOMAXPROCS(0))
+// requested worker counts and prints the req/s-vs-workers curve. With
+// -cache > 0 a shared table cache is attached and the per-point hit
+// rate is appended to each row.
+func runPipeline(workers string, reqs, batchSize, tenants, cacheCap int) error {
+	fmt.Printf("batched decryption pipeline: %d requests per point, batch=%d, tenants=%d, cache=%d, GOMAXPROCS=%d\n",
+		reqs, batchSize, tenants, cacheCap, runtime.GOMAXPROCS(0))
 	fmt.Printf("%-8s  %10s  %12s  %12s  %12s  %10s  %6s  %10s\n",
 		"workers", "req/s", "p50", "p99", "allocs/req", "KB/req", "GC", "pause")
 	var base float64
@@ -128,7 +143,10 @@ func runPipeline(workers string, reqs, batchSize int) error {
 		if err != nil {
 			return fmt.Errorf("pipeline: bad -workers entry %q: %w", field, err)
 		}
-		pt, err := bench.DecPipeline(w, reqs, batchSize)
+		pt, err := bench.DecPipelineCfg(bench.PipelineConfig{
+			Workers: w, Requests: reqs, Batch: batchSize,
+			Tenants: tenants, CacheCap: cacheCap,
+		})
 		if err != nil {
 			return err
 		}
@@ -138,18 +156,23 @@ func runPipeline(workers string, reqs, batchSize int) error {
 		} else {
 			scale = fmt.Sprintf("  (%.2fx vs 1 worker)", pt.ReqPerSec/base)
 		}
-		fmt.Printf("%-8d  %10.1f  %12s  %12s  %12.0f  %10.1f  %6d  %10s%s\n",
+		cacheCol := ""
+		if cacheCap > 0 {
+			cacheCol = fmt.Sprintf("  cache %3.0f%% hit (%d evictions)", 100*pt.CacheHitRate, pt.CacheEvictions)
+		}
+		fmt.Printf("%-8d  %10.1f  %12s  %12s  %12.0f  %10.1f  %6d  %10s%s%s\n",
 			pt.Workers, pt.ReqPerSec, pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond),
-			pt.AllocsPerReq, pt.BytesPerReq/1024, pt.GCCycles, pt.GCPause.Round(time.Microsecond), scale)
+			pt.AllocsPerReq, pt.BytesPerReq/1024, pt.GCCycles, pt.GCPause.Round(time.Microsecond), scale, cacheCol)
 	}
 	return nil
 }
 
 // allMeasurements gathers every fast-path timing pair: the E11 set
 // (wNAF vs reference ladder, multi-pairing, transport), the E12 set
-// (GLV/GLS vs wNAF, pairing tables vs cold Miller loops) and the E13
+// (GLV/GLS vs wNAF, pairing tables vs cold Miller loops), the E13
 // set (Pippenger vs Straus, lazy tower vs reducing twins, batched vs
-// per-request decryption).
+// per-request decryption) and the E15 set (chunk-parallel primitives
+// vs their serial paths, cached vs cold batch tables).
 func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	meas, err := bench.FastPathMeasurements()
 	if err != nil {
@@ -163,7 +186,11 @@ func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(append(meas, endo...), thr...), nil
+	par, err := bench.E15Measurements()
+	if err != nil {
+		return nil, err
+	}
+	return append(append(append(meas, endo...), thr...), par...), nil
 }
 
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so

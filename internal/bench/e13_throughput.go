@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bn254"
+	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/dlr"
 	"repro/internal/ff"
@@ -193,43 +194,121 @@ type PipelinePoint struct {
 	// triggered and their cumulative stop-the-world pause.
 	GCCycles int
 	GCPause  time.Duration
+	// Cache effectiveness over the serving phase (zero value when the
+	// pipeline ran uncached).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheHitRate   float64
+}
+
+// PipelineConfig shapes one DecPipelineCfg run.
+type PipelineConfig struct {
+	// Workers is the per-shard worker-pool size: each worker owns its
+	// own P1↔P2 channel pair per tenant and pulls batches from the
+	// shared queue.
+	Workers int
+	// Requests and Batch: Requests ciphertexts total, served Batch at a
+	// time.
+	Requests int
+	Batch    int
+	// Tenants is how many independent DLR instances (key shares) the
+	// request stream round-robins over; 0 means 1.
+	Tenants int
+	// CacheCap, when positive, attaches a shared cache.New(CacheCap)
+	// table cache to every tenant's P1 — the E15 hit-rate runs sweep
+	// this against Tenants to show the capacity cliff.
+	CacheCap int
 }
 
 // DecPipeline drives the batched decryption pipeline at the given
-// concurrency: `workers` goroutines each own a P1↔P2 channel pair and
-// pull batches of `batch` ciphertexts from a shared queue until
-// `totalReqs` requests have been served. Every decrypted message is
+// concurrency for a single uncached tenant — the E13/E14 shape. See
+// DecPipelineCfg for the multi-tenant, cache-attached variant.
+func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
+	return DecPipelineCfg(PipelineConfig{Workers: workers, Requests: totalReqs, Batch: batch})
+}
+
+// DecPipelineCfg drives the batched decryption pipeline: cfg.Workers
+// goroutines pull batches of cfg.Batch ciphertexts from a shared queue
+// until cfg.Requests requests have been served, round-robining over
+// cfg.Tenants independent DLR instances. Every decrypted message is
 // verified against the plaintext. Reported latency is per batch,
 // attributed to each request in it (queue wait excluded — the driver is
 // closed-loop, so queueing is an artifact of the offered load, not of
 // the protocol).
-func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
-	if workers < 1 || batch < 1 || totalReqs < batch {
-		return nil, fmt.Errorf("bench: bad pipeline shape workers=%d reqs=%d batch=%d", workers, totalReqs, batch)
+func DecPipelineCfg(cfg PipelineConfig) (*PipelinePoint, error) {
+	workers, totalReqs, batch := cfg.Workers, cfg.Requests, cfg.Batch
+	tenants := cfg.Tenants
+	if tenants < 1 {
+		tenants = 1
 	}
-	pk, p1, p2, err := dlr.Gen(rand.Reader, e13Params())
-	if err != nil {
-		return nil, err
+	if workers < 1 || batch < 1 || totalReqs < batch*tenants {
+		return nil, fmt.Errorf("bench: bad pipeline shape workers=%d reqs=%d batch=%d tenants=%d",
+			workers, totalReqs, batch, tenants)
 	}
-	msgs := make([]*bn254.GT, totalReqs)
-	cs := make([]*dlr.Ciphertext, totalReqs)
-	for i := range cs {
-		if msgs[i], err = dlr.RandMessage(rand.Reader, pk); err != nil {
-			return nil, err
-		}
-		if cs[i], err = dlr.Encrypt(rand.Reader, pk, msgs[i], nil); err != nil {
-			return nil, err
-		}
+	var tabCache *cache.Cache
+	if cfg.CacheCap > 0 {
+		tabCache = cache.New(cfg.CacheCap)
 	}
 
-	type job struct{ lo, hi int }
-	jobs := make(chan job, (totalReqs+batch-1)/batch)
-	for lo := 0; lo < totalReqs; lo += batch {
-		hi := lo + batch
-		if hi > totalReqs {
-			hi = totalReqs
+	type tenantState struct {
+		p1   *dlr.P1
+		p2   *dlr.P2
+		msgs []*bn254.GT
+		cs   []*dlr.Ciphertext
+	}
+	sts := make([]*tenantState, tenants)
+	perTenant := totalReqs / tenants
+	for ti := range sts {
+		pk, p1, p2, err := dlr.Gen(rand.Reader, e13Params())
+		if err != nil {
+			return nil, err
 		}
-		jobs <- job{lo, hi}
+		if tabCache != nil {
+			p1.AttachCache(tabCache, fmt.Sprintf("tenant-%d", ti))
+		}
+		n := perTenant
+		if ti < totalReqs%tenants {
+			n++
+		}
+		st := &tenantState{p1: p1, p2: p2,
+			msgs: make([]*bn254.GT, n), cs: make([]*dlr.Ciphertext, n)}
+		for i := range st.cs {
+			if st.msgs[i], err = dlr.RandMessage(rand.Reader, pk); err != nil {
+				return nil, err
+			}
+			if st.cs[i], err = dlr.Encrypt(rand.Reader, pk, st.msgs[i], nil); err != nil {
+				return nil, err
+			}
+		}
+		sts[ti] = st
+	}
+
+	// Interleave the tenants' batches so a small cache sees the worst
+	// case (every consecutive batch a different tenant) rather than
+	// tenant-sorted runs.
+	type job struct{ tenant, lo, hi int }
+	var jobList []job
+	for lo := 0; ; lo += batch {
+		appended := false
+		for ti, st := range sts {
+			if lo >= len(st.cs) {
+				continue
+			}
+			hi := lo + batch
+			if hi > len(st.cs) {
+				hi = len(st.cs)
+			}
+			jobList = append(jobList, job{ti, lo, hi})
+			appended = true
+		}
+		if !appended {
+			break
+		}
+	}
+	jobs := make(chan job, len(jobList))
+	for _, j := range jobList {
+		jobs <- j
 	}
 	close(jobs)
 
@@ -255,23 +334,34 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
-		chP1, chP2 := device.NewLocalPair()
-		go p2.ServeLoop(chP2) // exits when chP1 closes
+		// One channel pair per (worker, tenant): P2's ServeLoop exits
+		// when its worker closes the P1 end.
+		chs := make([]device.Channel, tenants)
+		for ti, st := range sts {
+			chP1, chP2 := device.NewLocalPair()
+			go st.p2.ServeLoop(chP2)
+			chs[ti] = chP1
+		}
 		wg.Add(1)
-		go func(ch device.Channel) {
+		go func(chs []device.Channel) {
 			defer wg.Done()
-			defer ch.Close()
+			defer func() {
+				for _, ch := range chs {
+					ch.Close()
+				}
+			}()
 			for j := range jobs {
+				st := sts[j.tenant]
 				t0 := time.Now()
-				out, err := p1.RunDecBatch(ch, cs[j.lo:j.hi])
+				out, err := st.p1.RunDecBatch(chs[j.tenant], st.cs[j.lo:j.hi])
 				lat := time.Since(t0)
 				if err != nil {
 					fail(err)
 					return
 				}
 				for i, m := range out {
-					if !m.Equal(msgs[j.lo+i]) {
-						fail(fmt.Errorf("bench: pipeline decrypted request %d wrong", j.lo+i))
+					if !m.Equal(st.msgs[j.lo+i]) {
+						fail(fmt.Errorf("bench: pipeline decrypted request %d/%d wrong", j.tenant, j.lo+i))
 						return
 					}
 				}
@@ -281,7 +371,7 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 				}
 				mu.Unlock()
 			}
-		}(chP1)
+		}(chs)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -295,7 +385,7 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 		idx := int(p * float64(len(latencies)-1))
 		return latencies[idx]
 	}
-	return &PipelinePoint{
+	pt := &PipelinePoint{
 		Workers:      workers,
 		Requests:     totalReqs,
 		Batch:        batch,
@@ -306,7 +396,13 @@ func DecPipeline(workers, totalReqs, batch int) (*PipelinePoint, error) {
 		BytesPerReq:  float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(totalReqs),
 		GCCycles:     int(memAfter.NumGC - memBefore.NumGC),
 		GCPause:      time.Duration(memAfter.PauseTotalNs - memBefore.PauseTotalNs),
-	}, nil
+	}
+	if tabCache != nil {
+		s := tabCache.Stats()
+		pt.CacheHits, pt.CacheMisses, pt.CacheEvictions = s.Hits, s.Misses, s.Evictions
+		pt.CacheHitRate = s.HitRate()
+	}
+	return pt, nil
 }
 
 // E13Throughput regenerates the throughput-tier speedup table and the

@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E14 in order. attackGames
+// Experiments returns the full registry E1–E15 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -29,6 +29,7 @@ func Experiments(attackGames int) []struct {
 		{"E12", E12Endo},
 		{"E13", E13Throughput},
 		{"E14", E14Memory},
+		{"E15", E15Parallel},
 	}
 }
 

@@ -19,6 +19,16 @@ import (
 //     final exponentiations stay per-pair, only the inversions are
 //     shared. This is the right entry point when each pairing output is
 //     needed individually, e.g. the §5.2 ciphertext-reuse transport.
+//
+// Both entry points split large inputs into contiguous chunks of
+// lockstep loops and fan the chunks out across cores (par.Chunks):
+// the Miller accumulator is multiplicative, so the product of
+// per-chunk accumulators equals the joint accumulator exactly. The
+// cost of a chunk split is one extra Fp12 squaring chain per chunk
+// (~190 squarings) plus narrower inversion batches, which is why the
+// split gates on multiPairParMinChunk pairs per chunk — below two
+// chunks' worth, or on a single-core host, the serial lockstep loop
+// runs unchanged.
 
 // MultiPair computes Π e(ps[i], qs[i]) with one shared Miller
 // accumulator and a single final exponentiation. Pairs where either
@@ -42,29 +52,60 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 		return GTOne()
 	}
 
+	var f ff.Fp12
+	if cs := par.Chunks(len(actP), multiPairParMinChunk); len(cs) > 1 {
+		// Per-chunk lockstep loops, one accumulator each; the Miller
+		// value is multiplicative so the product matches the joint run.
+		fs := make([]ff.Fp12, len(cs))
+		par.ForEach(len(cs), func(ci int) {
+			multiPairMillerInto(&fs[ci], actP[cs[ci][0]:cs[ci][1]], actQ[cs[ci][0]:cs[ci][1]])
+		})
+		f.Set(&fs[0])
+		for ci := 1; ci < len(fs); ci++ {
+			f.Mul(&f, &fs[ci])
+		}
+	} else {
+		multiPairMillerInto(&f, actP, actQ)
+	}
+
+	out := new(GT)
+	finalExpFastInto(&out.v, &f)
+	return out
+}
+
+// multiPairParMinChunk is the smallest pair count worth a dedicated
+// Miller chunk: each extra chunk pays its own ~190-squaring chain and
+// narrows the shared inversion batches, so splits below 4 pairs per
+// chunk lose even with idle cores. MultiPair(4) — the E11 reference
+// shape — therefore always runs the serial lockstep loop.
+const multiPairParMinChunk = 4
+
+// multiPairMillerInto runs the shared-accumulator lockstep Miller
+// loop over the (already identity-filtered) pairs into f, without the
+// final exponentiation. One denominator/inverse/prefix triple is
+// reused by every step: the ~190 per-step batch inversions share
+// these buffers instead of allocating fresh ones
+// (ff.BatchInverseFp2Into).
+func multiPairMillerInto(f *ff.Fp12, actP []*G1, actQ []*G2) {
 	ts := make([]G2, len(actQ))
 	for i := range actQ {
 		ts[i].Set(actQ[i])
 	}
-	// One denominator/inverse/prefix triple reused by every lockstep
-	// step: the ~190 per-step batch inversions share these buffers
-	// instead of allocating fresh ones (ff.BatchInverseFp2Into).
 	dens := make([]ff.Fp2, len(actQ))
 	invs := make([]ff.Fp2, len(actQ))
 	prefix := make([]ff.Fp2, len(actQ))
 
-	var f ff.Fp12
 	f.SetOne()
 	s := ateLoop
 	for i := s.BitLen() - 2; i >= 0; i-- {
-		f.Square(&f)
+		f.Square(f)
 		for k := range ts {
 			dens[k] = doubleStepDen(&ts[k])
 		}
 		ff.BatchInverseFp2Into(invs, dens, prefix)
 		for k := range ts {
 			l := doubleStepPre(&ts[k], actP[k], &invs[k])
-			f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+			f.MulLine(f, &l.e0, &l.e1, &l.e3)
 		}
 		if s.Bit(i) == 1 {
 			for k := range ts {
@@ -73,14 +114,10 @@ func MultiPair(ps []*G1, qs []*G2) *GT {
 			ff.BatchInverseFp2Into(invs, dens, prefix)
 			for k := range ts {
 				l := addStepPre(&ts[k], actQ[k], actP[k], &invs[k])
-				f.MulLine(&f, &l.e0, &l.e1, &l.e3)
+				f.MulLine(f, &l.e0, &l.e1, &l.e3)
 			}
 		}
 	}
-
-	out := new(GT)
-	finalExpFastInto(&out.v, &f)
-	return out
 }
 
 // PairBatch computes the n pairings e(ps[i], qs[i]) individually,
@@ -110,8 +147,34 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 		return out
 	}
 
-	ts := make([]G2, len(actQ))
+	// Per-pair accumulators are already independent, so the lockstep
+	// Miller loops chunk without any accumulator merging — only the
+	// inversion batches narrow to chunk width.
 	fs := make([]ff.Fp12, len(actQ))
+	if cs := par.Chunks(len(actP), multiPairParMinChunk); len(cs) > 1 {
+		par.ForEach(len(cs), func(ci int) {
+			lo, hi := cs[ci][0], cs[ci][1]
+			pairBatchMillerInto(fs[lo:hi], actP[lo:hi], actQ[lo:hi])
+		})
+	} else {
+		pairBatchMillerInto(fs, actP, actQ)
+	}
+
+	// The per-pair final exponentiations are independent — fan them out
+	// across CPUs (degrades to a sequential loop on one core).
+	par.ForEach(len(idx), func(k int) {
+		g := new(GT)
+		finalExpFastInto(&g.v, &fs[k])
+		out[idx[k]] = g
+	})
+	return out
+}
+
+// pairBatchMillerInto runs the lockstep Miller loops with per-pair
+// accumulators into fs, sharing only the batched line-denominator
+// inversions; no final exponentiation.
+func pairBatchMillerInto(fs []ff.Fp12, actP []*G1, actQ []*G2) {
+	ts := make([]G2, len(actQ))
 	for i := range actQ {
 		ts[i].Set(actQ[i])
 		fs[i].SetOne()
@@ -142,13 +205,4 @@ func PairBatch(ps []*G1, qs []*G2) []*GT {
 			}
 		}
 	}
-
-	// The per-pair final exponentiations are independent — fan them out
-	// across CPUs (degrades to a sequential loop on one core).
-	par.ForEach(len(idx), func(k int) {
-		g := new(GT)
-		finalExpFastInto(&g.v, &fs[k])
-		out[idx[k]] = g
-	})
-	return out
 }

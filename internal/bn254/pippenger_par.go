@@ -1,0 +1,149 @@
+package bn254
+
+import (
+	"repro/internal/par"
+)
+
+// Window-parallel Pippenger. The bucket method's expensive phase —
+// throwing every (point, digit) pair into its bucket and folding the
+// buckets into window sums — decomposes cleanly along windows: window
+// w only ever touches buckets [w·nb, (w+1)·nb), so a contiguous group
+// of windows can be accumulated and folded by its own worker with its
+// own scratch arena, no locks and no shared mutable state (the
+// sign-folded point array and the digit matrix are read-only). Only
+// the final combine — c doublings between consecutive window sums —
+// is inherently sequential, and it is ~windows·c doublings total,
+// negligible against the bucket work at parallel sizes.
+//
+// The trade-off against the serial path is the loss of *global*
+// scheduling: each worker batch-inverts only its own windows' pending
+// additions per round, so the per-round inversion amortizes over
+// fewer additions (the reason the serial path schedules all windows
+// together — see pippenger.go). That overhead shrinks as n grows
+// (rounds get denser), which is why the parallel branch gates on a
+// base count, not on GOMAXPROCS alone: below pippengerParMinBases the
+// serial globally scheduled path wins even with idle cores, and the
+// zero-allocation arena discipline of the serial path is preserved
+// exactly (the parallel branch is allowed to allocate its per-call
+// window-sum slice — at these sizes the bucket work dwarfs it).
+//
+// TestPippengerParallelMatchesSerial pins both branches to identical
+// outputs; `make race` runs the suite under the race detector.
+
+// pippengerParMinBases is the post-GLV/GLS-split base count below
+// which multi-exponentiations stay on the serial globally scheduled
+// path. At the E13 reference size (64 terms → ≤128 G1 / ≤256 G2
+// sub-scalars) the serial path and its alloc gates are untouched;
+// from ~256 input terms up, window groups fan out.
+const pippengerParMinBases = 512
+
+// pippengerParMinWindowChunk is the smallest window group worth a
+// worker: fewer than 2 windows per worker leaves too few pending
+// additions per scheduling round to amortize the batch inversions.
+const pippengerParMinWindowChunk = 2
+
+// g1PippengerWindowsPar accumulates and folds the windows in
+// parallel chunks, then combines the window sums serially (c
+// doublings between windows). points holds the sign-folded bases
+// (originals below n, negations above), digits the flattened
+// digits[i*windows+w] matrix; both are read-only here.
+func g1PippengerWindowsPar(acc *g1Jac, points []G1, digits []int32, n, c, windows, nb int) {
+	sums := make([]g1Jac, windows)
+	cs := par.Chunks(windows, pippengerParMinWindowChunk)
+	par.ForEach(len(cs), func(ci int) {
+		wlo, whi := cs[ci][0], cs[ci][1]
+		car := pippengerPool.Get().(*pippengerArena)
+		nbuck := (whi - wlo) * nb
+		buckets := g1Slice(&car.g1Buckets, nbuck)
+		for i := range buckets {
+			buckets[i].SetInfinity()
+		}
+		car.scratch.stamp = int32Slice(&car.scratch.stamp, nbuck)
+		ops := car.ops[:0]
+		for i := 0; i < n; i++ {
+			row := i * windows
+			for w := wlo; w < whi; w++ {
+				d := digits[row+w]
+				switch {
+				case d > 0:
+					ops = append(ops, bucketOp{bucket: int32((w-wlo)*nb) + d - 1, pt: int32(i)})
+				case d < 0:
+					ops = append(ops, bucketOp{bucket: int32((w-wlo)*nb) - d - 1, pt: int32(n + i)})
+				}
+			}
+		}
+		car.ops = ops
+		g1BucketAccumulate(buckets, points, ops, &car.scratch)
+		for w := wlo; w < whi; w++ {
+			var running, sum g1Jac
+			running.setInfinity()
+			sum.setInfinity()
+			win := buckets[(w-wlo)*nb : (w-wlo+1)*nb]
+			for b := nb - 1; b >= 0; b-- {
+				running.addAffine(&win[b])
+				sum.add(&running)
+			}
+			sums[w] = sum
+		}
+		pippengerPool.Put(car)
+	})
+
+	acc.setInfinity()
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			acc.double()
+		}
+		acc.add(&sums[w])
+	}
+}
+
+// g2PippengerWindowsPar is g1PippengerWindowsPar on the twist.
+func g2PippengerWindowsPar(acc *g2Jac, points []G2, digits []int32, n, c, windows, nb int) {
+	sums := make([]g2Jac, windows)
+	cs := par.Chunks(windows, pippengerParMinWindowChunk)
+	par.ForEach(len(cs), func(ci int) {
+		wlo, whi := cs[ci][0], cs[ci][1]
+		car := pippengerPool.Get().(*pippengerArena)
+		nbuck := (whi - wlo) * nb
+		buckets := g2Slice(&car.g2Buckets, nbuck)
+		for i := range buckets {
+			buckets[i].SetInfinity()
+		}
+		car.scratch.stamp = int32Slice(&car.scratch.stamp, nbuck)
+		ops := car.ops[:0]
+		for i := 0; i < n; i++ {
+			row := i * windows
+			for w := wlo; w < whi; w++ {
+				d := digits[row+w]
+				switch {
+				case d > 0:
+					ops = append(ops, bucketOp{bucket: int32((w-wlo)*nb) + d - 1, pt: int32(i)})
+				case d < 0:
+					ops = append(ops, bucketOp{bucket: int32((w-wlo)*nb) - d - 1, pt: int32(n + i)})
+				}
+			}
+		}
+		car.ops = ops
+		g2BucketAccumulate(buckets, points, ops, &car.scratch)
+		for w := wlo; w < whi; w++ {
+			var running, sum g2Jac
+			running.setInfinity()
+			sum.setInfinity()
+			win := buckets[(w-wlo)*nb : (w-wlo+1)*nb]
+			for b := nb - 1; b >= 0; b-- {
+				running.addAffine(&win[b])
+				sum.add(&running)
+			}
+			sums[w] = sum
+		}
+		pippengerPool.Put(car)
+	})
+
+	acc.setInfinity()
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			acc.double()
+		}
+		acc.add(&sums[w])
+	}
+}

@@ -1,0 +1,176 @@
+// Package cache provides a capacity-bounded, rotation-aware LRU for
+// pairing precomputation artifacts: bn254.PairingTable sets, transport
+// tables, and fixed-base comb tables are expensive to build (κ+1 cold
+// Miller loops for a transport table) but deterministic functions of a
+// share state, so they can be reused across requests — until the next
+// proactive refresh replaces that share state.
+//
+// # Why keys carry an epoch
+//
+// The continual-leakage model makes stale precomputation a soundness
+// bug, not just a staleness bug: a table derived from a pre-refresh
+// share is a function of secret material the protocol has already
+// rotated away, and replaying it after the rotation both decrypts
+// against the wrong key (correctness) and extends the lifetime of
+// supposedly-retired secret-derived state (leakage hygiene — the same
+// reason the refresh paths call Zeroize on retired key material).
+//
+// The design therefore does NOT rely on eager invalidation for
+// correctness. Every key carries the owner's rotation epoch, and the
+// owner bumps its epoch on every operation that replaces share state
+// (refresh, period begin, share rebuild). A post-refresh lookup can
+// never hit a pre-refresh entry because the keys differ. Eager
+// invalidation (InvalidateTenant, called from the refresh paths) is
+// purely memory hygiene: it drops the now-unreachable old-epoch
+// entries immediately instead of waiting for LRU pressure to evict
+// them.
+//
+// # Concurrency and capacity
+//
+// All methods are safe for concurrent use. Capacity bounds the entry
+// count, not bytes: entries are few and large (a transport table is
+// κ+1 line tables), so count is the natural unit. Eviction is
+// strict LRU. The zero capacity disables caching entirely (every Get
+// misses, Put is a no-op), which keeps call sites branch-free.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached artifact. Tenant scopes entries to one
+// key-share owner (one P1 instance, one logical customer), Epoch is
+// that owner's rotation epoch at build time, and Kind separates
+// artifact families under the same (tenant, epoch) — e.g.
+// "dlr.transport" vs "dlr.batch".
+type Key struct {
+	Tenant string
+	Epoch  uint64
+	Kind   string
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Len       int
+	Capacity  int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// Cache is a thread-safe LRU keyed by Key. The zero value is unusable;
+// use New.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	index     map[Key]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New returns a cache holding at most capacity entries. capacity <= 0
+// disables caching: Get always misses and Put is a no-op.
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the value under k and marks it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts or replaces the value under k, evicting the least
+// recently used entries if the capacity is exceeded. Concurrent
+// builders racing to Put the same key are benign: the artifacts are
+// deterministic per (tenant, epoch, kind), so either build is valid
+// and the later Put simply replaces an equal value.
+func (c *Cache) Put(k Key, v any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[k] = c.ll.PushFront(&entry{key: k, val: v})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// InvalidateTenant removes every entry belonging to tenant, across
+// all epochs and kinds, and returns how many were dropped. Refresh
+// paths call this after bumping their epoch: correctness never
+// depends on it (the new epoch can't address old entries), it just
+// reclaims the dead entries' memory immediately.
+func (c *Cache) InvalidateTenant(tenant string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.Tenant == tenant {
+			c.ll.Remove(el)
+			delete(c.index, el.Value.(*entry).key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutBasic(t *testing.T) {
+	c := New(4)
+	k := Key{Tenant: "t1", Epoch: 0, Kind: "dlr.batch"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "v0")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "v0" {
+		t.Fatalf("got (%v,%v), want (v0,true)", v, ok)
+	}
+	// Replacing under the same key keeps Len at 1.
+	c.Put(k, "v1")
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after replace, want 1", c.Len())
+	}
+	if v, _ := c.Get(k); v.(string) != "v1" {
+		t.Fatalf("replace not visible: got %v", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+// TestLRUEviction fills past capacity and checks the least recently
+// USED (not least recently inserted) entry is the one dropped.
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	ks := make([]Key, 4)
+	for i := range ks {
+		ks[i] = Key{Tenant: "t", Epoch: uint64(i), Kind: "k"}
+	}
+	c.Put(ks[0], 0)
+	c.Put(ks[1], 1)
+	c.Put(ks[2], 2)
+	// Touch ks[0] so ks[1] becomes the LRU entry.
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Fatal("ks[0] should be cached")
+	}
+	c.Put(ks[3], 3)
+	if _, ok := c.Get(ks[1]); ok {
+		t.Fatal("ks[1] should have been evicted (LRU)")
+	}
+	for _, k := range []Key{ks[0], ks[2], ks[3]} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%+v should have survived eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Len != 3 {
+		t.Fatalf("stats %+v, want 1 eviction and Len 3", s)
+	}
+}
+
+// TestEpochKeysNeverCollide is the cache-layer half of the rotation
+// guarantee: entries written under epoch e are unreachable from epoch
+// e+1 even when nobody invalidates.
+func TestEpochKeysNeverCollide(t *testing.T) {
+	c := New(8)
+	pre := Key{Tenant: "t", Epoch: 7, Kind: "dlr.batch"}
+	c.Put(pre, "pre-refresh table")
+	post := pre
+	post.Epoch = 8
+	if _, ok := c.Get(post); ok {
+		t.Fatal("post-refresh key must not hit a pre-refresh entry")
+	}
+}
+
+func TestInvalidateTenant(t *testing.T) {
+	c := New(16)
+	for e := uint64(0); e < 3; e++ {
+		c.Put(Key{Tenant: "a", Epoch: e, Kind: "k1"}, e)
+		c.Put(Key{Tenant: "a", Epoch: e, Kind: "k2"}, e)
+		c.Put(Key{Tenant: "b", Epoch: e, Kind: "k1"}, e)
+	}
+	if n := c.InvalidateTenant("a"); n != 6 {
+		t.Fatalf("invalidated %d entries of tenant a, want 6", n)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len=%d after invalidation, want 3 (tenant b untouched)", c.Len())
+	}
+	for e := uint64(0); e < 3; e++ {
+		if _, ok := c.Get(Key{Tenant: "b", Epoch: e, Kind: "k1"}); !ok {
+			t.Fatalf("tenant b epoch %d lost to tenant a's invalidation", e)
+		}
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	k := Key{Tenant: "t", Kind: "k"}
+	c.Put(k, "v")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("zero-capacity cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache must stay empty")
+	}
+}
+
+// TestConcurrentMixedOps hammers Get/Put/InvalidateTenant/Stats from
+// many goroutines; run under -race this is the cache's thread-safety
+// proof.
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%3)
+			for i := 0; i < 400; i++ {
+				k := Key{Tenant: tenant, Epoch: uint64(i % 5), Kind: "k"}
+				switch i % 7 {
+				case 0:
+					c.Put(k, i)
+				case 3:
+					c.InvalidateTenant(tenant)
+				case 5:
+					_ = c.Stats()
+					_ = c.Len()
+				default:
+					if v, ok := c.Get(k); ok {
+						_ = v.(int) // values must remain well-typed
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Len > 32 {
+		t.Fatalf("capacity breached under concurrency: Len=%d", s.Len)
+	}
+}

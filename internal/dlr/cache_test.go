@@ -1,0 +1,207 @@
+package dlr
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/cache"
+	"repro/internal/params"
+)
+
+// encryptN returns n fresh ciphertexts with their plaintexts.
+func encryptN(t *testing.T, pk *PublicKey, n int) ([]*Ciphertext, []*bn254.GT) {
+	t.Helper()
+	cs := make([]*Ciphertext, n)
+	ms := make([]*bn254.GT, n)
+	for i := range cs {
+		m, err := RandMessage(rand.Reader, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := Encrypt(rand.Reader, pk, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i], ms[i] = ct, m
+	}
+	return cs, ms
+}
+
+func checkBatch(t *testing.T, got, want []*bn254.GT) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("message %d wrong after cached batch decrypt", i)
+		}
+	}
+}
+
+// TestBatchCacheWarmHit runs two batches in the same epoch and checks
+// the second one replays the published tables instead of rebuilding.
+func TestBatchCacheWarmHit(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	c := cache.New(8)
+	p1.AttachCache(c, "tenant-a")
+
+	cs, ms := encryptN(t, pk, 3)
+	got, _, err := DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, got, ms)
+	if s := c.Stats(); s.Hits != 0 {
+		t.Fatalf("cold batch reported %d hits", s.Hits)
+	}
+
+	got, _, err = DecryptBatch(p1, p2, cs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, got, ms[:2])
+	s := c.Stats()
+	if s.Hits == 0 {
+		t.Fatalf("warm batch missed the cache: stats %+v", s)
+	}
+}
+
+// TestBatchCacheRefreshInvalidates is the rotation-soundness
+// regression test: a decrypt after a refresh must never replay a
+// pre-refresh table — neither via the cache (epoch changed AND the
+// tenant was invalidated) nor via any in-struct pointer — and must
+// still decrypt correctly under the rotated shares.
+func TestBatchCacheRefreshInvalidates(t *testing.T) {
+	for _, mode := range []params.Mode{params.ModeBasic, params.ModeOptimalRate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pk, p1, p2 := genTest(t, mode)
+			c := cache.New(8)
+			p1.AttachCache(c, "tenant-a")
+
+			cs, ms := encryptN(t, pk, 2)
+			got, _, err := DecryptBatch(p1, p2, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBatch(t, got, ms)
+			epochBefore := p1.Epoch()
+			if c.Len() == 0 {
+				t.Fatal("cold batch published nothing")
+			}
+
+			if _, err := Refresh(rand.Reader, p1, p2); err != nil {
+				t.Fatalf("Refresh: %v", err)
+			}
+			if p1.Epoch() == epochBefore {
+				t.Fatal("refresh did not bump the rotation epoch")
+			}
+			if c.Len() != 0 {
+				t.Fatalf("refresh left %d stale entries in the cache", c.Len())
+			}
+
+			// The post-refresh batch must build fresh tables (a miss, not
+			// a hit) and still decrypt correctly.
+			hitsBefore := c.Stats().Hits
+			got, _, err = DecryptBatch(p1, p2, cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkBatch(t, got, ms)
+			if c.Stats().Hits != hitsBefore {
+				t.Fatal("post-refresh batch hit the cache — replayed a pre-refresh table")
+			}
+		})
+	}
+}
+
+// TestBatchCachePeriodRotationInvalidates checks the same guarantee
+// for BeginPeriod, which rotates skcomm (and hence the batch tables'
+// key fold) without running the refresh protocol.
+func TestBatchCachePeriodRotationInvalidates(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	c := cache.New(8)
+	p1.AttachCache(c, "tenant-a")
+
+	cs, ms := encryptN(t, pk, 2)
+	got, _, err := DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, got, ms)
+	epochBefore := p1.Epoch()
+
+	if err := p1.BeginPeriod(rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Epoch() == epochBefore {
+		t.Fatal("BeginPeriod did not bump the rotation epoch")
+	}
+	hitsBefore := c.Stats().Hits
+	got, _, err = DecryptBatch(p1, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, got, ms)
+	if c.Stats().Hits != hitsBefore {
+		t.Fatal("post-rotation batch hit the cache")
+	}
+}
+
+// TestBatchCacheMultiTenantConcurrent shares one cache between several
+// tenants' P1 instances decrypting and refreshing concurrently; under
+// -race this is the integration-level thread-safety check, and each
+// tenant's decrypts must stay correct throughout.
+func TestBatchCacheMultiTenantConcurrent(t *testing.T) {
+	const tenants = 3
+	c := cache.New(2 * tenants)
+
+	type tenantState struct {
+		pk *PublicKey
+		p1 *P1
+		p2 *P2
+	}
+	sts := make([]*tenantState, tenants)
+	for i := range sts {
+		pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+		p1.AttachCache(c, fmt.Sprintf("tenant-%d", i))
+		sts[i] = &tenantState{pk: pk, p1: p1, p2: p2}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for i, st := range sts {
+		wg.Add(1)
+		go func(i int, st *tenantState) {
+			defer wg.Done()
+			cs, ms := encryptN(t, st.pk, 2)
+			for round := 0; round < 3; round++ {
+				got, _, err := DecryptBatch(st.p1, st.p2, cs)
+				if err != nil {
+					errs <- fmt.Errorf("tenant %d round %d: %w", i, round, err)
+					return
+				}
+				for j := range ms {
+					if !got[j].Equal(ms[j]) {
+						errs <- fmt.Errorf("tenant %d round %d: wrong message %d", i, round, j)
+						return
+					}
+				}
+				if round == 1 {
+					if _, err := Refresh(rand.Reader, st.p1, st.p2); err != nil {
+						errs <- fmt.Errorf("tenant %d refresh: %w", i, err)
+						return
+					}
+				}
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"math/big"
 
 	"repro/internal/bn254"
+	"repro/internal/cache"
 	"repro/internal/group"
 	"repro/internal/hpske"
 	"repro/internal/opcount"
@@ -126,6 +127,22 @@ type P1 struct {
 	transTabs []*hpske.TransportTable
 
 	period uint64
+
+	// epoch counts share-state rotations: it is bumped by every
+	// operation that replaces encSK1/encPhi/skcomm (RunRef, BeginPeriod,
+	// rebuildEncryptedShare). Unlike period — which only refresh
+	// protocols advance — epoch changes on EVERY rotation, which is what
+	// the table cache keys on: a post-rotation lookup can never address
+	// a pre-rotation entry. See internal/cache for why this matters for
+	// leakage soundness.
+	epoch uint64
+
+	// tableCache, when attached, shares precomputed pairing tables
+	// across requests (and across P1 instances of different tenants)
+	// keyed by (tenant, epoch, kind). Nil means uncached — all table
+	// builds stay per-call/per-instance as before.
+	tableCache *cache.Cache
+	tenant     string
 }
 
 // P2 is the auxiliary device's state: just the Π_ss key sk2 = (s1,…,sℓ).
@@ -309,25 +326,69 @@ func (p *P1) rebuildEncryptedShare(rng io.Reader) error {
 		return err
 	}
 	p.encPhi = encPhi
-	p.transTabs = nil
+	p.noteRotation()
 	return nil
 }
+
+// noteRotation records that the share state (encSK1/encPhi/skcomm) has
+// been replaced: every precomputed table derived from the old state is
+// now dead. The epoch bump is what guarantees correctness — cache keys
+// embed it, so stale entries become unaddressable — and the eager
+// invalidation just reclaims their memory without waiting for LRU
+// pressure.
+func (p *P1) noteRotation() {
+	p.epoch++
+	p.transTabs = nil
+	if p.tableCache != nil {
+		p.tableCache.InvalidateTenant(p.tenant)
+	}
+}
+
+// AttachCache shares the precomputation cache c with this P1 under the
+// given tenant label. Tables built from the current share state are
+// published under (tenant, epoch, kind) keys and reused until the next
+// rotation bumps the epoch. Attach only to live instances: the
+// attachment (and the epoch counter) is deliberately not serialized by
+// Marshal, so a P1 restored from bytes starts uncached and cannot
+// collide with entries a previous incarnation published.
+func (p *P1) AttachCache(c *cache.Cache, tenant string) {
+	p.tableCache = c
+	p.tenant = tenant
+}
+
+// Epoch returns the share-rotation epoch (see the field doc).
+func (p *P1) Epoch() uint64 { return p.epoch }
 
 // transportTables returns the cached line tables for the current
 // encrypted share, building them (one per ciphertext, fanned out across
 // CPUs) on first use. The tables are pure public-key material: they are
 // a deterministic function of the public encSK1/encPhi ciphertexts, so
 // caching them adds nothing to P1's secret memory or leakage surface.
+// With a cache attached, the build is also published under
+// (tenant, epoch, "dlr.transport") so other holders of the cache — or
+// this P1 after its in-struct pointer was dropped — skip the κ+1
+// Miller precomputations per ciphertext.
 func (p *P1) transportTables() []*hpske.TransportTable {
-	if p.transTabs == nil {
-		srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
-		srcs = append(srcs, p.encSK1...)
-		srcs = append(srcs, p.encPhi)
-		tabs := make([]*hpske.TransportTable, len(srcs))
-		par.ForEach(len(srcs), func(i int) {
-			tabs[i] = hpske.PrecomputeTransport(srcs[i])
-		})
-		p.transTabs = tabs
+	if p.transTabs != nil {
+		return p.transTabs
+	}
+	key := cache.Key{Tenant: p.tenant, Epoch: p.epoch, Kind: "dlr.transport"}
+	if p.tableCache != nil {
+		if v, ok := p.tableCache.Get(key); ok {
+			p.transTabs = v.([]*hpske.TransportTable)
+			return p.transTabs
+		}
+	}
+	srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
+	srcs = append(srcs, p.encSK1...)
+	srcs = append(srcs, p.encPhi)
+	tabs := make([]*hpske.TransportTable, len(srcs))
+	par.ForEach(len(srcs), func(i int) {
+		tabs[i] = hpske.PrecomputeTransport(srcs[i])
+	})
+	p.transTabs = tabs
+	if p.tableCache != nil {
+		p.tableCache.Put(key, tabs)
 	}
 	return p.transTabs
 }
@@ -361,7 +422,7 @@ func (p *P1) BeginPeriod(rng io.Reader) error {
 	// key before dropping the reference.
 	p.skcomm.Zeroize()
 	p.skcomm = newKey
-	p.transTabs = nil
+	p.noteRotation()
 	return nil
 }
 

@@ -174,7 +174,7 @@ func (p *P1) RunRef(rng io.Reader, ch device.Channel) error {
 	default: // params.ModeOptimalRate
 		p.encSK1 = fPrimes
 		p.encPhi = f
-		p.transTabs = nil // tables referenced the erased share
+		p.noteRotation() // tables referenced the erased share
 	}
 	return nil
 }

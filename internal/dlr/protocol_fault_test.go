@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/device"
 	"repro/internal/params"
 	"repro/internal/wire"
@@ -173,4 +174,78 @@ func (c *bitFlipChannel) Send(m wire.Msg) error {
 		m.Payload = p
 	}
 	return c.Channel.Send(m)
+}
+
+// TestBatchCacheFaultyReplyPublishesNothing checks a protocol fault
+// cannot poison the table cache: when the dec-batch reply fails to
+// decode, RunDecBatch errors out before any table build, so the next
+// honest batch starts from a clean (cold) cache and decrypts
+// correctly.
+func TestBatchCacheFaultyReplyPublishesNothing(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	c := cache.New(8)
+	p1.AttachCache(c, "tenant-a")
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, m, nil)
+
+	_, _, err := device.Run(
+		func(ch device.Channel) error {
+			_, err := p1.RunDecBatch(ch, []*Ciphertext{ct})
+			if err == nil {
+				t.Error("P1 accepted malformed decB2 reply")
+			}
+			return nil
+		},
+		func(ch device.Channel) error {
+			if _, err := ch.Recv(); err != nil {
+				return err
+			}
+			return ch.Send(wire.Msg{Kind: "dlr.decB2", Payload: []byte{0xde, 0xad}})
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("faulty batch published %d cache entries", c.Len())
+	}
+
+	got, _, err := DecryptBatch(p1, p2, []*Ciphertext{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(m) {
+		t.Fatal("honest batch after faulty reply decrypted wrongly")
+	}
+}
+
+// TestBatchCacheDigestSelfCorrects plants a poisoned entry under the
+// CURRENT (tenant, epoch) key — simulating device-state drift the
+// epoch counter did not witness — and checks the u-digest validation
+// treats it as a miss: the batch rebuilds honest tables, decrypts
+// correctly, and replaces the bad entry.
+func TestBatchCacheDigestSelfCorrects(t *testing.T) {
+	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
+	c := cache.New(8)
+	p1.AttachCache(c, "tenant-a")
+	m, _ := RandMessage(rand.Reader, pk)
+	ct, _ := Encrypt(rand.Reader, pk, m, nil)
+
+	key := cache.Key{Tenant: "tenant-a", Epoch: p1.Epoch(), Kind: "dlr.batch"}
+	c.Put(key, &batchTableEntry{digest: [32]byte{0xbd}, tabs: nil})
+
+	got, _, err := DecryptBatch(p1, p2, []*Ciphertext{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Equal(m) {
+		t.Fatal("digest mismatch was not treated as a miss")
+	}
+	v, ok := c.Get(key)
+	if !ok {
+		t.Fatal("honest batch did not replace the poisoned entry")
+	}
+	if e := v.(*batchTableEntry); e.tabs == nil || e.digest == ([32]byte{0xbd}) {
+		t.Fatal("poisoned entry survived the honest batch")
+	}
 }

@@ -1,0 +1,58 @@
+package ff
+
+import "repro/internal/par"
+
+// Chunk-parallel Montgomery batch inversion. The serial helpers in
+// batch.go pay exactly one field inversion for n elements but are
+// inherently sequential: the prefix-product scan and the reverse
+// unwinding each walk the whole slice. For the very large denominator
+// batches produced by Pippenger's batch-affine bucket rounds the scan
+// itself (3(n−1) multiplications) dominates, and it parallelizes
+// perfectly by segmenting: each of k contiguous chunks runs its own
+// prefix/unwind with its own interior inversion. The price is k−1
+// extra inversions (~2.5 µs each on the vartime path) against a k-fold
+// division of ~3n multiplications — a win once chunks hold a few
+// hundred elements.
+//
+// The thresholds below keep every small input on the serial
+// allocation-free path, so the //dlr:noalloc contracts of
+// BatchInverseFpInto/BatchInverseFp2Into and the callers' alloc gates
+// are unaffected: the parallel branch only triggers when n is large
+// AND more than one worker is available (par.Chunks returns a single
+// chunk otherwise).
+
+// batchInvParMinChunk is the smallest per-chunk element count worth a
+// dedicated interior inversion: ~3·256 chunk multiplications against
+// one extra ~2.5 µs inversion and one goroutine dispatch.
+const batchInvParMinChunk = 256
+
+// BatchInverseFpPar is BatchInverseFpInto with chunk-level
+// parallelism for large inputs: same contract (out may alias xs,
+// prefix may alias neither, zeros map to zeros), same results. Inputs
+// shorter than two chunks — or any input on a single-worker host —
+// take the serial noalloc path unchanged.
+func BatchInverseFpPar(out, xs, prefix []Fp) {
+	if len(xs) < 2*batchInvParMinChunk || par.Workers() <= 1 {
+		BatchInverseFpInto(out, xs, prefix)
+		return
+	}
+	cs := par.Chunks(len(xs), batchInvParMinChunk)
+	par.ForEach(len(cs), func(i int) {
+		lo, hi := cs[i][0], cs[i][1]
+		BatchInverseFpInto(out[lo:hi], xs[lo:hi], prefix[lo:hi])
+	})
+}
+
+// BatchInverseFp2Par is BatchInverseFpPar for Fp2 elements, with the
+// same contract as BatchInverseFp2Into.
+func BatchInverseFp2Par(out, xs, prefix []Fp2) {
+	if len(xs) < 2*batchInvParMinChunk || par.Workers() <= 1 {
+		BatchInverseFp2Into(out, xs, prefix)
+		return
+	}
+	cs := par.Chunks(len(xs), batchInvParMinChunk)
+	par.ForEach(len(cs), func(i int) {
+		lo, hi := cs[i][0], cs[i][1]
+		BatchInverseFp2Into(out[lo:hi], xs[lo:hi], prefix[lo:hi])
+	})
+}

@@ -1,0 +1,85 @@
+package ff
+
+import (
+	"crypto/rand"
+	"runtime"
+	"testing"
+)
+
+// randFpSliceWithZeros returns n random Fp values with a few zeros
+// sprinkled in (the batch-inversion contract maps zeros to zeros).
+func randFpSliceWithZeros(t *testing.T, n int) []Fp {
+	t.Helper()
+	xs := make([]Fp, n)
+	for i := range xs {
+		if i%97 == 13 {
+			continue // leave a zero
+		}
+		x, err := RandFp(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i] = *x
+	}
+	return xs
+}
+
+// TestBatchInverseFpParMatchesSerial pins the chunk-parallel path to
+// the serial one at a size that actually splits (GOMAXPROCS is raised
+// above the host's core count so the parallel branch runs even on a
+// single-CPU box).
+func TestBatchInverseFpParMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 4 * batchInvParMinChunk
+	xs := randFpSliceWithZeros(t, n)
+	want := BatchInverseFp(xs)
+	got := make([]Fp, n)
+	BatchInverseFpPar(got, xs, make([]Fp, n))
+	for i := range want {
+		if !want[i].Equal(&got[i]) {
+			t.Fatalf("index %d: parallel and serial batch inversion disagree", i)
+		}
+	}
+}
+
+func TestBatchInverseFp2ParMatchesSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 3*batchInvParMinChunk + 17
+	xs := make([]Fp2, n)
+	for i := range xs {
+		if i%53 == 5 {
+			continue
+		}
+		x, err := RandFp2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs[i] = *x
+	}
+	want := BatchInverseFp2(xs)
+	got := make([]Fp2, n)
+	BatchInverseFp2Par(got, xs, make([]Fp2, n))
+	for i := range want {
+		if !want[i].Equal(&got[i]) {
+			t.Fatalf("index %d: parallel and serial Fp2 batch inversion disagree", i)
+		}
+	}
+}
+
+// TestBatchInverseParSmallStaysSerial proves the dispatcher keeps
+// small inputs on the allocation-free serial path: below two chunks
+// the call must not allocate (beyond nothing — it reuses the caller's
+// slices), matching the //dlr:noalloc contract of the Into forms.
+func TestBatchInverseParSmallStaysSerial(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = batchInvParMinChunk // < 2·minChunk → serial
+	xs := randFpSliceWithZeros(t, n)
+	out := make([]Fp, n)
+	prefix := make([]Fp, n)
+	if a := testing.AllocsPerRun(10, func() { BatchInverseFpPar(out, xs, prefix) }); a != 0 {
+		t.Fatalf("BatchInverseFpPar(%d) allocates %v/op on the serial path, want 0", n, a)
+	}
+}

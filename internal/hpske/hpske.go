@@ -436,14 +436,19 @@ type TransportTable struct {
 	tabs []*bn254.PairingTable // coins tables, then the payload table
 }
 
-// PrecomputeTransport builds the transport table for ct.
+// PrecomputeTransport builds the transport table for ct. The κ+1
+// per-coordinate tables are independent Miller-loop precomputations,
+// so they fan out across cores (a sequential loop on one core).
 func PrecomputeTransport(ct *Ciphertext[*bn254.G2]) *TransportTable {
 	n := len(ct.Coins)
 	tt := &TransportTable{tabs: make([]*bn254.PairingTable, n+1)}
-	for j, b := range ct.Coins {
-		tt.tabs[j] = bn254.NewPairingTable(b)
-	}
-	tt.tabs[n] = bn254.NewPairingTable(ct.Payload)
+	par.ForEach(n+1, func(j int) {
+		if j < n {
+			tt.tabs[j] = bn254.NewPairingTable(ct.Coins[j])
+		} else {
+			tt.tabs[n] = bn254.NewPairingTable(ct.Payload)
+		}
+	})
 	return tt
 }
 

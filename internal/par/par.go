@@ -1,11 +1,18 @@
-// Package par provides a bounded-worker parallel fan-out helper for
-// the per-coordinate independent loops in the protocol stack (hpske
-// transports, dlr share combinations, device protocol instances).
+// Package par provides bounded-worker parallel fan-out helpers for
+// the independent loops in the protocol stack and the curve
+// primitives: per-coordinate fan-out (hpske transports, dlr share
+// combinations, device protocol instances) via ForEach, and
+// contiguous-range partitioning (Pippenger window groups, lockstep
+// Miller-loop chunks, batch-inversion segments) via Chunks.
 //
 // Work is dispatched by an atomic index so workers self-balance, and
-// the worker count is capped at GOMAXPROCS — on a single-core host the
-// helper degrades to a plain sequential loop with no goroutine
-// overhead.
+// the worker count is capped at GOMAXPROCS — on a single-core host
+// every helper degrades to a plain sequential loop with no goroutine
+// overhead. Callers that trade per-item overhead for parallelism
+// (extra accumulators, extra interior inversions) gate on Workers()
+// and a size threshold so small inputs keep their serial fast path;
+// docs/ARCHITECTURE.md ("Parallel execution model") records which
+// phases fan out and at what sizes.
 package par
 
 import (
@@ -19,6 +26,47 @@ import (
 // finished. f must be safe to call concurrently from multiple
 // goroutines; iteration order is unspecified. Panics in f propagate to
 // the caller (from an arbitrary worker, once per ForEach).
+// Workers returns the fan-out cap every helper in this package
+// honours: GOMAXPROCS at call time. Callers use it to decide whether a
+// parallel variant can win at all (Workers() == 1 means any chunking
+// overhead is pure loss) and to size per-worker state.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Chunks partitions [0, n) into at most Workers() contiguous
+// half-open ranges [lo, hi), each covering at least minChunk indices
+// (the last chunks may be one element larger to absorb the
+// remainder). It returns nil for n ≤ 0 and a single full-range chunk
+// whenever parallelism cannot help — one worker, or n < 2·minChunk —
+// so callers can branch on len(chunks) > 1 to keep their serial
+// zero-overhead path.
+func Chunks(n, minChunk int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	k := n / minChunk
+	if w := Workers(); k > w {
+		k = w
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
 func ForEach(n int, f func(int)) {
 	if n <= 0 {
 		return
