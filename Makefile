@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-par vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
+.PHONY: all build test race race-par race-server vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -23,6 +23,13 @@ race:
 race-par:
 	$(GO) test -race -count=1 ./internal/par ./internal/ff ./internal/bn254 ./internal/cache ./internal/dlr
 
+# race-server is the focused race pass over the serving stack: the
+# batch-window server, the mux framing under it, the striped tenant
+# store, and the dlr protocol layer it drains windows through
+# (including the refresh-during-window race tests). A subset of `race`.
+race-server:
+	$(GO) test -race -count=1 ./internal/server ./internal/wire ./internal/storage ./internal/dlr
+
 vet:
 	$(GO) vet ./...
 
@@ -40,11 +47,12 @@ fmt-check:
 
 # ci is the tier-1 gate: build, vet, dlrlint, gofmt cleanliness, the
 # full test suite under the race detector (the protocol stack fans work
-# out across goroutines), and a short differential fuzz pass over the
-# lazy-tower and Pippenger twins. Timing-sensitive bench regression
-# checks are opt-in: CI_BENCH=1 make ci additionally fails if any hot
-# operation regressed >25% against the committed bench_baseline.json.
-ci: build vet lint fmt-check race fuzz-smoke
+# out across goroutines), an uncached race pass over the serving stack
+# (race-server), and a short differential fuzz pass over the lazy-tower
+# and Pippenger twins. Timing-sensitive bench regression checks are
+# opt-in: CI_BENCH=1 make ci additionally fails if any hot operation
+# regressed >25% against the committed bench_baseline.json.
+ci: build vet lint fmt-check race race-server fuzz-smoke
 ifeq ($(CI_BENCH),1)
 	$(MAKE) bench-smoke
 endif

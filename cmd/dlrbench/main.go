@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E15 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E16 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -12,6 +12,10 @@
 //	                                    # multi-tenant curve with a shared
 //	                                    # rotation-aware table cache (hit
 //	                                    # rates reported per point)
+//	dlrbench -server -clients 1,8,32 -perclient 2
+//	                                    # continuous-batching server curve:
+//	                                    # N concurrent single-request TCP
+//	                                    # clients, serial vs batch windows
 //
 // -cache N attaches an N-entry internal/cache LRU of batch pairing
 // tables to every tenant's P1; 0 (the default) runs uncached. -tenants
@@ -59,7 +63,7 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp        = flag.String("e", "", "run a single experiment (E1..E15); empty = all")
+		exp        = flag.String("e", "", "run a single experiment (E1..E16); empty = all")
 		games      = flag.Int("games", 1, "games per configuration in E5")
 		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
 		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
@@ -69,6 +73,9 @@ func main() {
 		batchSize  = flag.Int("batch", 16, "requests per RunDecBatch call in -pipeline")
 		tenants    = flag.Int("tenants", 1, "independent DLR instances the -pipeline request stream round-robins over")
 		cacheCap   = flag.Int("cache", 0, "capacity of the shared rotation-aware table cache for -pipeline; 0 = uncached")
+		srv        = flag.Bool("server", false, "drive the batch-window decrypt server with concurrent single-request TCP clients, serial vs windows")
+		clients    = flag.String("clients", "1,8,32", "comma-separated concurrent-client counts for -server")
+		perClient  = flag.Int("perclient", 2, "requests each -server client issues (closed-loop)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
@@ -99,14 +106,14 @@ func main() {
 		}()
 	}
 
-	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize, *tenants, *cacheCap); err != nil {
+	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize, *tenants, *cacheCap, *srv, *clients, *perClient); err != nil {
 		// log.Fatal would skip the profile-writing defers above.
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize, tenants, cacheCap int) error {
+func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize, tenants, cacheCap int, srv bool, clients string, perClient int) error {
 	switch {
 	case baseline != "":
 		return writeBaseline(baseline)
@@ -114,6 +121,8 @@ func run(exp string, games int, baseline, smoke string, pipeline bool, workers s
 		return runSmoke(smoke)
 	case pipeline:
 		return runPipeline(workers, reqs, batchSize, tenants, cacheCap)
+	case srv:
+		return runServer(clients, perClient)
 	}
 
 	start := time.Now()
@@ -167,12 +176,49 @@ func runPipeline(workers string, reqs, batchSize, tenants, cacheCap int) error {
 	return nil
 }
 
+// runServer sweeps the batch-window decrypt server across the requested
+// concurrent-client counts, printing the serial one-request-per-round-
+// trip baseline next to the windowed path at each point.
+func runServer(clients string, perClient int) error {
+	fmt.Printf("batch-window decrypt server: %d request(s) per client, closed-loop over TCP\n", perClient)
+	fmt.Printf("%-8s  %-7s  %10s  %14s  %12s  %12s  %12s\n",
+		"clients", "mode", "req/s", "per-request", "mean window", "p50", "p99")
+	for _, field := range strings.Split(clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("server: bad -clients entry %q: %w", field, err)
+		}
+		serial, err := bench.E16SerialBaseline(n, 1)
+		if err != nil {
+			return err
+		}
+		window, err := bench.E16WindowRun(n, perClient)
+		if err != nil {
+			return err
+		}
+		for _, pt := range []*bench.ServerPoint{serial, window} {
+			occ := "—"
+			if pt.Mode == "window" {
+				occ = fmt.Sprintf("%.1f", pt.MeanOccupancy)
+			}
+			fmt.Printf("%-8d  %-7s  %10.1f  %14s  %12s  %12s  %12s\n",
+				pt.Clients, pt.Mode, pt.ReqPerSec, pt.PerReq.Round(time.Microsecond),
+				occ, pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond))
+		}
+		fmt.Printf("%-8s  amortized improvement: %.1fx\n", "",
+			float64(serial.PerReq)/float64(window.PerReq))
+	}
+	return nil
+}
+
 // allMeasurements gathers every fast-path timing pair: the E11 set
 // (wNAF vs reference ladder, multi-pairing, transport), the E12 set
 // (GLV/GLS vs wNAF, pairing tables vs cold Miller loops), the E13
 // set (Pippenger vs Straus, lazy tower vs reducing twins, batched vs
-// per-request decryption) and the E15 set (chunk-parallel primitives
-// vs their serial paths, cached vs cold batch tables).
+// per-request decryption), the E15 set (chunk-parallel primitives
+// vs their serial paths, cached vs cold batch tables) and the E16
+// server row (serial vs batch-window amortized per-request cost at 32
+// concurrent clients).
 func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	meas, err := bench.FastPathMeasurements()
 	if err != nil {
@@ -190,7 +236,12 @@ func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(append(append(meas, endo...), thr...), par...), nil
+	srv, err := bench.E16Measurements()
+	if err != nil {
+		return nil, err
+	}
+	out := append(append(append(meas, endo...), thr...), par...)
+	return append(out, srv...), nil
 }
 
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so

@@ -10,6 +10,17 @@
 //
 // decrypt and refresh rewrite the P1 share file in place when the
 // protocol changes it.
+//
+// With -server, decrypt and refresh go through a running dlrserver
+// instead of driving the 2-party protocol directly: the request joins
+// the server's batch window for the named tenant, and no share file is
+// needed on this side (the server holds P1):
+//
+//	dlrclient decrypt -server 127.0.0.1:7800 -tenant default -in secret.dlr
+//	dlrclient refresh -server 127.0.0.1:7800 -tenant default
+//
+// Only the KEM header of the ciphertext is sent to the server; the
+// sealed payload is opened locally with the returned session element.
 package main
 
 import (
@@ -20,8 +31,10 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/bn254"
 	"repro/internal/device"
 	"repro/internal/dlr"
+	"repro/internal/server"
 )
 
 func main() {
@@ -32,19 +45,21 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		pkPath    = fs.String("pk", "pk.bin", "public key file")
-		sharePath = fs.String("share", "share1.bin", "P1 share file")
-		addr      = fs.String("addr", "127.0.0.1:7700", "dlrdevice address")
-		in        = fs.String("in", "", "input file")
-		out       = fs.String("out", "", "output file (default stdout)")
+		pkPath     = fs.String("pk", "pk.bin", "public key file")
+		sharePath  = fs.String("share", "share1.bin", "P1 share file")
+		addr       = fs.String("addr", "127.0.0.1:7700", "dlrdevice address")
+		serverAddr = fs.String("server", "", "dlrserver address: decrypt/refresh through the batch-window server instead of driving P1 locally")
+		tenant     = fs.String("tenant", "default", "tenant name for -server mode")
+		in         = fs.String("in", "", "input file")
+		out        = fs.String("out", "", "output file (default stdout)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		log.Fatal(err)
 	}
 
-	pk := loadPK(*pkPath)
 	switch cmd {
 	case "encrypt":
+		pk := loadPK(*pkPath)
 		msg := readInput(*in)
 		ct, err := dlr.EncryptBytes(rand.Reader, pk, msg, nil)
 		if err != nil {
@@ -53,17 +68,11 @@ func main() {
 		writeOutput(*out, ct.Bytes())
 
 	case "decrypt":
-		p1 := loadP1(pk, *sharePath)
 		ct, err := dlr.HybridCiphertextFromBytes(readInput(*in))
 		if err != nil {
 			log.Fatalf("decoding ciphertext: %v", err)
 		}
-		ch := dialDevice(*addr)
-		defer ch.Close()
-		session, err := p1.RunDec(rand.Reader, ch, ct.KEM)
-		if err != nil {
-			log.Fatalf("distributed decryption: %v", err)
-		}
+		session := runDec(*serverAddr, *tenant, *pkPath, *sharePath, *addr, ct)
 		msg, err := dlr.DecryptBytes(ct, session)
 		if err != nil {
 			log.Fatalf("opening payload: %v", err)
@@ -71,6 +80,17 @@ func main() {
 		writeOutput(*out, msg)
 
 	case "refresh":
+		if *serverAddr != "" {
+			c := dialServer(*serverAddr)
+			defer c.Close()
+			epoch, err := c.Refresh(*tenant)
+			if err != nil {
+				log.Fatalf("server refresh: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "tenant %q refreshed (epoch %d)\n", *tenant, epoch)
+			return
+		}
+		pk := loadPK(*pkPath)
 		p1 := loadP1(pk, *sharePath)
 		ch := dialDevice(*addr)
 		defer ch.Close()
@@ -92,6 +112,39 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runDec recovers the session element for a hybrid ciphertext, either
+// through a dlrserver batch window (-server) or by driving the 2-party
+// protocol directly against a dlrdevice. Only the KEM header leaves
+// this process in either mode.
+func runDec(serverAddr, tenant, pkPath, sharePath, addr string, ct *dlr.HybridCiphertext) *bn254.GT {
+	if serverAddr != "" {
+		c := dialServer(serverAddr)
+		defer c.Close()
+		session, err := c.Decrypt(tenant, ct.KEM)
+		if err != nil {
+			log.Fatalf("server decryption: %v", err)
+		}
+		return session
+	}
+	pk := loadPK(pkPath)
+	p1 := loadP1(pk, sharePath)
+	ch := dialDevice(addr)
+	defer ch.Close()
+	session, err := p1.RunDec(rand.Reader, ch, ct.KEM)
+	if err != nil {
+		log.Fatalf("distributed decryption: %v", err)
+	}
+	return session
+}
+
+func dialServer(addr string) *server.Client {
+	c, err := server.Dial(addr)
+	if err != nil {
+		log.Fatalf("connecting to server at %s: %v", addr, err)
+	}
+	return c
 }
 
 func usage() {

@@ -3,8 +3,12 @@
 //
 //	dlrdevice -pk keys/pk.bin -share keys/share2.bin -listen 127.0.0.1:7700
 //
-// The share held by this process is refreshed in place whenever the peer
-// runs the refresh protocol.
+// Connections are served concurrently, each on its own goroutine; a
+// refresh from any peer is ordered against in-flight decryptions by
+// P2's internal lock, and the share held by this process is rewritten
+// in place when the protocol changes it. SIGINT/SIGTERM shut the
+// daemon down gracefully: the listener closes, in-flight protocol
+// rounds drain, and only then does the process exit.
 package main
 
 import (
@@ -12,6 +16,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"repro/internal/device"
 	"repro/internal/dlr"
@@ -34,21 +41,71 @@ func main() {
 	}
 	log.Printf("device P2 serving on %s (κ=%d, ℓ=%d)", ln.Addr(), pk.Params.Kappa, pk.Params.Ell)
 
+	var (
+		mu        sync.Mutex
+		closing   bool
+		conns     = make(map[net.Conn]struct{})
+		drained   sync.WaitGroup
+		firstDone = make(chan struct{}, 1)
+	)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("%s: draining connections and shutting down", s)
+		mu.Lock()
+		closing = true
+		mu.Unlock()
+		// Closing the listener stops the accept loop; existing
+		// connections keep draining until their current protocol round
+		// finishes and the peer disconnects or errors out.
+		_ = ln.Close()
+		mu.Lock()
+		for c := range conns {
+			_ = c.Close()
+		}
+		mu.Unlock()
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			mu.Lock()
+			done := closing
+			mu.Unlock()
+			if done {
+				break
+			}
 			log.Fatalf("accept: %v", err)
 		}
-		log.Printf("peer connected: %s", conn.RemoteAddr())
-		ch := device.NewConnChannel(conn)
-		if err := p2.ServeLoop(ch); err != nil {
-			log.Printf("connection ended: %v", err)
-		}
-		_ = ch.Close()
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		drained.Add(1)
+		go func(conn net.Conn) {
+			defer drained.Done()
+			log.Printf("peer connected: %s", conn.RemoteAddr())
+			ch := device.NewConnChannel(conn)
+			if err := p2.ServeLoop(ch); err != nil {
+				log.Printf("connection %s ended: %v", conn.RemoteAddr(), err)
+			}
+			_ = ch.Close()
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+			select {
+			case firstDone <- struct{}{}:
+			default:
+			}
+		}(conn)
 		if *oneShot {
-			return
+			<-firstDone
+			break
 		}
 	}
+	drained.Wait()
+	log.Printf("device P2 stopped")
 }
 
 func loadP2(pkPath, sharePath string) (*dlr.PublicKey, *dlr.P2) {

@@ -1,0 +1,131 @@
+package bn254
+
+import (
+	"repro/internal/par"
+)
+
+// Parallel fixed-base comb table builds. The serial build walks the 64
+// radix-16 windows in order because window w+1's base (2^(4(w+1))·G) is
+// derived from window w's row. But the window bases themselves are a
+// cheap doubling chain — 4 doublings per window, ~250 total — so the
+// parallel build first lays the bases down serially and then fills the
+// 15-entry rows (14 mixed additions each) window-by-window across
+// workers. The final batch-to-affine conversion is shared with the
+// serial path and already parallelizes internally through the segmented
+// batch inversion (ff.BatchInverseFpPar) at this size (960 points).
+//
+// The build runs once per process per group (sync.Once), so this is a
+// cold-start win, not a steady-state one: it matters to short-lived
+// CLI invocations (dlrclient) and to the server's first window after
+// boot. TestFixedBaseParallelMatchesSerial pins both branches to
+// identical tables.
+
+// fbParMinWindows is the window count below which the build stays on
+// the strictly serial chain. The production tables are always
+// fbWindows = 64; the gate exists so the dispatch degrades cleanly if
+// the table geometry ever shrinks and to keep the single-core path
+// free of chunking overhead (par.Chunks returns one chunk when
+// Workers() == 1, routing to the serial twin).
+const fbParMinWindows = 8
+
+// g1FixedBaseRowsSerial fills jacs (fbWindows rows of fbTableSize
+// Jacobian multiples) with the classic serial chain: row d of window w
+// holds (d+1)·2^(4w)·base, and the next window's base is recovered
+// from row 7 (8·base) with one doubling.
+func g1FixedBaseRowsSerial(jacs []g1Jac, base g1Jac) {
+	for w := 0; w < fbWindows; w++ {
+		row := jacs[w*fbTableSize:]
+		row[0] = base
+		for d := 1; d < fbTableSize; d++ {
+			row[d] = row[d-1]
+			row[d].add(&base)
+		}
+		// Next window base: 16·base = 2·(8·base).
+		base = row[7]
+		base.double()
+	}
+}
+
+// g1FixedBaseRowsPar lays down the per-window bases serially (4
+// doublings each) and fans the row fills out across workers in
+// contiguous window chunks.
+func g1FixedBaseRowsPar(jacs []g1Jac, base g1Jac, chunks [][2]int) {
+	bases := make([]g1Jac, fbWindows)
+	bases[0] = base
+	for w := 1; w < fbWindows; w++ {
+		b := bases[w-1]
+		for i := 0; i < fbWindowBits; i++ {
+			b.double()
+		}
+		bases[w] = b
+	}
+	par.ForEach(len(chunks), func(ci int) {
+		for w := chunks[ci][0]; w < chunks[ci][1]; w++ {
+			b := bases[w]
+			row := jacs[w*fbTableSize:]
+			row[0] = b
+			for d := 1; d < fbTableSize; d++ {
+				row[d] = row[d-1]
+				row[d].add(&b)
+			}
+		}
+	})
+}
+
+// g1FixedBaseRows dispatches between the serial chain and the
+// window-parallel build.
+func g1FixedBaseRows(jacs []g1Jac, base g1Jac) {
+	if chunks := par.Chunks(fbWindows, fbParMinWindows); len(chunks) > 1 {
+		g1FixedBaseRowsPar(jacs, base, chunks)
+		return
+	}
+	g1FixedBaseRowsSerial(jacs, base)
+}
+
+// g2FixedBaseRowsSerial is g1FixedBaseRowsSerial on the twist.
+func g2FixedBaseRowsSerial(jacs []g2Jac, base g2Jac) {
+	for w := 0; w < fbWindows; w++ {
+		row := jacs[w*fbTableSize:]
+		row[0] = base
+		for d := 1; d < fbTableSize; d++ {
+			row[d] = row[d-1]
+			row[d].add(&base)
+		}
+		base = row[7]
+		base.double()
+	}
+}
+
+// g2FixedBaseRowsPar is g1FixedBaseRowsPar on the twist.
+func g2FixedBaseRowsPar(jacs []g2Jac, base g2Jac, chunks [][2]int) {
+	bases := make([]g2Jac, fbWindows)
+	bases[0] = base
+	for w := 1; w < fbWindows; w++ {
+		b := bases[w-1]
+		for i := 0; i < fbWindowBits; i++ {
+			b.double()
+		}
+		bases[w] = b
+	}
+	par.ForEach(len(chunks), func(ci int) {
+		for w := chunks[ci][0]; w < chunks[ci][1]; w++ {
+			b := bases[w]
+			row := jacs[w*fbTableSize:]
+			row[0] = b
+			for d := 1; d < fbTableSize; d++ {
+				row[d] = row[d-1]
+				row[d].add(&b)
+			}
+		}
+	})
+}
+
+// g2FixedBaseRows dispatches between the serial chain and the
+// window-parallel build.
+func g2FixedBaseRows(jacs []g2Jac, base g2Jac) {
+	if chunks := par.Chunks(fbWindows, fbParMinWindows); len(chunks) > 1 {
+		g2FixedBaseRowsPar(jacs, base, chunks)
+		return
+	}
+	g2FixedBaseRowsSerial(jacs, base)
+}

@@ -1,0 +1,89 @@
+package bn254
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// Differential tests pinning the window-parallel fixed-base comb
+// builds to their serial twins. GOMAXPROCS is raised above the core
+// count so the parallel branch triggers even on a 1-CPU CI host (see
+// parallel_test.go for the rationale).
+
+func TestFixedBaseParallelMatchesSerialG1(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	var base g1Jac
+	base.setAffine(g1Gen)
+	serial := make([]g1Jac, fbWindows*fbTableSize)
+	g1FixedBaseRowsSerial(serial, base)
+
+	chunks := par.Chunks(fbWindows, fbParMinWindows)
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple window chunks at GOMAXPROCS=4, got %d", len(chunks))
+	}
+	parallel := make([]g1Jac, fbWindows*fbTableSize)
+	g1FixedBaseRowsPar(parallel, base, chunks)
+
+	affS := make([]G1, len(serial))
+	affP := make([]G1, len(parallel))
+	g1BatchToAffine(serial, affS)
+	g1BatchToAffine(parallel, affP)
+	for i := range affS {
+		if !affS[i].Equal(&affP[i]) {
+			t.Fatalf("G1 comb entry %d (window %d, digit %d) diverged", i, i/fbTableSize, i%fbTableSize+1)
+		}
+	}
+}
+
+func TestFixedBaseParallelMatchesSerialG2(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	var base g2Jac
+	base.setAffine(G2Generator())
+	serial := make([]g2Jac, fbWindows*fbTableSize)
+	g2FixedBaseRowsSerial(serial, base)
+
+	chunks := par.Chunks(fbWindows, fbParMinWindows)
+	parallel := make([]g2Jac, fbWindows*fbTableSize)
+	g2FixedBaseRowsPar(parallel, base, chunks)
+
+	affS := make([]G2, len(serial))
+	affP := make([]G2, len(parallel))
+	g2BatchToAffine(serial, affS)
+	g2BatchToAffine(parallel, affP)
+	for i := range affS {
+		if !affS[i].Equal(&affP[i]) {
+			t.Fatalf("G2 comb entry %d (window %d, digit %d) diverged", i, i/fbTableSize, i%fbTableSize+1)
+		}
+	}
+}
+
+// The dispatcher must route through the serial twin when parallelism
+// cannot help (one worker → one chunk), preserving the zero-overhead
+// path on single-core hosts.
+func TestFixedBaseDispatchSerialAtOneWorker(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	var base g1Jac
+	base.setAffine(g1Gen)
+	want := make([]g1Jac, fbWindows*fbTableSize)
+	g1FixedBaseRowsSerial(want, base)
+	got := make([]g1Jac, fbWindows*fbTableSize)
+	g1FixedBaseRows(got, base)
+
+	affW := make([]G1, len(want))
+	affG := make([]G1, len(got))
+	g1BatchToAffine(want, affW)
+	g1BatchToAffine(got, affG)
+	for i := range affW {
+		if !affW[i].Equal(&affG[i]) {
+			t.Fatalf("dispatcher diverged from serial twin at entry %d", i)
+		}
+	}
+}

@@ -276,17 +276,7 @@ func g1FixedBaseTable() *[fbWindows][fbTableSize]G1 {
 		jacs := make([]g1Jac, fbWindows*fbTableSize)
 		var base g1Jac
 		base.setAffine(g1Gen)
-		for w := 0; w < fbWindows; w++ {
-			row := jacs[w*fbTableSize:]
-			row[0] = base
-			for d := 1; d < fbTableSize; d++ {
-				row[d] = row[d-1]
-				row[d].add(&base)
-			}
-			// Next window base: 16·base = 2·(8·base).
-			base = row[7]
-			base.double()
-		}
+		g1FixedBaseRows(jacs, base)
 		flat := make([]G1, len(jacs))
 		g1BatchToAffine(jacs, flat)
 		for w := 0; w < fbWindows; w++ {
@@ -307,16 +297,7 @@ func g2FixedBaseTable() *[fbWindows][fbTableSize]G2 {
 		jacs := make([]g2Jac, fbWindows*fbTableSize)
 		var base g2Jac
 		base.setAffine(gen)
-		for w := 0; w < fbWindows; w++ {
-			row := jacs[w*fbTableSize:]
-			row[0] = base
-			for d := 1; d < fbTableSize; d++ {
-				row[d] = row[d-1]
-				row[d].add(&base)
-			}
-			base = row[7]
-			base.double()
-		}
+		g2FixedBaseRows(jacs, base)
 		flat := make([]G2, len(jacs))
 		g2BatchToAffine(jacs, flat)
 		for w := 0; w < fbWindows; w++ {

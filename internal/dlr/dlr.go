@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/bn254"
 	"repro/internal/cache"
@@ -154,6 +155,12 @@ type P2 struct {
 	ssGT *hpske.Scheme[*bn254.GT]
 	g2   group.G2
 	gt   group.GT
+
+	// mu orders refresh (which rewrites sk2) against decryption requests
+	// when one P2 serves several channels concurrently — the dlrdevice
+	// daemon's per-connection goroutines. Decryptions share a read lock;
+	// a refresh takes the write lock.
+	mu sync.RWMutex
 
 	//dlr:secret
 	sk2 hpske.Key

@@ -231,11 +231,17 @@ func (p *P2) Serve(ch device.Channel) error {
 	var reply wire.Msg
 	switch msg.Kind {
 	case kindDec1:
+		p.mu.RLock()
 		reply, err = p.handleDec1(msg)
+		p.mu.RUnlock()
 	case kindDecB1:
+		p.mu.RLock()
 		reply, err = p.handleDecB1(msg)
+		p.mu.RUnlock()
 	case kindRef1:
+		p.mu.Lock()
 		reply, err = p.handleRef1(msg)
+		p.mu.Unlock()
 	default:
 		return fmt.Errorf("dlr: P2 received unknown frame kind %q", msg.Kind)
 	}

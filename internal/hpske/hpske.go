@@ -204,13 +204,26 @@ func (s *Scheme[E]) Pow(a *Ciphertext[E], k *big.Int) (*Ciphertext[E], error) {
 	return out, nil
 }
 
+// linCombParMinExps is the total exponentiation count — terms ×
+// (κ+1) coordinates — below which LinComb stays on the serial twin.
+// Each coordinate is one multi-exponentiation of len(cts) terms, so
+// this gates on the actual work, not the coordinate count: a 2-term
+// combination at κ=2 (6 exponentiations) keeps the allocation-lean
+// serial loop, while the protocol-shaped ℓ-term combinations (P2's
+// Π dᵢ^sᵢ at ℓ=14, κ=2 → 45) fan out per coordinate chunk.
+const linCombParMinExps = 16
+
 // LinComb returns the coordinate-wise linear combination Π ctsᵢ^kᵢ —
 // a valid encryption of Π mᵢ^kᵢ, combining properties 1 and 2 of
 // Definition 5.1. This is the shape of P2's work in both the
 // decryption protocol (Π dᵢ^sk2ᵢ) and the refresh protocol
 // (Π f'ᵢ^s'ᵢ · fᵢ^(−sᵢ)). Each of the κ+1 coordinates is an
 // independent multi-exponentiation, evaluated through the group's
-// shared-doubling fast path and fanned out across CPUs with par.ForEach.
+// shared-doubling fast path; above the size-aware threshold the
+// coordinates fan out across CPUs in contiguous chunks (one shared
+// bases buffer per worker), below it the serial twin runs with a
+// single reused buffer. TestLinCombParallelMatchesSerial pins the
+// two paths to identical ciphertexts.
 func (s *Scheme[E]) LinComb(cts []*Ciphertext[E], ks []*big.Int) (*Ciphertext[E], error) {
 	if len(cts) != len(ks) {
 		return nil, fmt.Errorf("hpske: LinComb length mismatch %d vs %d", len(cts), len(ks))
@@ -223,10 +236,51 @@ func (s *Scheme[E]) LinComb(cts []*Ciphertext[E], ks []*big.Int) (*Ciphertext[E]
 	if len(cts) == 0 {
 		return s.One(), nil
 	}
+	coords := s.Kappa + 1
+	chunks := par.Chunks(coords, 1)
+	if len(chunks) <= 1 || len(cts)*coords < linCombParMinExps {
+		return s.linCombSerial(cts, ks)
+	}
 	out := &Ciphertext[E]{Coins: make([]E, s.Kappa)}
-	errs := make([]error, s.Kappa+1)
-	par.ForEach(s.Kappa+1, func(c int) {
+	errs := make([]error, len(chunks))
+	par.ForEach(len(chunks), func(ci int) {
 		bases := make([]E, len(cts))
+		for c := chunks[ci][0]; c < chunks[ci][1]; c++ {
+			for i, ct := range cts {
+				if c < s.Kappa {
+					bases[i] = ct.Coins[c]
+				} else {
+					bases[i] = ct.Payload
+				}
+			}
+			v, err := group.ProdExp(s.G, bases, ks)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			if c < s.Kappa {
+				out.Coins[c] = v
+			} else {
+				out.Payload = v
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// linCombSerial is the retained serial twin of LinComb's fan-out: the
+// same per-coordinate multi-exponentiations, one reused bases buffer,
+// no dispatch overhead. Callers reach it through LinComb when the
+// work is below linCombParMinExps or only one worker is available.
+func (s *Scheme[E]) linCombSerial(cts []*Ciphertext[E], ks []*big.Int) (*Ciphertext[E], error) {
+	out := &Ciphertext[E]{Coins: make([]E, s.Kappa)}
+	bases := make([]E, len(cts))
+	for c := 0; c <= s.Kappa; c++ {
 		for i, ct := range cts {
 			if c < s.Kappa {
 				bases[i] = ct.Coins[c]
@@ -235,16 +289,13 @@ func (s *Scheme[E]) LinComb(cts []*Ciphertext[E], ks []*big.Int) (*Ciphertext[E]
 			}
 		}
 		v, err := group.ProdExp(s.G, bases, ks)
+		if err != nil {
+			return nil, err
+		}
 		if c < s.Kappa {
 			out.Coins[c] = v
 		} else {
 			out.Payload = v
-		}
-		errs[c] = err
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
 	}
 	return out, nil

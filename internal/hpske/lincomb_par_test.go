@@ -1,0 +1,108 @@
+package hpske
+
+import (
+	"crypto/rand"
+	"math/big"
+	"runtime"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/scalar"
+)
+
+// Differential tests pinning LinComb's chunk-parallel fan-out to the
+// retained serial twin, across sizes straddling linCombParMinExps.
+// GOMAXPROCS is raised above the core count so the parallel branch
+// triggers on a 1-CPU CI host.
+func TestLinCombParallelMatchesSerial(t *testing.T) {
+	s := newG2Scheme(t)
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 4, 8, 16} {
+		cts := make([]*Ciphertext[*bn254.G2], n)
+		ks := make([]*big.Int, n)
+		for i := range cts {
+			m, err := s.G.Rand(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cts[i], err = s.Encrypt(rand.Reader, key, m); err != nil {
+				t.Fatal(err)
+			}
+			if ks[i], err = scalar.Rand(rand.Reader); err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 1 {
+				ks[i].Neg(ks[i])
+			}
+		}
+
+		want, err := s.linCombSerial(cts, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := runtime.GOMAXPROCS(4)
+		got, err := s.LinComb(cts, ks)
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wb, err := s.Bytes(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := s.Bytes(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(gb) {
+			t.Fatalf("n=%d: parallel LinComb diverged from serial twin", n)
+		}
+	}
+}
+
+// Below the work threshold the dispatcher must take the serial twin
+// even with workers available — the size-aware contract.
+func TestLinCombSmallStaysBelowThreshold(t *testing.T) {
+	// testKappa = 3 → 4 coordinates; 3 terms × 4 = 12 < 16.
+	if 3*(testKappa+1) >= linCombParMinExps {
+		t.Fatalf("test shape no longer below linCombParMinExps=%d", linCombParMinExps)
+	}
+	s := newG2Scheme(t)
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := make([]*Ciphertext[*bn254.G2], 3)
+	ks := make([]*big.Int, 3)
+	for i := range cts {
+		m, err := s.G.Rand(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cts[i], err = s.Encrypt(rand.Reader, key, m); err != nil {
+			t.Fatal(err)
+		}
+		if ks[i], err = scalar.Rand(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	got, err := s.LinComb(cts, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.linCombSerial(cts, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := s.Bytes(want)
+	gb, _ := s.Bytes(got)
+	if string(wb) != string(gb) {
+		t.Fatal("small-shape LinComb diverged from serial twin")
+	}
+}

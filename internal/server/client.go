@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bn254"
+	"repro/internal/dlr"
+	"repro/internal/wire"
+)
+
+// Client is one multiplexed session against a Server: any number of
+// goroutines may issue Decrypt calls concurrently over the single
+// connection; responses are routed back to their callers by request
+// id, in whatever order the server's windows complete them.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.MuxMsg
+	readErr error
+	closed  bool
+
+	// MaxBusyRetries bounds how often Decrypt retries after a
+	// srv.busy rejection before giving up. Default 64.
+	MaxBusyRetries int
+}
+
+// Dial connects a Client to a Server listening at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection. The Client owns the
+// connection and closes it on Close.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:           conn,
+		pending:        make(map[uint64]chan wire.MuxMsg),
+		MaxBusyRetries: 64,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the session. In-flight calls fail with the
+// connection error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// readLoop routes every incoming frame to the call waiting on its id.
+func (c *Client) readLoop() {
+	for {
+		m, err := wire.ReadMux(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if c.readErr == nil {
+				c.readErr = err
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// call sends one request frame and blocks for its response.
+func (c *Client) call(kind string, payload []byte) (wire.MuxMsg, error) {
+	ch := make(chan wire.MuxMsg, 1)
+	c.mu.Lock()
+	if c.readErr != nil || c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("server client: session closed")
+		}
+		return wire.MuxMsg{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := wire.WriteMux(c.conn, wire.MuxMsg{ID: id, Kind: kind, Payload: payload})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.MuxMsg{}, err
+	}
+
+	m, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("server client: session closed")
+		}
+		return wire.MuxMsg{}, err
+	}
+	return m, nil
+}
+
+// Decrypt submits one ciphertext to the named tenant's batch window
+// and returns the recovered GT session element. Backpressure (srv.busy)
+// is retried after the server's suggested delay, up to MaxBusyRetries
+// times. The hybrid Sealed payload never leaves the caller: open it
+// locally with dlr.DecryptBytes.
+func (c *Client) Decrypt(tenant string, ct *dlr.Ciphertext) (*bn254.GT, error) {
+	var b wire.Builder
+	b.AppendBytes([]byte(tenant))
+	b.AppendRaw(ct.Bytes())
+	payload := b.Bytes()
+
+	for attempt := 0; ; attempt++ {
+		m, err := c.call(KindDec, payload)
+		if err != nil {
+			return nil, err
+		}
+		switch m.Kind {
+		case KindDecResult:
+			g := new(bn254.GT)
+			if _, err := g.SetBytes(m.Payload); err != nil {
+				return nil, fmt.Errorf("server client: bad session bytes: %w", err)
+			}
+			return g, nil
+		case KindBusy:
+			if attempt >= c.MaxBusyRetries {
+				return nil, fmt.Errorf("server client: still busy after %d retries", attempt)
+			}
+			p := wire.NewParser(m.Payload)
+			us, err := p.Uint32()
+			if err != nil {
+				return nil, fmt.Errorf("server client: bad busy frame: %w", err)
+			}
+			time.Sleep(time.Duration(us) * time.Microsecond)
+		case KindErr:
+			return nil, remoteErr(m.Payload)
+		default:
+			return nil, fmt.Errorf("server client: unexpected response kind %q", m.Kind)
+		}
+	}
+}
+
+// Refresh asks the server to rotate the named tenant's shares and
+// returns the tenant's new rotation epoch.
+func (c *Client) Refresh(tenant string) (uint64, error) {
+	var b wire.Builder
+	b.AppendBytes([]byte(tenant))
+	m, err := c.call(KindRefresh, b.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	switch m.Kind {
+	case KindRefreshed:
+		p := wire.NewParser(m.Payload)
+		hi, err := p.Uint32()
+		if err != nil {
+			return 0, fmt.Errorf("server client: bad refresh reply: %w", err)
+		}
+		lo, err := p.Uint32()
+		if err != nil {
+			return 0, fmt.Errorf("server client: bad refresh reply: %w", err)
+		}
+		return uint64(hi)<<32 | uint64(lo), nil
+	case KindErr:
+		return 0, remoteErr(m.Payload)
+	default:
+		return 0, fmt.Errorf("server client: unexpected response kind %q", m.Kind)
+	}
+}
+
+// remoteErr decodes a KindErr payload into an error.
+func remoteErr(payload []byte) error {
+	p := wire.NewParser(payload)
+	msg, err := p.Bytes()
+	if err != nil {
+		return fmt.Errorf("server client: malformed error frame: %w", err)
+	}
+	return fmt.Errorf("server: %s", msg)
+}

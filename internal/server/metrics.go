@@ -1,0 +1,165 @@
+package server
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the serving-path counters the operator guide
+// (docs/PERFORMANCE.md, "Batch-window sizing") reads: how full windows
+// close, how deep queues run, and what latency the windowing adds.
+//
+// Every Server owns a Metrics and mirrors into the package-global
+// aggregate published under expvar ("dlrserver"), so a process serving
+// through any number of Server instances exposes one coherent
+// /debug/vars view without double registration.
+type Metrics struct {
+	requests  atomic.Uint64 // accepted into a window queue
+	responses atomic.Uint64 // answered (success or per-request error)
+	rejected  atomic.Uint64 // bounced with srv.busy (queue full)
+	errors    atomic.Uint64 // responses that carried an error
+	windows   atomic.Uint64 // batch windows drained
+	refreshes atomic.Uint64 // tenant share refreshes completed
+
+	occupancySum atomic.Uint64 // Σ batch sizes, for the mean
+
+	mu        sync.Mutex
+	batchHist map[int]uint64 // window size → count (exact sizes)
+	latRing   []time.Duration
+	latNext   int
+	latCount  int
+
+	mirror *Metrics // package aggregate; nil on the aggregate itself
+}
+
+// latRingSize bounds the latency reservoir the percentiles are computed
+// over: the most recent 8192 responses.
+const latRingSize = 8192
+
+func newMetrics(mirror *Metrics) *Metrics {
+	return &Metrics{
+		batchHist: make(map[int]uint64),
+		latRing:   make([]time.Duration, latRingSize),
+		mirror:    mirror,
+	}
+}
+
+// globalMetrics is the process-wide aggregate behind the expvar view.
+var globalMetrics = newMetrics(nil)
+
+func init() {
+	expvar.Publish("dlrserver", expvar.Func(func() any {
+		s := globalMetrics.Snapshot()
+		return map[string]any{
+			"requests":       s.Requests,
+			"responses":      s.Responses,
+			"rejected":       s.Rejected,
+			"errors":         s.Errors,
+			"windows":        s.Windows,
+			"refreshes":      s.Refreshes,
+			"mean_occupancy": s.MeanOccupancy,
+			"batch_hist":     s.BatchHist,
+			"latency_p50_us": s.P50.Microseconds(),
+			"latency_p99_us": s.P99.Microseconds(),
+		}
+	}))
+}
+
+func (m *Metrics) recordRequest() {
+	m.requests.Add(1)
+	if m.mirror != nil {
+		m.mirror.recordRequest()
+	}
+}
+
+func (m *Metrics) recordRejected() {
+	m.rejected.Add(1)
+	if m.mirror != nil {
+		m.mirror.recordRejected()
+	}
+}
+
+func (m *Metrics) recordRefresh() {
+	m.refreshes.Add(1)
+	if m.mirror != nil {
+		m.mirror.recordRefresh()
+	}
+}
+
+// recordWindow notes one drained batch window of the given occupancy.
+func (m *Metrics) recordWindow(size int) {
+	m.windows.Add(1)
+	m.occupancySum.Add(uint64(size))
+	m.mu.Lock()
+	m.batchHist[size]++
+	m.mu.Unlock()
+	if m.mirror != nil {
+		m.mirror.recordWindow(size)
+	}
+}
+
+// recordResponse notes one answered request and its queue-to-response
+// latency.
+func (m *Metrics) recordResponse(lat time.Duration, failed bool) {
+	m.responses.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	m.mu.Lock()
+	m.latRing[m.latNext] = lat
+	m.latNext = (m.latNext + 1) % len(m.latRing)
+	if m.latCount < len(m.latRing) {
+		m.latCount++
+	}
+	m.mu.Unlock()
+	if m.mirror != nil {
+		m.mirror.recordResponse(lat, failed)
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters with derived
+// percentiles.
+type Snapshot struct {
+	Requests, Responses, Rejected, Errors uint64
+	Windows, Refreshes                    uint64
+	// MeanOccupancy is the average number of requests per drained
+	// window (0 when no window has drained).
+	MeanOccupancy float64
+	// BatchHist maps window occupancy to how many windows closed at it.
+	BatchHist map[int]uint64
+	// P50 and P99 are queue-to-response latency percentiles over the
+	// most recent latRingSize responses.
+	P50, P99 time.Duration
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:  m.requests.Load(),
+		Responses: m.responses.Load(),
+		Rejected:  m.rejected.Load(),
+		Errors:    m.errors.Load(),
+		Windows:   m.windows.Load(),
+		Refreshes: m.refreshes.Load(),
+		BatchHist: make(map[int]uint64),
+	}
+	if s.Windows > 0 {
+		s.MeanOccupancy = float64(m.occupancySum.Load()) / float64(s.Windows)
+	}
+	m.mu.Lock()
+	for k, v := range m.batchHist {
+		s.BatchHist[k] = v
+	}
+	lats := make([]time.Duration, m.latCount)
+	copy(lats, m.latRing[:m.latCount])
+	m.mu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50 = lats[len(lats)/2]
+		s.P99 = lats[(len(lats)-1)*99/100]
+	}
+	return s
+}

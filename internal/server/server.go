@@ -1,0 +1,494 @@
+// Package server implements the long-lived P1-side daemon of ROADMAP
+// item 2: many client sessions multiplexed over the internal/wire
+// framing, all concurrent decrypt requests coalesced into per-tenant
+// adaptive batch windows, and every window drained through one
+// dlr.RunDecBatch round trip against the tenant's device channel — the
+// cross-connection continuous-batching that turns PR 3's ~30×
+// single-caller amortization into a property of the service rather
+// than of one caller's batch.
+//
+// Dataflow (docs/ARCHITECTURE.md has the diagram):
+//
+//	sessions (1 goroutine per conn, mux frames with request ids)
+//	    │ bounded per-tenant queue — full ⇒ srv.busy + retry-after
+//	    ▼
+//	per-tenant window loop — closes on max(batch size, deadline)
+//	    │ one RunDecBatch round trip per window
+//	    ▼
+//	device channel to P2 ──► results fan back to their sessions,
+//	                         out of order, routed by request id
+//
+// Windows are per-tenant so the epoch-keyed table cache stays hot
+// across windows of one share state, and so a share refresh quiesces
+// exactly one tenant's window while every other tenant keeps serving.
+package server
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bn254"
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/dlr"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Mux frame kinds of the client↔server protocol. Requests carry a
+// per-connection id; the response (or rejection) echoes it.
+const (
+	// KindDec requests one decryption: payload = tenant (length-
+	// prefixed) ‖ dlr.Ciphertext bytes.
+	KindDec = "srv.dec"
+	// KindDecResult answers a KindDec: payload = GT session bytes.
+	KindDecResult = "srv.decr"
+	// KindBusy rejects a request under backpressure: payload =
+	// suggested retry-after in microseconds (uint32).
+	KindBusy = "srv.busy"
+	// KindErr answers a failed request: payload = message (length-
+	// prefixed).
+	KindErr = "srv.err"
+	// KindRefresh requests a zero-downtime share refresh: payload =
+	// tenant (length-prefixed).
+	KindRefresh = "srv.ref"
+	// KindRefreshed answers a completed KindRefresh: payload = the
+	// tenant's new rotation epoch (uint32 high ‖ uint32 low).
+	KindRefreshed = "srv.refr"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// BatchSize closes a window when this many requests have
+	// coalesced. Default 32.
+	BatchSize int
+	// Window closes a non-full window this long after its first
+	// request arrived — the latency bound a lone request pays for the
+	// chance of amortization. Default 2ms. Zero or negative drains
+	// eagerly: a window takes only what is already queued.
+	Window time.Duration
+	// QueueDepth bounds each tenant's request queue; a request
+	// arriving at a full queue is rejected with KindBusy rather than
+	// buffered without bound. Default 4×BatchSize.
+	QueueDepth int
+	// RetryAfter is the backoff hint sent with KindBusy. Default 2ms.
+	RetryAfter time.Duration
+	// CacheCap, when positive, attaches a shared rotation-aware table
+	// cache (internal/cache) of that capacity to every registered
+	// tenant's P1, so consecutive windows of one epoch replay the same
+	// pairing tables.
+	CacheCap int
+	// Serial bypasses the batch windows and serves every request
+	// through the per-request protocol (dlr.RunDec, one round trip per
+	// request) — the pre-batching baseline the E16 experiment measures
+	// the windows against.
+	Serial bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Window == 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.BatchSize
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Millisecond
+	}
+	return c
+}
+
+// request is one queued decrypt request.
+type request struct {
+	ct *dlr.Ciphertext
+	// enq is when the request entered the queue; responses report
+	// queue-to-response latency against it.
+	enq time.Time
+	// respond delivers the result back to the session that queued the
+	// request. Called exactly once, from the tenant's window loop.
+	respond func(m *bn254.GT, err error)
+}
+
+// control is an out-of-band operation on a tenant's window loop,
+// executed between windows so it can never interleave with a drain on
+// the shared device channel.
+type control struct {
+	done chan error
+}
+
+// tenant is one registered share state: P1, its device channel to P2,
+// and the window machinery.
+type tenant struct {
+	name     string
+	p1       *dlr.P1
+	dev      device.Channel
+	closeDev func() error
+
+	queue chan *request
+	ctl   chan *control
+	// done closes when the window loop has drained and exited.
+	done chan struct{}
+}
+
+// Server is the multiplexed batch-window daemon.
+type Server struct {
+	cfg      Config
+	metrics  *Metrics
+	tenants  *storage.Striped[*tenant]
+	tabCache *cache.Cache
+
+	// intakeMu orders request intake against shutdown: enqueues hold
+	// the read side, the drain flag flips under the write side, so no
+	// request can slip into a queue after draining began.
+	intakeMu sync.RWMutex
+	draining bool
+
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+
+	loopWG sync.WaitGroup // per-tenant window loops
+	connWG sync.WaitGroup // per-connection session handlers
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(globalMetrics),
+		tenants: storage.NewStriped[*tenant](),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	if cfg.CacheCap > 0 {
+		s.tabCache = cache.New(cfg.CacheCap)
+	}
+	return s
+}
+
+// Metrics returns the server's serving-path counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// RegisterTenant installs a tenant: p1 is the share state the server
+// serves, dev the channel to the tenant's P2 device. closeDev, when
+// non-nil, is called during Shutdown after the tenant's window loop
+// has drained (e.g. to close the underlying connection). The tenant's
+// window loop starts immediately.
+func (s *Server) RegisterTenant(name string, p1 *dlr.P1, dev device.Channel, closeDev func() error) error {
+	if p1 == nil || dev == nil {
+		return fmt.Errorf("server: tenant %q needs a P1 and a device channel", name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: registering tenant %q on a closed server", name)
+	}
+	s.mu.Unlock()
+	t := &tenant{
+		name: name, p1: p1, dev: dev, closeDev: closeDev,
+		queue: make(chan *request, s.cfg.QueueDepth),
+		ctl:   make(chan *control),
+		done:  make(chan struct{}),
+	}
+	if _, stored := s.tenants.PutIfAbsent(name, t); !stored {
+		return fmt.Errorf("server: tenant %q already registered", name)
+	}
+	if s.tabCache != nil {
+		p1.AttachCache(s.tabCache, name)
+	}
+	s.loopWG.Add(1)
+	go s.windowLoop(t)
+	return nil
+}
+
+// RegisterLocal registers a tenant whose P2 runs in-process: the
+// device channel is an in-memory pair with p2's serve loop on the far
+// end. This is the shape tests, benchmarks and single-process
+// deployments use.
+func (s *Server) RegisterLocal(name string, p1 *dlr.P1, p2 *dlr.P2) error {
+	a, b := device.NewLocalPair()
+	go func() {
+		// The loop exits with an error when the server closes its end.
+		_ = p2.ServeLoop(b)
+		_ = b.Close()
+	}()
+	return s.RegisterTenant(name, p1, a, a.Close)
+}
+
+// TenantEpoch returns the rotation epoch of a registered tenant's
+// share state.
+func (s *Server) TenantEpoch(name string) (uint64, bool) {
+	t, ok := s.tenants.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return t.p1.Epoch(), true
+}
+
+// Tenants returns the registered tenant names, sorted.
+func (s *Server) Tenants() []string { return s.tenants.Keys() }
+
+// QueueDepth returns the current number of queued requests across all
+// tenants — the live gauge behind the docs' queue-depth guidance.
+func (s *Server) QueueDepth() int {
+	n := 0
+	s.tenants.Range(func(_ string, t *tenant) bool {
+		n += len(t.queue)
+		return true
+	})
+	return n
+}
+
+// RefreshTenant runs the 2-party share refresh and period rotation for
+// one tenant with zero downtime for every other tenant: the refresh
+// executes on the tenant's window loop between batch windows, so
+// in-flight windows drain first, no request is dropped, and only the
+// affected tenant's queue pauses while the shares rotate.
+func (s *Server) RefreshTenant(name string) error {
+	t, ok := s.tenants.Get(name)
+	if !ok {
+		return fmt.Errorf("server: unknown tenant %q", name)
+	}
+	c := &control{done: make(chan error, 1)}
+	select {
+	case t.ctl <- c:
+	case <-t.done:
+		return fmt.Errorf("server: tenant %q window loop stopped", name)
+	}
+	select {
+	case err := <-c.done:
+		return err
+	case <-t.done:
+		return fmt.Errorf("server: tenant %q window loop stopped during refresh", name)
+	}
+}
+
+// Serve accepts connections on ln until the listener closes (Shutdown
+// closes every registered listener). Each connection gets a session
+// goroutine; Serve itself blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: Serve on closed server")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown stops the server gracefully: listeners close (no new
+// sessions), intake stops (new requests are refused), every tenant's
+// window loop drains its queued requests through final batch windows
+// and exits, and only then do the session connections and device
+// channels close. Queued requests are answered, not dropped.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for ln := range s.lns {
+		_ = ln.Close()
+	}
+	s.mu.Unlock()
+
+	// Flip the drain flag under the write lock: after this, no session
+	// can be mid-enqueue, so closing the queues is race-free.
+	s.intakeMu.Lock()
+	s.draining = true
+	s.intakeMu.Unlock()
+
+	s.tenants.Range(func(_ string, t *tenant) bool {
+		close(t.queue)
+		return true
+	})
+	s.loopWG.Wait()
+
+	s.tenants.Range(func(_ string, t *tenant) bool {
+		if t.closeDev != nil {
+			_ = t.closeDev()
+		}
+		return true
+	})
+
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+}
+
+// session is one client connection: a read loop plus a write mutex so
+// window loops (which answer out of order) never interleave frames.
+type session struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+// send writes one mux frame; on write failure the connection is closed
+// so the session's read loop terminates and the client sees the break.
+func (ss *session) send(m wire.MuxMsg) {
+	ss.wmu.Lock()
+	err := wire.WriteMux(ss.conn, m)
+	ss.wmu.Unlock()
+	if err != nil {
+		_ = ss.conn.Close()
+	}
+}
+
+func (ss *session) sendErr(id uint64, msg string) {
+	var b wire.Builder
+	b.AppendBytes([]byte(msg))
+	ss.send(wire.MuxMsg{ID: id, Kind: KindErr, Payload: b.Bytes()})
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	ss := &session{conn: conn}
+	for {
+		m, err := wire.ReadMux(conn)
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case KindDec:
+			s.handleDec(ss, m)
+		case KindRefresh:
+			// Refresh blocks until the tenant's window quiesces; run it
+			// off the read loop so the session keeps pumping requests
+			// for other tenants meanwhile.
+			s.connWG.Add(1)
+			go func(m wire.MuxMsg) {
+				defer s.connWG.Done()
+				s.handleRefresh(ss, m)
+			}(m)
+		default:
+			ss.sendErr(m.ID, fmt.Sprintf("unknown frame kind %q", m.Kind))
+		}
+	}
+}
+
+// handleDec parses a decrypt request and places it into its tenant's
+// window queue, applying backpressure when the queue is full.
+func (s *Server) handleDec(ss *session, m wire.MuxMsg) {
+	p := wire.NewParser(m.Payload)
+	tenantName, err := p.Bytes()
+	if err != nil {
+		ss.sendErr(m.ID, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	raw, err := p.Raw(p.Remaining())
+	if err != nil {
+		ss.sendErr(m.ID, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	ct, err := dlr.CiphertextFromBytes(raw)
+	if err != nil {
+		ss.sendErr(m.ID, fmt.Sprintf("bad ciphertext: %v", err))
+		return
+	}
+	t, ok := s.tenants.Get(string(tenantName))
+	if !ok {
+		ss.sendErr(m.ID, fmt.Sprintf("unknown tenant %q", tenantName))
+		return
+	}
+
+	id := m.ID
+	req := &request{ct: ct, enq: time.Now()}
+	req.respond = func(msg *bn254.GT, derr error) {
+		s.metrics.recordResponse(time.Since(req.enq), derr != nil)
+		if derr != nil {
+			ss.sendErr(id, fmt.Sprintf("decrypt: %v", derr))
+			return
+		}
+		ss.send(wire.MuxMsg{ID: id, Kind: KindDecResult, Payload: msg.Bytes()})
+	}
+
+	s.intakeMu.RLock()
+	if s.draining {
+		s.intakeMu.RUnlock()
+		ss.sendErr(id, "server shutting down")
+		return
+	}
+	select {
+	case t.queue <- req:
+		s.intakeMu.RUnlock()
+		s.metrics.recordRequest()
+	default:
+		s.intakeMu.RUnlock()
+		s.metrics.recordRejected()
+		var b wire.Builder
+		b.AppendUint32(uint32(s.cfg.RetryAfter.Microseconds()))
+		ss.send(wire.MuxMsg{ID: id, Kind: KindBusy, Payload: b.Bytes()})
+	}
+}
+
+func (s *Server) handleRefresh(ss *session, m wire.MuxMsg) {
+	p := wire.NewParser(m.Payload)
+	tenantName, err := p.Bytes()
+	if err != nil {
+		ss.sendErr(m.ID, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	if err := s.RefreshTenant(string(tenantName)); err != nil {
+		ss.sendErr(m.ID, fmt.Sprintf("refresh: %v", err))
+		return
+	}
+	epoch, _ := s.TenantEpoch(string(tenantName))
+	var b wire.Builder
+	b.AppendUint32(uint32(epoch >> 32))
+	b.AppendUint32(uint32(epoch))
+	ss.send(wire.MuxMsg{ID: m.ID, Kind: KindRefreshed, Payload: b.Bytes()})
+}
+
+// refresh runs the 2-party refresh plus period rotation on the
+// tenant's device channel. Called only from the tenant's window loop.
+func (s *Server) refresh(t *tenant) error {
+	if err := t.p1.RunRef(rand.Reader, t.dev); err != nil {
+		return fmt.Errorf("server: refresh protocol for %q: %w", t.name, err)
+	}
+	if err := t.p1.BeginPeriod(rand.Reader); err != nil {
+		return fmt.Errorf("server: period rotation for %q: %w", t.name, err)
+	}
+	s.metrics.recordRefresh()
+	return nil
+}

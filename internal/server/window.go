@@ -1,0 +1,102 @@
+package server
+
+import (
+	"crypto/rand"
+	"time"
+
+	"repro/internal/dlr"
+)
+
+// windowLoop is the single goroutine that owns a tenant's P1 and
+// device channel. Requests are served in batch windows; control
+// operations (share refresh) run strictly between windows, so a
+// rotation can never interleave with a drain on the device channel and
+// a window never mixes requests across a rotation boundary.
+func (s *Server) windowLoop(t *tenant) {
+	defer s.loopWG.Done()
+	defer close(t.done)
+	for {
+		select {
+		case c := <-t.ctl:
+			c.done <- s.refresh(t)
+		case req, ok := <-t.queue:
+			if !ok {
+				// Shutdown closed the queue after draining intake; all
+				// buffered requests have been received and answered.
+				return
+			}
+			s.serveWindow(t, req)
+		}
+	}
+}
+
+// serveWindow collects one adaptive batch window — it closes when
+// either BatchSize requests have coalesced or Window has elapsed since
+// the first request — and drains it through one RunDecBatch round
+// trip. In Serial mode the window degenerates to the single triggering
+// request served through the per-request protocol, the baseline E16
+// measures the windows against.
+func (s *Server) serveWindow(t *tenant, first *request) {
+	if s.cfg.Serial {
+		m, err := t.p1.RunDec(rand.Reader, t.dev, first.ct)
+		s.metrics.recordWindow(1)
+		first.respond(m, err)
+		return
+	}
+
+	batch := append(make([]*request, 0, s.cfg.BatchSize), first)
+	batch = s.collect(t, batch)
+
+	cs := make([]*dlr.Ciphertext, len(batch))
+	for i, req := range batch {
+		cs[i] = req.ct
+	}
+	ms, err := t.p1.RunDecBatch(t.dev, cs)
+	s.metrics.recordWindow(len(batch))
+	if err != nil {
+		// The whole round trip failed; every request in the window
+		// learns why.
+		for _, req := range batch {
+			req.respond(nil, err)
+		}
+		return
+	}
+	for i, req := range batch {
+		req.respond(ms[i], nil)
+	}
+}
+
+// collect fills the window up to BatchSize, waiting at most Window for
+// stragglers. A non-positive Window takes only what is already queued
+// (eager drain). A closed queue closes the window early with whatever
+// has coalesced.
+func (s *Server) collect(t *tenant, batch []*request) []*request {
+	if s.cfg.Window <= 0 {
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case req, ok := <-t.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.Window)
+	defer timer.Stop()
+	for len(batch) < s.cfg.BatchSize {
+		select {
+		case req, ok := <-t.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}

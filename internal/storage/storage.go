@@ -5,12 +5,15 @@
 // protocol and the stored ciphertexts are re-randomized, so an adversary
 // obtaining bounded leakage from each device per period — forever —
 // learns nothing about the stored values.
+//
+// The package also provides Striped, the sharded string-keyed map with
+// per-stripe locking that both the Store's ciphertext cells and the
+// batch-window server's tenant table (internal/server) are built on.
 package storage
 
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"repro/internal/dlr"
@@ -18,16 +21,22 @@ import (
 	"repro/internal/params"
 )
 
-// Store is a key-value store on two leaky devices.
+// Store is a key-value store on two leaky devices. Cell access (Put,
+// Delete, Keys, CiphertextBytes) is sharded behind striped locks and
+// proceeds concurrently for distinct keys; operations that drive the
+// 2-party protocols (Get, RefreshPeriod) serialize on the device state.
 type Store struct {
-	mu sync.Mutex
+	// protoMu guards the device states p1/p2 and the period counter:
+	// the 2-party protocol runs are stateful on both ends (P1's lazy
+	// transport tables, P2's share) and must not interleave.
+	protoMu sync.Mutex
 
 	pk  *dlr.PublicKey
 	p1  *dlr.P1
 	p2  *dlr.P2
 	ctr *opcount.Counter
 
-	cells  map[string]*dlr.HybridCiphertext
+	cells  *Striped[*dlr.HybridCiphertext]
 	period uint64
 }
 
@@ -57,32 +66,34 @@ func New(rng io.Reader, prm params.Params, opts ...Option) (*Store, error) {
 	}
 	return &Store{
 		pk: pk, p1: p1, p2: p2, ctr: cfg.ctr,
-		cells: make(map[string]*dlr.HybridCiphertext),
+		cells: NewStriped[*dlr.HybridCiphertext](),
 	}, nil
 }
 
-// Put stores value under key, overwriting any previous value.
+// Put stores value under key, overwriting any previous value. A Put
+// concurrent with RefreshPeriod may store a ciphertext that misses that
+// period's re-randomization pass; this is sound — the ciphertext was
+// created inside the new period with fresh randomness, so no component
+// of it predates the boundary — and it is re-randomized next period.
 func (s *Store) Put(rng io.Reader, key string, value []byte) error {
 	ct, err := dlr.EncryptBytes(rng, s.pk, value, s.ctr)
 	if err != nil {
 		return fmt.Errorf("storage: encrypting %q: %w", key, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cells[key] = ct
+	s.cells.Put(key, ct)
 	return nil
 }
 
 // Get retrieves the value under key by running the 2-party decryption
 // protocol between the devices.
 func (s *Store) Get(rng io.Reader, key string) ([]byte, error) {
-	s.mu.Lock()
-	ct, ok := s.cells[key]
-	s.mu.Unlock()
+	ct, ok := s.cells.Get(key)
 	if !ok {
 		return nil, fmt.Errorf("storage: no value under %q", key)
 	}
+	s.protoMu.Lock()
 	value, err := dlr.DecryptBytesProtocol(rng, s.p1, s.p2, ct)
+	s.protoMu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("storage: decrypting %q: %w", key, err)
 	}
@@ -91,21 +102,12 @@ func (s *Store) Get(rng io.Reader, key string) ([]byte, error) {
 
 // Delete removes the value under key.
 func (s *Store) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.cells, key)
+	s.cells.Delete(key)
 }
 
 // Keys returns the stored keys, sorted.
 func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.cells))
-	for k := range s.cells {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return s.cells.Keys()
 }
 
 // RefreshPeriod ends the current time period: the devices run the
@@ -113,20 +115,27 @@ func (s *Store) Keys() []string {
 // ciphertext is re-randomized so no component of the system's state
 // persists across periods.
 func (s *Store) RefreshPeriod(rng io.Reader) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.protoMu.Lock()
+	defer s.protoMu.Unlock()
 	if _, err := dlr.Refresh(rng, s.p1, s.p2); err != nil {
 		return fmt.Errorf("storage: key refresh: %w", err)
 	}
 	if err := s.p1.BeginPeriod(rng); err != nil {
 		return fmt.Errorf("storage: period rotation: %w", err)
 	}
-	for k, ct := range s.cells {
+	// Re-randomize a snapshot of the cells: each rewrite re-reads the
+	// live cell so a concurrent Put is never overwritten with a
+	// re-randomization of the value it replaced.
+	for _, k := range s.cells.Keys() {
+		ct, ok := s.cells.Get(k)
+		if !ok {
+			continue // deleted concurrently
+		}
 		kem, err := ct.KEM.Rerandomize(rng, s.pk, s.ctr)
 		if err != nil {
 			return fmt.Errorf("storage: re-randomizing %q: %w", k, err)
 		}
-		s.cells[k] = &dlr.HybridCiphertext{KEM: kem, Nonce: ct.Nonce, Sealed: ct.Sealed}
+		s.cells.Put(k, &dlr.HybridCiphertext{KEM: kem, Nonce: ct.Nonce, Sealed: ct.Sealed})
 	}
 	s.period++
 	return nil
@@ -134,25 +143,23 @@ func (s *Store) RefreshPeriod(rng io.Reader) error {
 
 // Period returns the number of completed refresh periods.
 func (s *Store) Period() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.protoMu.Lock()
+	defer s.protoMu.Unlock()
 	return s.period
 }
 
 // DeviceSecrets exposes the two devices' secret-memory serializations
 // for leakage experiments.
 func (s *Store) DeviceSecrets() (p1, p2 []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.protoMu.Lock()
+	defer s.protoMu.Unlock()
 	return s.p1.SecretBytes(), s.p2.SecretBytes()
 }
 
 // CiphertextBytes returns the stored ciphertext encoding under key (the
 // at-rest public memory an adversary sees).
 func (s *Store) CiphertextBytes(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ct, ok := s.cells[key]
+	ct, ok := s.cells.Get(key)
 	if !ok {
 		return nil, false
 	}

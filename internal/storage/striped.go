@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// Striped is a string-keyed map sharded across independently locked
+// buckets, so concurrent access to different keys never contends on one
+// mutex. The batch-window server keeps its tenant→share states in one
+// (thousands of sessions resolve tenants on every request while refresh
+// quiesces a single tenant), and Store keeps its ciphertext cells in
+// one (Put/Get/Delete of distinct keys proceed in parallel).
+//
+// The zero value is not usable; construct with NewStriped.
+type Striped[V any] struct {
+	shards []stripedShard[V]
+}
+
+type stripedShard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// stripedShards is the stripe count. Power of two so the hash folds
+// with a mask; 64 stripes keep the per-stripe collision probability low
+// for the contention levels the server sees (thousands of concurrent
+// sessions over far fewer CPUs).
+const stripedShards = 64
+
+// NewStriped returns an empty striped map.
+func NewStriped[V any]() *Striped[V] {
+	s := &Striped[V]{shards: make([]stripedShard[V], stripedShards)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]V)
+	}
+	return s
+}
+
+// shardOf hashes key to its stripe (FNV-1a folded to the stripe mask).
+func (s *Striped[V]) shardOf(key string) *stripedShard[V] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(stripedShards-1)]
+}
+
+// Get returns the value under key.
+func (s *Striped[V]) Get(key string) (V, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Striped[V]) Put(key string, value V) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.m[key] = value
+	sh.mu.Unlock()
+}
+
+// PutIfAbsent stores value under key unless the key is already present,
+// returning the value now in the map and whether the store happened.
+// This is the registration path: two sessions racing to create the same
+// tenant must converge on one instance.
+func (s *Striped[V]) PutIfAbsent(key string, value V) (V, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.m[key]; ok {
+		return old, false
+	}
+	sh.m[key] = value
+	return value, true
+}
+
+// Delete removes the value under key and returns it.
+func (s *Striped[V]) Delete(key string) (V, bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	if ok {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the number of stored keys.
+func (s *Striped[V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns the stored keys, sorted.
+func (s *Striped[V]) Keys() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls f for every key/value pair until f returns false. The
+// stripe lock is held during each call; f must not call back into the
+// map. Iteration order is unspecified, and pairs stored or deleted
+// concurrently may or may not be visited.
+func (s *Striped[V]) Range(f func(key string, value V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !f(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStripedBasics(t *testing.T) {
+	s := NewStriped[int]()
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty map returned a value")
+	}
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.Put("a", 3)
+	if v, ok := s.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if v, ok := s.Delete("a"); !ok || v != 3 {
+		t.Fatalf("Delete(a) = %d,%v", v, ok)
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestStripedPutIfAbsent(t *testing.T) {
+	s := NewStriped[string]()
+	if v, stored := s.PutIfAbsent("k", "first"); !stored || v != "first" {
+		t.Fatalf("first PutIfAbsent = %q,%v", v, stored)
+	}
+	if v, stored := s.PutIfAbsent("k", "second"); stored || v != "first" {
+		t.Fatalf("second PutIfAbsent = %q,%v", v, stored)
+	}
+}
+
+func TestStripedRange(t *testing.T) {
+	s := NewStriped[int]()
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%03d", i), i)
+	}
+	sum, visited := 0, 0
+	s.Range(func(k string, v int) bool {
+		sum += v
+		visited++
+		return true
+	})
+	if visited != 100 || sum != 4950 {
+		t.Fatalf("Range visited %d keys, sum %d", visited, sum)
+	}
+	// Early termination.
+	visited = 0
+	s.Range(func(k string, v int) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Fatalf("early-terminated Range visited %d", visited)
+	}
+}
+
+// Hammer distinct and shared keys from many goroutines; run under
+// -race (make race-server) this is the striped-locking soundness check.
+func TestStripedConcurrent(t *testing.T) {
+	s := NewStriped[int]()
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				own := fmt.Sprintf("w%d-%d", w, i)
+				s.Put(own, i)
+				s.Put("shared", i)
+				if _, ok := s.Get(own); !ok {
+					t.Errorf("lost own key %s", own)
+					return
+				}
+				s.Get("shared")
+				if i%3 == 0 {
+					s.Delete(own)
+				}
+				s.PutIfAbsent("shared2", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := s.Get("shared"); !ok {
+		t.Fatal("shared key missing after hammer")
+	}
+	want := workers*perWorker - workers*((perWorker+2)/3) + 2
+	if got := s.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}

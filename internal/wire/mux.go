@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Multiplexed framing: the batch-window server interleaves many logical
+// requests over one connection, and responses return in whatever order
+// their batch windows drain — not the order the requests arrived. Each
+// frame therefore carries a per-connection request id ahead of the
+// payload, so the peer can route a response back to its waiter.
+//
+// A MuxMsg is an ordinary Msg whose payload is prefixed with the 8-byte
+// big-endian id; the base framing (magic, version, kind, bounds checks)
+// is unchanged, and a mux frame is readable by Read as a Msg whose
+// payload happens to start with the id.
+
+// MuxMsg is one multiplexed protocol frame.
+type MuxMsg struct {
+	// ID identifies the request on its connection. Responses echo the
+	// id of the request they answer; ids of in-flight requests must be
+	// unique per connection, and may be reused after the response.
+	ID uint64
+	// Kind tags the frame (e.g. "srv.dec", "srv.decr").
+	Kind string
+	// Payload is the frame body, excluding the id prefix.
+	Payload []byte
+}
+
+// muxIDSize is the on-wire size of the request-id prefix.
+const muxIDSize = 8
+
+// WriteMux encodes m onto w.
+func WriteMux(w io.Writer, m MuxMsg) error {
+	if len(m.Payload) > MaxPayload-muxIDSize {
+		return fmt.Errorf("wire: mux payload %d exceeds limit %d", len(m.Payload), MaxPayload-muxIDSize)
+	}
+	body := make([]byte, muxIDSize+len(m.Payload))
+	binary.BigEndian.PutUint64(body, m.ID)
+	copy(body[muxIDSize:], m.Payload)
+	return Write(w, Msg{Kind: m.Kind, Payload: body})
+}
+
+// ReadMux decodes one multiplexed frame from r.
+func ReadMux(r io.Reader) (MuxMsg, error) {
+	raw, err := Read(r)
+	if err != nil {
+		return MuxMsg{}, err
+	}
+	return MuxFromMsg(raw)
+}
+
+// MuxFromMsg splits a base frame into its id and inner payload.
+func MuxFromMsg(m Msg) (MuxMsg, error) {
+	if len(m.Payload) < muxIDSize {
+		return MuxMsg{}, fmt.Errorf("wire: mux frame %q too short for request id (%d bytes)", m.Kind, len(m.Payload))
+	}
+	return MuxMsg{
+		ID:      binary.BigEndian.Uint64(m.Payload),
+		Kind:    m.Kind,
+		Payload: m.Payload[muxIDSize:],
+	}, nil
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestMuxRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []MuxMsg{
+		{ID: 0, Kind: "srv.dec", Payload: []byte("hello")},
+		{ID: 1<<64 - 1, Kind: "srv.decr", Payload: nil},
+		{ID: 42, Kind: "srv.busy", Payload: bytes.Repeat([]byte{0xaa}, 1000)},
+	}
+	for _, m := range msgs {
+		if err := WriteMux(&buf, m); err != nil {
+			t.Fatalf("WriteMux(%d): %v", m.ID, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMux(&buf)
+		if err != nil {
+			t.Fatalf("ReadMux: %v", err)
+		}
+		if got.ID != want.ID || got.Kind != want.Kind || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// Responses interleaved out of request order must still carry the ids
+// that let the client route them — the property the batch-window server
+// relies on.
+func TestMuxOutOfOrderIDsSurvive(t *testing.T) {
+	var buf bytes.Buffer
+	for _, id := range []uint64{7, 3, 9, 1} {
+		if err := WriteMux(&buf, MuxMsg{ID: id, Kind: "srv.decr"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	for {
+		m, err := ReadMux(&buf)
+		if err == io.EOF || buf.Len() == 0 && err != nil {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.ID)
+		if buf.Len() == 0 {
+			break
+		}
+	}
+	want := []uint64{7, 3, 9, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: id %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// A mux frame is a plain frame whose payload starts with the id, so the
+// base reader interoperates.
+func TestMuxReadableAsBaseFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMux(&buf, MuxMsg{ID: 0x0102030405060708, Kind: "srv.dec", Payload: []byte{0xff}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != "srv.dec" || len(m.Payload) != 9 {
+		t.Fatalf("unexpected base frame %q/%d", m.Kind, len(m.Payload))
+	}
+	mm, err := MuxFromMsg(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.ID != 0x0102030405060708 || len(mm.Payload) != 1 || mm.Payload[0] != 0xff {
+		t.Fatalf("MuxFromMsg mismatch: %+v", mm)
+	}
+}
+
+func TestMuxRejectsShortFrame(t *testing.T) {
+	if _, err := MuxFromMsg(Msg{Kind: "srv.dec", Payload: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("expected error for frame shorter than the id prefix")
+	}
+}
+
+func TestMuxRejectsOversizePayload(t *testing.T) {
+	err := WriteMux(io.Discard, MuxMsg{Kind: "srv.dec", Payload: make([]byte, MaxPayload)})
+	if err == nil {
+		t.Fatal("expected oversize mux payload to be rejected")
+	}
+}
