@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-par race-server vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
+.PHONY: all build test race race-par race-server race-rotation vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -30,6 +30,14 @@ race-par:
 race-server:
 	$(GO) test -race -count=1 ./internal/server ./internal/wire ./internal/storage ./internal/dlr
 
+# race-rotation is the cached-path rotation race gate: the rotation
+# storm and scheduler tests, the cold/pipelined epoch-invalidation
+# tests, and the cache-warm batch tests, all with the epoch-keyed table
+# cache attached (race-server's broader sweep spends most of its time
+# on uncached protocol tests). Run while iterating on rotation code.
+race-rotation:
+	$(GO) test -race -count=1 -run 'TestRotation|TestServerRefresh|TestBatchCache' ./internal/server ./internal/dlr
+
 vet:
 	$(GO) vet ./...
 
@@ -48,11 +56,12 @@ fmt-check:
 # ci is the tier-1 gate: build, vet, dlrlint, gofmt cleanliness, the
 # full test suite under the race detector (the protocol stack fans work
 # out across goroutines), an uncached race pass over the serving stack
-# (race-server), and a short differential fuzz pass over the lazy-tower
-# and Pippenger twins. Timing-sensitive bench regression checks are
-# opt-in: CI_BENCH=1 make ci additionally fails if any hot operation
-# regressed >25% against the committed bench_baseline.json.
-ci: build vet lint fmt-check race race-server fuzz-smoke
+# (race-server), the cached-path rotation race gate (race-rotation),
+# and a short differential fuzz pass over the lazy-tower and Pippenger
+# twins. Timing-sensitive bench regression checks are opt-in:
+# CI_BENCH=1 make ci additionally fails if any hot operation regressed
+# >25% against the committed bench_baseline.json.
+ci: build vet lint fmt-check race race-server race-rotation fuzz-smoke
 ifeq ($(CI_BENCH),1)
 	$(MAKE) bench-smoke
 endif

@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E16 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E17 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -16,6 +16,11 @@
 //	                                    # continuous-batching server curve:
 //	                                    # N concurrent single-request TCP
 //	                                    # clients, serial vs batch windows
+//	dlrbench -rotate -cadences 100ms,30ms -clients 8 -perclient 4
+//	                                    # rotation-under-load sweep: the
+//	                                    # RefreshEvery scheduler rotates on
+//	                                    # each cadence while closed-loop
+//	                                    # clients decrypt, cold vs pipelined
 //
 // -cache N attaches an N-entry internal/cache LRU of batch pairing
 // tables to every tenant's P1; 0 (the default) runs uncached. -tenants
@@ -63,7 +68,7 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp        = flag.String("e", "", "run a single experiment (E1..E16); empty = all")
+		exp        = flag.String("e", "", "run a single experiment (E1..E17); empty = all")
 		games      = flag.Int("games", 1, "games per configuration in E5")
 		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
 		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
@@ -74,6 +79,8 @@ func main() {
 		tenants    = flag.Int("tenants", 1, "independent DLR instances the -pipeline request stream round-robins over")
 		cacheCap   = flag.Int("cache", 0, "capacity of the shared rotation-aware table cache for -pipeline; 0 = uncached")
 		srv        = flag.Bool("server", false, "drive the batch-window decrypt server with concurrent single-request TCP clients, serial vs windows")
+		rotate     = flag.Bool("rotate", false, "drive the server under sustained load while the rotation scheduler refreshes on each -cadences entry, cold vs pipelined")
+		cadences   = flag.String("cadences", "100ms,30ms", "comma-separated rotation cadences for -rotate")
 		clients    = flag.String("clients", "1,8,32", "comma-separated concurrent-client counts for -server")
 		perClient  = flag.Int("perclient", 2, "requests each -server client issues (closed-loop)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
@@ -106,14 +113,14 @@ func main() {
 		}()
 	}
 
-	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize, *tenants, *cacheCap, *srv, *clients, *perClient); err != nil {
+	if err := run(*exp, *games, *baseline, *smoke, *pipeline, *workers, *reqs, *batchSize, *tenants, *cacheCap, *srv, *rotate, *cadences, *clients, *perClient); err != nil {
 		// log.Fatal would skip the profile-writing defers above.
 		log.Print(err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize, tenants, cacheCap int, srv bool, clients string, perClient int) error {
+func run(exp string, games int, baseline, smoke string, pipeline bool, workers string, reqs, batchSize, tenants, cacheCap int, srv, rotate bool, cadences, clients string, perClient int) error {
 	switch {
 	case baseline != "":
 		return writeBaseline(baseline)
@@ -123,6 +130,8 @@ func run(exp string, games int, baseline, smoke string, pipeline bool, workers s
 		return runPipeline(workers, reqs, batchSize, tenants, cacheCap)
 	case srv:
 		return runServer(clients, perClient)
+	case rotate:
+		return runRotate(cadences, clients, perClient)
 	}
 
 	start := time.Now()
@@ -211,6 +220,48 @@ func runServer(clients string, perClient int) error {
 	return nil
 }
 
+// runRotate sweeps rotation-under-load: for each cadence the server's
+// RefreshEvery scheduler rotates the tenant while closed-loop clients
+// decrypt, once through the cold rotation path and once pipelined. The
+// steady (no-rotation) reference prints first.
+func runRotate(cadences, clients string, perClient int) error {
+	n := 8
+	if fields := strings.Split(clients, ","); len(fields) > 0 {
+		v, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return fmt.Errorf("rotate: bad -clients entry %q: %w", fields[0], err)
+		}
+		n = v
+	}
+	fmt.Printf("rotation under load: %d clients x %d requests, closed-loop over TCP\n", n, perClient)
+	fmt.Printf("%-12s  %-10s  %10s  %12s  %12s  %10s  %12s\n",
+		"cadence", "mode", "req/s", "p50", "p99", "rotations", "mean stall")
+	steady, err := bench.E17ServerRun(0, false, n, perClient)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s  %-10s  %10.1f  %12s  %12s  %10s  %12s\n",
+		"none", "steady", steady.ReqPerSec,
+		steady.P50.Round(time.Microsecond), steady.P99.Round(time.Microsecond), "—", "—")
+	for _, field := range strings.Split(cadences, ",") {
+		cadence, err := time.ParseDuration(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("rotate: bad -cadences entry %q: %w", field, err)
+		}
+		for _, cold := range []bool{true, false} {
+			pt, err := bench.E17ServerRun(cadence, cold, n, perClient)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s  %-10s  %10.1f  %12s  %12s  %10d  %12s\n",
+				cadence, pt.Mode, pt.ReqPerSec,
+				pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond),
+				pt.Rotations, pt.StallMean.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
 // allMeasurements gathers every fast-path timing pair: the E11 set
 // (wNAF vs reference ladder, multi-pairing, transport), the E12 set
 // (GLV/GLS vs wNAF, pairing tables vs cold Miller loops), the E13
@@ -218,7 +269,8 @@ func runServer(clients string, perClient int) error {
 // per-request decryption), the E15 set (chunk-parallel primitives
 // vs their serial paths, cached vs cold batch tables) and the E16
 // server row (serial vs batch-window amortized per-request cost at 32
-// concurrent clients).
+// concurrent clients) and the E17 rotation rows (cold vs prewarmed
+// first-post-rotation batch, full cold rotation vs commit-only stall).
 func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	meas, err := bench.FastPathMeasurements()
 	if err != nil {
@@ -240,8 +292,12 @@ func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	rot, err := bench.E17Measurements()
+	if err != nil {
+		return nil, err
+	}
 	out := append(append(append(meas, endo...), thr...), par...)
-	return append(out, srv...), nil
+	return append(append(out, srv...), rot...), nil
 }
 
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so

@@ -18,6 +18,11 @@
 // whichever comes first (see docs/PERFORMANCE.md, "Batch-window
 // sizing"). -serial disables windowing and serves one request per
 // round trip, the baseline the E16 experiment measures against.
+// -refresh-every rotates every tenant's shares on that cadence through
+// the pipelined zero-stall path (next-epoch tables prewarmed while
+// serving continues; see docs/PERFORMANCE.md, "Rotation cadence
+// sizing"); -cold-refresh reverts to the serialized rotation that
+// stalls the tenant for the whole rebuild — the E17 comparison point.
 // Serving metrics are published under expvar key "dlrserver"; set
 // -debug to serve /debug/vars on a second listener. SIGINT/SIGTERM
 // drain in-flight windows before exit — queued requests are answered,
@@ -54,6 +59,8 @@ func main() {
 		queue      = flag.Int("queue", 0, "request queue depth before busy rejections (0 = 4×batch)")
 		cacheCap   = flag.Int("cache", 8, "rotation-aware pairing-table cache capacity (0 = uncached)")
 		serial     = flag.Bool("serial", false, "serve one request per round trip (no windows) — the E16 baseline")
+		refresh    = flag.Duration("refresh-every", 0, "rotate every tenant's shares on this cadence (0 = only on client request)")
+		coldRef    = flag.Bool("cold-refresh", false, "use the serialized (non-pipelined) rotation path — the E17 baseline")
 		debugAddr  = flag.String("debug", "", "serve /debug/vars (expvar metrics) on this address")
 	)
 	flag.Parse()
@@ -62,12 +69,21 @@ func main() {
 	p1 := mustReadP1(pk, *sharePath)
 
 	s := server.New(server.Config{
-		BatchSize:  *batch,
-		Window:     *window,
-		QueueDepth: *queue,
-		CacheCap:   *cacheCap,
-		Serial:     *serial,
+		BatchSize:    *batch,
+		Window:       *window,
+		QueueDepth:   *queue,
+		CacheCap:     *cacheCap,
+		Serial:       *serial,
+		RefreshEvery: *refresh,
+		ColdRefresh:  *coldRef,
 	})
+	if *refresh > 0 {
+		rotMode := "pipelined"
+		if *coldRef {
+			rotMode = "cold"
+		}
+		log.Printf("rotation scheduler: every %s (%s path)", *refresh, rotMode)
+	}
 
 	switch {
 	case *share2Path != "":
@@ -131,6 +147,10 @@ func main() {
 	snap := s.Metrics().Snapshot()
 	log.Printf("stopped: %d requests in %d windows (mean occupancy %.1f), %d rejected, %d refreshes",
 		snap.Requests, snap.Windows, snap.MeanOccupancy, snap.Rejected, snap.Refreshes)
+	if n := snap.RotationsPrewarmed + snap.RotationsCold; n > 0 {
+		log.Printf("rotations: %d prewarmed, %d cold, mean serving stall %s (last %s)",
+			snap.RotationsPrewarmed, snap.RotationsCold, snap.RotationStallMean, snap.RotationStallLast)
+	}
 }
 
 func mustReadPK(path string) *dlr.PublicKey {

@@ -131,6 +131,13 @@ func e15Ops() ([]fpOp, error) {
 // rebuilt) against warm (tables replayed from the cache), amortized
 // per request. The warm-minus-cold gap is exactly the per-batch
 // NewPairingTable cost the cache removes.
+//
+// Every timed pass runs on its own P1 restored from serialized state:
+// a live instance installs an in-struct batch session after its first
+// batch, after which neither pass would touch the cache at all —
+// restored instances are the restart scenario the cache serves, and
+// they keep both sides on the cache path. The restores happen outside
+// the timed region.
 func cachedBatchMeasurement() (FastPathMeasurement, error) {
 	var zero FastPathMeasurement
 	pk, p1, p2, err := dlr.Gen(rand.Reader, e13Params())
@@ -150,14 +157,31 @@ func cachedBatchMeasurement() (FastPathMeasurement, error) {
 			return zero, err
 		}
 	}
+	const iters = 4
+	raw, err := p1.Marshal()
+	if err != nil {
+		return zero, err
+	}
+	// 2·iters instances per side: timeN and memN each run their passes.
+	pool := make([]*dlr.P1, 4*iters+1)
+	for i := range pool {
+		q, err := dlr.UnmarshalP1(pk, raw, nil)
+		if err != nil {
+			return zero, err
+		}
+		q.AttachCache(c, tenant)
+		pool[i] = q
+	}
+	next := 0
 	run := func() {
-		if _, _, err := dlr.DecryptBatch(p1, p2, cs); err != nil {
+		q := pool[next]
+		next++
+		if _, _, err := dlr.DecryptBatch(q, p2, cs); err != nil {
 			panic(err)
 		}
 	}
 	cold := func() { c.InvalidateTenant(tenant); run() }
-	run() // warm the cache for the warm-side passes
-	const iters = 4
+	run() // publish the epoch's tables for the warm-side passes
 	refNs := timeN(cold, iters) / e15CacheBatch
 	fastNs := timeN(run, iters) / e15CacheBatch
 	refAllocs, refBytes := memN(cold, iters)

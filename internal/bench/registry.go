@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E16 in order. attackGames
+// Experiments returns the full registry E1–E17 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -31,6 +31,7 @@ func Experiments(attackGames int) []struct {
 		{"E14", E14Memory},
 		{"E15", E15Parallel},
 		{"E16", E16Server},
+		{"E17", E17Rotation},
 	}
 }
 

@@ -25,6 +25,19 @@
 // entries immediately instead of waiting for LRU pressure to evict
 // them.
 //
+// # Future-epoch prewarming
+//
+// The epoch keying also gives prewarming for free: a refresh pipeline
+// may Put entries under (tenant, epoch+1, kind) while the owner is
+// still serving at epoch. Those entries are unaddressable until the
+// owner actually commits the rotation — every lookup is keyed by the
+// owner's *current* epoch counter, and the counter only advances at
+// commit — so admission of future-epoch entries can never leak
+// next-epoch tables into pre-commit serving. At commit the owner
+// calls InvalidateTenantBelow(tenant, newEpoch), which drops the
+// retiring epochs' entries while leaving the prewarmed next-epoch
+// entries in place for the first post-flip lookup to hit.
+//
 // # Concurrency and capacity
 //
 // All methods are safe for concurrent use. Capacity bounds the entry
@@ -76,10 +89,16 @@ type entry struct {
 // Cache is a thread-safe LRU keyed by Key. The zero value is unusable;
 // use New.
 type Cache struct {
-	mu        sync.Mutex
-	capacity  int
-	ll        *list.List // front = most recently used
-	index     map[Key]*list.Element
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[Key]*list.Element
+	// byTenant is a secondary index from tenant to that tenant's live
+	// keys, so per-rotation invalidation touches only the rotating
+	// tenant's entries instead of walking the whole LRU list (which is
+	// O(total entries across all tenants) — at fleet scale a single
+	// tenant's rotation must not pay for everyone else's cache).
+	byTenant  map[string]map[Key]*list.Element
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -92,6 +111,21 @@ func New(capacity int) *Cache {
 		capacity: capacity,
 		ll:       list.New(),
 		index:    make(map[Key]*list.Element),
+		byTenant: make(map[string]map[Key]*list.Element),
+	}
+}
+
+// removeLocked drops el from the list and both indices. Callers hold
+// c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	k := el.Value.(*entry).key
+	c.ll.Remove(el)
+	delete(c.index, k)
+	if keys := c.byTenant[k.Tenant]; keys != nil {
+		delete(keys, k)
+		if len(keys) == 0 {
+			delete(c.byTenant, k.Tenant)
+		}
 	}
 }
 
@@ -125,11 +159,16 @@ func (c *Cache) Put(k Key, v any) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.index[k] = c.ll.PushFront(&entry{key: k, val: v})
+	el := c.ll.PushFront(&entry{key: k, val: v})
+	c.index[k] = el
+	keys := c.byTenant[k.Tenant]
+	if keys == nil {
+		keys = make(map[Key]*list.Element)
+		c.byTenant[k.Tenant] = keys
+	}
+	keys[k] = el
 	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.index, oldest.Value.(*entry).key)
+		c.removeLocked(c.ll.Back())
 		c.evictions++
 	}
 }
@@ -143,14 +182,29 @@ func (c *Cache) InvalidateTenant(tenant string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	dropped := 0
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		if el.Value.(*entry).key.Tenant == tenant {
-			c.ll.Remove(el)
-			delete(c.index, el.Value.(*entry).key)
+	for _, el := range c.byTenant[tenant] {
+		c.removeLocked(el)
+		dropped++
+	}
+	return dropped
+}
+
+// InvalidateTenantBelow removes tenant's entries whose Epoch is
+// strictly below epoch and returns how many were dropped. The
+// pipelined refresh path uses this at commit time: next-epoch entries
+// prewarmed under the future (tenant, epoch+1) key during staging must
+// survive the flip — that warmth is the whole point of the pipeline —
+// while everything from the retiring epochs is dropped eagerly, same
+// hygiene contract as InvalidateTenant.
+func (c *Cache) InvalidateTenantBelow(tenant string, epoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for k, el := range c.byTenant[tenant] {
+		if k.Epoch < epoch {
+			c.removeLocked(el)
 			dropped++
 		}
-		el = next
 	}
 	return dropped
 }

@@ -94,6 +94,92 @@ func TestInvalidateTenant(t *testing.T) {
 	}
 }
 
+// TestInvalidateTenantBelow is the pipelined-rotation contract:
+// committing at epoch e drops everything below e but leaves both the
+// new-current epoch e and any prewarmed future epochs untouched.
+func TestInvalidateTenantBelow(t *testing.T) {
+	c := New(16)
+	for e := uint64(0); e < 4; e++ {
+		c.Put(Key{Tenant: "a", Epoch: e, Kind: "k"}, e)
+		c.Put(Key{Tenant: "b", Epoch: e, Kind: "k"}, e)
+	}
+	if n := c.InvalidateTenantBelow("a", 2); n != 2 {
+		t.Fatalf("dropped %d entries below epoch 2, want 2", n)
+	}
+	for e := uint64(0); e < 2; e++ {
+		if _, ok := c.Get(Key{Tenant: "a", Epoch: e, Kind: "k"}); ok {
+			t.Fatalf("tenant a epoch %d survived InvalidateTenantBelow(2)", e)
+		}
+	}
+	for e := uint64(2); e < 4; e++ {
+		if _, ok := c.Get(Key{Tenant: "a", Epoch: e, Kind: "k"}); !ok {
+			t.Fatalf("tenant a epoch %d (>= cutoff) must survive", e)
+		}
+	}
+	for e := uint64(0); e < 4; e++ {
+		if _, ok := c.Get(Key{Tenant: "b", Epoch: e, Kind: "k"}); !ok {
+			t.Fatalf("tenant b epoch %d lost to tenant a's partial invalidation", e)
+		}
+	}
+}
+
+// TestFutureEpochPrewarm pins the admission semantics the rotation
+// pipeline relies on: entries Put under a future epoch are invisible
+// to current-epoch lookups, survive an InvalidateTenantBelow at
+// commit, and are hit by the first post-flip lookup.
+func TestFutureEpochPrewarm(t *testing.T) {
+	c := New(8)
+	cur := Key{Tenant: "t", Epoch: 3, Kind: "dlr.batch"}
+	next := cur
+	next.Epoch = 4
+	c.Put(cur, "current tables")
+	c.Put(next, "prewarmed tables")
+	// Pre-commit: serving at epoch 3 can only see epoch-3 entries.
+	if v, ok := c.Get(cur); !ok || v.(string) != "current tables" {
+		t.Fatal("current-epoch entry must still hit during prewarm")
+	}
+	// Commit: epoch advances to 4, retiring epochs dropped.
+	if n := c.InvalidateTenantBelow("t", 4); n != 1 {
+		t.Fatalf("commit dropped %d entries, want 1 (the epoch-3 entry)", n)
+	}
+	v, ok := c.Get(next)
+	if !ok || v.(string) != "prewarmed tables" {
+		t.Fatal("first post-flip lookup must hit the prewarmed entry")
+	}
+	if _, ok := c.Get(cur); ok {
+		t.Fatal("retired epoch-3 entry must be gone after commit")
+	}
+}
+
+// TestTenantIndexConsistency cross-checks the per-tenant secondary
+// index against the primary index through a Put/evict/invalidate
+// churn: every key reachable via Get must be counted by exactly one
+// tenant, and invalidation totals must match Len deltas.
+func TestTenantIndexConsistency(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 64; i++ {
+		tenant := fmt.Sprintf("t%d", i%3)
+		c.Put(Key{Tenant: tenant, Epoch: uint64(i % 4), Kind: fmt.Sprintf("k%d", i%2)}, i)
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += c.InvalidateTenant(fmt.Sprintf("t%d", i))
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len=%d after invalidating every tenant, want 0", got)
+	}
+	if total != 8 {
+		t.Fatalf("invalidation dropped %d entries total, want 8 (capacity)", total)
+	}
+	// The tenant index must not retain ghosts: re-inserting after a
+	// full purge behaves like a fresh cache.
+	k := Key{Tenant: "t0", Epoch: 9, Kind: "k"}
+	c.Put(k, "fresh")
+	if v, ok := c.Get(k); !ok || v.(string) != "fresh" {
+		t.Fatal("cache unusable after full invalidation churn")
+	}
+}
+
 func TestZeroCapacityDisables(t *testing.T) {
 	c := New(0)
 	k := Key{Tenant: "t", Kind: "k"}
@@ -124,6 +210,8 @@ func TestConcurrentMixedOps(t *testing.T) {
 					c.Put(k, i)
 				case 3:
 					c.InvalidateTenant(tenant)
+				case 6:
+					c.InvalidateTenantBelow(tenant, uint64(i%5))
 				case 5:
 					_ = c.Stats()
 					_ = c.Len()

@@ -49,10 +49,28 @@ import (
 // P2's (κ+1)-coordinate LinComb and a full round trip. Experiment E13
 // measures the resulting throughput curve.
 
+// batchSession is an epoch's installed batch decryption state: once
+// the κ+1 pairing tables exist in-struct, every further batch of the
+// epoch is served with zero round trips and zero table builds. The
+// session is dropped on every rotation (noteRotation) and installed
+// either by the first cold batch of an epoch or — prewarmed — by
+// CommitRefresh, which derives the next epoch's tables from the
+// refresh round trip itself.
+type batchSession struct {
+	tabs []*bn254.PairingTable
+}
+
+// BatchWarm reports whether a batch decryption session is installed
+// for the current epoch — i.e. whether the next RunDecBatch will be
+// served entirely locally, without touching the device channel.
+func (p *P1) BatchWarm() bool { return p.batchTabs.Load() != nil }
+
 // RunDecBatch executes P1's side of the batched decryption protocol for
-// the ciphertexts cs and returns the recovered messages in order. One
-// round trip on ch serves the entire batch; per-request work is local
-// and fans out across CPUs.
+// the ciphertexts cs and returns the recovered messages in order. The
+// first batch of an epoch pays one round trip on ch to fetch P2's
+// combination u and installs the session tables; every later batch of
+// the epoch is served entirely locally (ch is not touched — steady
+// state needs no device round trips at all).
 func (p *P1) RunDecBatch(ch device.Channel, cs []*Ciphertext) ([]*bn254.GT, error) {
 	for i, c := range cs {
 		if c == nil || c.A == nil || c.B == nil {
@@ -63,30 +81,36 @@ func (p *P1) RunDecBatch(ch device.Channel, cs []*Ciphertext) ([]*bn254.GT, erro
 		return nil, nil
 	}
 
-	// Round trip: ship the encrypted share, receive the combination u.
-	cts := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
-	cts = append(cts, p.encSK1...)
-	cts = append(cts, p.encPhi)
-	payload, err := hpske.EncodeList(p.ssG2, cts)
-	if err != nil {
-		return nil, err
-	}
-	if err := ch.Send(wire.Msg{Kind: kindDecB1, Payload: payload}); err != nil {
-		return nil, err
-	}
-	reply, err := ch.Recv()
-	if err != nil {
-		return nil, err
-	}
-	if reply.Kind != kindDecB2 {
-		return nil, fmt.Errorf("dlr: expected %s, got %s", kindDecB2, reply.Kind)
-	}
-	us, err := hpske.DecodeList(p.ssG2, reply.Payload, 1)
-	if err != nil {
-		return nil, err
+	var tabs []*bn254.PairingTable
+	if sess := p.batchTabs.Load(); sess != nil {
+		tabs = sess.tabs
+	} else {
+		// Round trip: ship the encrypted share, receive the combination u.
+		cts := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
+		cts = append(cts, p.encSK1...)
+		cts = append(cts, p.encPhi)
+		payload, err := hpske.EncodeList(p.ssG2, cts)
+		if err != nil {
+			return nil, err
+		}
+		if err := ch.Send(wire.Msg{Kind: kindDecB1, Payload: payload}); err != nil {
+			return nil, err
+		}
+		reply, err := ch.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if reply.Kind != kindDecB2 {
+			return nil, fmt.Errorf("dlr: expected %s, got %s", kindDecB2, reply.Kind)
+		}
+		us, err := hpske.DecodeList(p.ssG2, reply.Payload, 1)
+		if err != nil {
+			return nil, err
+		}
+		tabs = p.batchTablesCached(us[0], reply.Payload)
+		p.batchTabs.Store(&batchSession{tabs: tabs})
 	}
 
-	tabs := p.batchTablesCached(us[0], reply.Payload)
 	out := make([]*bn254.GT, len(cs))
 	par.ForEach(len(cs), func(j int) {
 		out[j] = decryptWithTables(cs[j], tabs)
@@ -117,7 +141,7 @@ func (p *P1) batchTablesCached(u *hpske.Ciphertext[*bn254.G2], enc []byte) []*bn
 	if p.tableCache == nil {
 		return p.batchTables(u)
 	}
-	key := cache.Key{Tenant: p.tenant, Epoch: p.epoch, Kind: "dlr.batch"}
+	key := cache.Key{Tenant: p.tenant, Epoch: p.epoch.Load(), Kind: "dlr.batch"}
 	digest := sha256.Sum256(enc)
 	if v, ok := p.tableCache.Get(key); ok {
 		if e := v.(*batchTableEntry); e.digest == digest {
@@ -185,10 +209,21 @@ func (p *P2) handleDecB1(msg wire.Msg) (wire.Msg, error) {
 }
 
 // DecryptBatch runs the batched 2-party decryption protocol in-process
-// and returns the messages together with transcript statistics.
+// and returns the messages together with transcript statistics. When
+// P1 already holds the epoch's batch session, the protocol degenerates
+// to a purely local computation: no channel pair is spun up (P2's
+// Serve expects exactly one request frame, which a warm batch never
+// sends) and the transcript is empty.
 func DecryptBatch(p1 *P1, p2 *P2, cs []*Ciphertext) ([]*bn254.GT, *Stats, error) {
 	if len(cs) == 0 {
 		return nil, &Stats{}, nil
+	}
+	if p1.BatchWarm() {
+		ms, err := p1.RunDecBatch(nil, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ms, &Stats{}, nil
 	}
 	var ms []*bn254.GT
 	r1, r2, err := device.Run(

@@ -43,7 +43,11 @@ func checkBatch(t *testing.T, got, want []*bn254.GT) {
 }
 
 // TestBatchCacheWarmHit runs two batches in the same epoch and checks
-// the second one replays the published tables instead of rebuilding.
+// the second one replays the cold batch's tables instead of rebuilding:
+// within one P1 instance via the installed batch session (no further
+// cache traffic at all, no channel traffic), and across instances —
+// the restart scenario the cache exists for — via a cache hit from a
+// second P1 restored from the first one's serialized state.
 func TestBatchCacheWarmHit(t *testing.T) {
 	pk, p1, p2 := genTest(t, params.ModeOptimalRate)
 	c := cache.New(8)
@@ -58,15 +62,44 @@ func TestBatchCacheWarmHit(t *testing.T) {
 	if s := c.Stats(); s.Hits != 0 {
 		t.Fatalf("cold batch reported %d hits", s.Hits)
 	}
+	missesAfterCold := c.Stats().Misses
 
-	got, _, err = DecryptBatch(p1, p2, cs[:2])
+	// Same instance: the installed session serves the second batch with
+	// no rebuild — no new misses, and no round trip either.
+	got, stats, err := DecryptBatch(p1, p2, cs[:2])
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkBatch(t, got, ms[:2])
-	s := c.Stats()
-	if s.Hits == 0 {
-		t.Fatalf("warm batch missed the cache: stats %+v", s)
+	if s := c.Stats(); s.Misses != missesAfterCold {
+		t.Fatalf("warm batch rebuilt tables: stats %+v", s)
+	}
+	if stats.BytesP1 != 0 {
+		t.Fatal("warm batch of the same instance still paid a round trip")
+	}
+
+	// Cross-instance: a P1 restored from serialized state (same share,
+	// same tenant, fresh epoch counter starting at 0 — matching the
+	// original's unrotated epoch) must hit the published entry: the
+	// digest validates because u is a deterministic function of the
+	// devices' share state.
+	raw, err := p1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1b, err := UnmarshalP1(pk, raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1b.AttachCache(c, "tenant-a")
+	hitsBefore := c.Stats().Hits
+	got, _, err = DecryptBatch(p1b, p2, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, got, ms)
+	if s := c.Stats(); s.Hits == hitsBefore {
+		t.Fatalf("restored instance missed the published tables: stats %+v", s)
 	}
 }
 

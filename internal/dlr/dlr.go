@@ -38,13 +38,13 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bn254"
 	"repro/internal/cache"
 	"repro/internal/group"
 	"repro/internal/hpske"
 	"repro/internal/opcount"
-	"repro/internal/par"
 	"repro/internal/params"
 	"repro/internal/pss"
 	"repro/internal/scalar"
@@ -127,16 +127,28 @@ type P1 struct {
 	// dropped whenever the encrypted share changes.
 	transTabs []*hpske.TransportTable
 
+	// batchTabs holds the current epoch's batch decryption session: the
+	// κ+1 pairing tables derived from P2's combination u. Once set, a
+	// RunDecBatch serves entirely locally — zero round trips — until
+	// the next rotation drops the session. Atomic because the bench
+	// pipeline (and any other caller honoring the read-only contract)
+	// drives one P1 from several worker goroutines; concurrent cold
+	// batches may race to install, which is benign — the tables are a
+	// deterministic function of (u, skcomm), so either install is valid.
+	batchTabs atomic.Pointer[batchSession]
+
 	period uint64
 
 	// epoch counts share-state rotations: it is bumped by every
 	// operation that replaces encSK1/encPhi/skcomm (RunRef, BeginPeriod,
-	// rebuildEncryptedShare). Unlike period — which only refresh
-	// protocols advance — epoch changes on EVERY rotation, which is what
-	// the table cache keys on: a post-rotation lookup can never address
-	// a pre-rotation entry. See internal/cache for why this matters for
-	// leakage soundness.
-	epoch uint64
+	// rebuildEncryptedShare, CommitRefresh). Unlike period — which only
+	// refresh protocols advance — epoch changes on EVERY rotation, which
+	// is what the table cache keys on: a post-rotation lookup can never
+	// address a pre-rotation entry. See internal/cache for why this
+	// matters for leakage soundness. Atomic because observers (the
+	// server's TenantEpoch gauge, StageRefresh running concurrently with
+	// serving) read it while a rotation on the owning loop bumps it.
+	epoch atomic.Uint64
 
 	// tableCache, when attached, shares precomputed pairing tables
 	// across requests (and across P1 instances of different tenants)
@@ -344,8 +356,9 @@ func (p *P1) rebuildEncryptedShare(rng io.Reader) error {
 // invalidation just reclaims their memory without waiting for LRU
 // pressure.
 func (p *P1) noteRotation() {
-	p.epoch++
+	p.epoch.Add(1)
 	p.transTabs = nil
+	p.batchTabs.Store(nil)
 	if p.tableCache != nil {
 		p.tableCache.InvalidateTenant(p.tenant)
 	}
@@ -364,7 +377,7 @@ func (p *P1) AttachCache(c *cache.Cache, tenant string) {
 }
 
 // Epoch returns the share-rotation epoch (see the field doc).
-func (p *P1) Epoch() uint64 { return p.epoch }
+func (p *P1) Epoch() uint64 { return p.epoch.Load() }
 
 // transportTables returns the cached line tables for the current
 // encrypted share, building them (one per ciphertext, fanned out across
@@ -379,7 +392,7 @@ func (p *P1) transportTables() []*hpske.TransportTable {
 	if p.transTabs != nil {
 		return p.transTabs
 	}
-	key := cache.Key{Tenant: p.tenant, Epoch: p.epoch, Kind: "dlr.transport"}
+	key := cache.Key{Tenant: p.tenant, Epoch: p.epoch.Load(), Kind: "dlr.transport"}
 	if p.tableCache != nil {
 		if v, ok := p.tableCache.Get(key); ok {
 			p.transTabs = v.([]*hpske.TransportTable)
@@ -389,10 +402,9 @@ func (p *P1) transportTables() []*hpske.TransportTable {
 	srcs := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
 	srcs = append(srcs, p.encSK1...)
 	srcs = append(srcs, p.encPhi)
-	tabs := make([]*hpske.TransportTable, len(srcs))
-	par.ForEach(len(srcs), func(i int) {
-		tabs[i] = hpske.PrecomputeTransport(srcs[i])
-	})
+	// One flattened fan-out over all (ℓ+1)(κ+1) line tables instead of
+	// a fork/join barrier per ciphertext.
+	tabs := hpske.PrecomputeTransportMany(srcs)
 	p.transTabs = tabs
 	if p.tableCache != nil {
 		p.tableCache.Put(key, tabs)

@@ -22,6 +22,9 @@ const (
 
 	kindDecB1 = "dlr.decb1" // P1 → P2: f1,…,fℓ, fΦ      (G2 ciphertexts, batch mode)
 	kindDecB2 = "dlr.decb2" // P2 → P1: u = Π fᵢ^sᵢ / fΦ (G2 ciphertext, batch mode)
+
+	kindRefP1 = "dlr.refp1" // P1 → P2: ref1 payload, pipelined refresh
+	kindRefP2 = "dlr.refp2" // P2 → P1: f, u'             (G2 ciphertexts)
 )
 
 // RunDec executes P1's side of the decryption protocol for ciphertext
@@ -241,6 +244,10 @@ func (p *P2) Serve(ch device.Channel) error {
 	case kindRef1:
 		p.mu.Lock()
 		reply, err = p.handleRef1(msg)
+		p.mu.Unlock()
+	case kindRefP1:
+		p.mu.Lock()
+		reply, err = p.handleRefP1(msg)
 		p.mu.Unlock()
 	default:
 		return fmt.Errorf("dlr: P2 received unknown frame kind %q", msg.Kind)

@@ -33,16 +33,37 @@ func serverRaceSetup(t *testing.T) (*dlr.PublicKey, *dlr.P1, *dlr.P2) {
 
 // TestServerRefreshEpochInvalidatesTables alternates batches of
 // concurrent client decrypts with share refreshes and asserts, via the
-// epoch-keyed table cache, that every post-rotation window rebuilt its
-// tables: each rotation bumps the epoch, making every cached
-// pre-rotation table unaddressable, so the miss counter must advance
-// after every refresh.
+// epoch-keyed table cache, that no post-rotation window can replay a
+// pre-rotation table: each rotation bumps the epoch and drops every
+// older entry, so the retired epoch's keys become unaddressable AND
+// absent. The two rotation paths differ in what the first post-rotation
+// window then does — the cold path rebuilds (fresh misses), the
+// pipelined path finds prewarmed tables (no new misses at all) — and
+// both expectations are pinned here.
 func TestServerRefreshEpochInvalidatesTables(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		cold      bool
+		epochStep uint64
+	}{
+		// Cold: +1 share refresh, +1 period rotation, tables rebuilt by
+		// the first post-rotation window.
+		{name: "cold", cold: true, epochStep: 2},
+		// Pipelined: one fused bump, tables prewarmed at commit.
+		{name: "pipelined", cold: false, epochStep: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			testServerRefreshEpochInvalidatesTables(t, tc.cold, tc.epochStep)
+		})
+	}
+}
+
+func testServerRefreshEpochInvalidatesTables(t *testing.T, cold bool, epochStep uint64) {
 	pk, p1, p2 := serverRaceSetup(t)
 	tabCache := cache.New(16)
 	p1.AttachCache(tabCache, "alice")
 
-	s := server.New(server.Config{BatchSize: 4, Window: 5 * time.Millisecond})
+	s := server.New(server.Config{BatchSize: 4, Window: 5 * time.Millisecond, ColdRefresh: cold})
 	if err := s.RegisterLocal("alice", p1, p2); err != nil {
 		t.Fatal(err)
 	}
@@ -101,24 +122,45 @@ func TestServerRefreshEpochInvalidatesTables(t *testing.T) {
 	}
 	for r := 0; r < rounds; r++ {
 		decryptRound()
-		before := tabCache.Stats()
+		oldEpoch := epoch
 		newEpoch, err := c.Refresh("alice")
 		if err != nil {
 			t.Fatalf("refresh %d: %v", r, err)
 		}
-		if newEpoch != epoch+2 {
-			t.Fatalf("refresh %d: epoch = %d, want %d (+1 share refresh, +1 period)",
-				r, newEpoch, epoch+2)
+		if newEpoch != epoch+epochStep {
+			t.Fatalf("refresh %d: epoch = %d, want %d", r, newEpoch, epoch+epochStep)
 		}
 		epoch = newEpoch
+		// Every retired-epoch entry is gone from the cache — the
+		// no-stale-table invariant, independent of rotation path.
+		for _, kind := range []string{"dlr.transport", "dlr.batch"} {
+			for e := oldEpoch; e < newEpoch; e++ {
+				if _, ok := tabCache.Get(cache.Key{Tenant: "alice", Epoch: e, Kind: kind}); ok {
+					t.Fatalf("refresh %d: %q entry of retired epoch %d survived the rotation", r, kind, e)
+				}
+			}
+		}
+		// Sample the counters only now: the absence probes above count as
+		// misses themselves.
+		before := tabCache.Stats()
 		decryptRound()
 		after := tabCache.Stats()
-		// The rotation re-keyed the cache namespace: the first
-		// post-rotation window cannot have hit a pre-rotation table, so
-		// the rebuild shows up as fresh misses.
-		if after.Misses <= before.Misses {
-			t.Fatalf("refresh %d: no cache misses after rotation (before %d, after %d) — a pre-rotation table was replayed",
-				r, before.Misses, after.Misses)
+		if cold {
+			// The cold rotation re-keyed the namespace with nothing staged:
+			// the first post-rotation window must rebuild, showing up as
+			// fresh misses.
+			if after.Misses <= before.Misses {
+				t.Fatalf("refresh %d: no cache misses after cold rotation (before %d, after %d) — a pre-rotation table was replayed",
+					r, before.Misses, after.Misses)
+			}
+		} else {
+			// The pipelined rotation prewarmed the new epoch's tables at
+			// commit: the first post-rotation window must not rebuild
+			// anything.
+			if after.Misses != before.Misses {
+				t.Fatalf("refresh %d: %d cache misses after pipelined rotation — prewarm did not take",
+					r, after.Misses-before.Misses)
+			}
 		}
 	}
 }

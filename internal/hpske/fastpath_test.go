@@ -142,6 +142,43 @@ func TestTransportManyPreMatchesTransportMany(t *testing.T) {
 	}
 }
 
+// PrecomputeTransportMany must be an exact twin of a loop over
+// PrecomputeTransport — the flattened parallel fan-out only changes
+// scheduling, never the tables — proved by transporting through both
+// table sets and comparing the resulting ciphertexts.
+func TestPrecomputeTransportManyMatchesLoop(t *testing.T) {
+	s := newG2Scheme(t)
+	key, err := s.GenKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGT := newGTScheme(t)
+	cts := make([]*Ciphertext[*bn254.G2], 4)
+	loop := make([]*TransportTable, len(cts))
+	for i := range cts {
+		cts[i] = randG2Ciphertext(t, s, key)
+		loop[i] = PrecomputeTransport(cts[i])
+	}
+	flat := PrecomputeTransportMany(cts)
+	if len(flat) != len(loop) {
+		t.Fatalf("PrecomputeTransportMany returned %d tables, want %d", len(flat), len(loop))
+	}
+	a, _, err := bn254.RandG1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TransportManyPre(nil, a, flat)
+	want := TransportManyPre(nil, a, loop)
+	for i := range got {
+		if !ctEqual(sGT, got[i], want[i]) {
+			t.Fatalf("ciphertext %d: flattened tables disagree with per-ct tables", i)
+		}
+	}
+	if out := PrecomputeTransportMany(nil); len(out) != 0 {
+		t.Fatal("PrecomputeTransportMany of no ciphertexts must be empty")
+	}
+}
+
 // LinComb must agree with the composition of Pow and Mul it replaces,
 // and must still decrypt to Π mᵢ^kᵢ.
 func TestLinCombMatchesPowMulChain(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 
 	"repro/internal/bn254"
 	"repro/internal/group"
@@ -501,6 +502,41 @@ func PrecomputeTransport(ct *Ciphertext[*bn254.G2]) *TransportTable {
 		}
 	})
 	return tt
+}
+
+// PrecomputeTransportMany builds transport tables for a whole slice of
+// ciphertexts with one flattened parallel fan-out: all
+// len(cts)×(κ+1) per-coordinate tables are independent Miller-loop
+// precomputations, so scheduling them through a single par.ForEach
+// keeps every core busy across ciphertext boundaries instead of
+// paying a fork/join barrier per ciphertext (which is what a loop
+// over PrecomputeTransport would do). This is the background-build
+// primitive behind next-epoch prewarming: the rotation pipeline
+// builds the entire next-epoch table set in one call while the
+// current epoch keeps serving.
+func PrecomputeTransportMany(cts []*Ciphertext[*bn254.G2]) []*TransportTable {
+	tts := make([]*TransportTable, len(cts))
+	// Flatten into (ciphertext, coordinate) jobs with a prefix-sum
+	// offset table so job j maps back without division by a
+	// per-ciphertext width (κ is uniform today, but nothing here
+	// requires it).
+	offs := make([]int, len(cts)+1)
+	for i, ct := range cts {
+		tts[i] = &TransportTable{tabs: make([]*bn254.PairingTable, len(ct.Coins)+1)}
+		offs[i+1] = offs[i] + len(ct.Coins) + 1
+	}
+	total := offs[len(cts)]
+	par.ForEach(total, func(j int) {
+		// Find the ciphertext owning flat index j.
+		i := sort.Search(len(cts), func(k int) bool { return offs[k+1] > j })
+		ct, local := cts[i], j-offs[i]
+		if local < len(ct.Coins) {
+			tts[i].tabs[local] = bn254.NewPairingTable(ct.Coins[local])
+		} else {
+			tts[i].tabs[local] = bn254.NewPairingTable(ct.Payload)
+		}
+	})
+	return tts
 }
 
 // TransportPre is Transport with the ciphertext's Miller-loop lines

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/cache"
 )
 
 // Metrics aggregates the serving-path counters the operator guide
@@ -25,6 +27,17 @@ type Metrics struct {
 	refreshes atomic.Uint64 // tenant share refreshes completed
 
 	occupancySum atomic.Uint64 // Σ batch sizes, for the mean
+
+	// Rotation gauges (docs/PERFORMANCE.md, "Rotation cadence sizing"):
+	// stall is the window-loop pause a rotation caused — the commit
+	// round trip on the pipelined path, the whole rotation on the cold
+	// path — and rebuild is the table-build time the rotation spent
+	// (off-loop when pipelined, inside the stall when cold).
+	rotPrewarmed  atomic.Uint64 // pipelined rotations committed
+	rotCold       atomic.Uint64 // cold (serialized) rotations
+	rotStallLast  atomic.Int64  // ns; most recent rotation's stall
+	rotStallSum   atomic.Int64  // ns; Σ stalls, for the mean
+	rotRebuildSum atomic.Int64  // ns; Σ rebuild times, for the mean
 
 	mu        sync.Mutex
 	batchHist map[int]uint64 // window size → count (exact sizes)
@@ -53,7 +66,7 @@ var globalMetrics = newMetrics(nil)
 func init() {
 	expvar.Publish("dlrserver", expvar.Func(func() any {
 		s := globalMetrics.Snapshot()
-		return map[string]any{
+		v := map[string]any{
 			"requests":       s.Requests,
 			"responses":      s.Responses,
 			"rejected":       s.Rejected,
@@ -64,8 +77,62 @@ func init() {
 			"batch_hist":     s.BatchHist,
 			"latency_p50_us": s.P50.Microseconds(),
 			"latency_p99_us": s.P99.Microseconds(),
+
+			"rotations_prewarmed":      s.RotationsPrewarmed,
+			"rotations_cold":           s.RotationsCold,
+			"rotation_stall_last_us":   s.RotationStallLast.Microseconds(),
+			"rotation_stall_mean_us":   s.RotationStallMean.Microseconds(),
+			"rotation_rebuild_mean_us": s.RotationRebuildMean.Microseconds(),
 		}
+		cs, n := cacheSnapshot()
+		v["cache_hits"] = cs.Hits
+		v["cache_misses"] = cs.Misses
+		v["cache_evictions"] = cs.Evictions
+		v["cache_len"] = n
+		if lookups := cs.Hits + cs.Misses; lookups > 0 {
+			v["cache_hit_rate"] = float64(cs.Hits) / float64(lookups)
+		} else {
+			v["cache_hit_rate"] = 0.0
+		}
+		return v
 	}))
+}
+
+// The table-cache registry: every Server-owned cache.Cache registers
+// here so the expvar view aggregates hit/miss/eviction counters across
+// all live servers in the process, mirroring how Metrics aggregates the
+// serving-path counters.
+var (
+	cachesMu sync.Mutex
+	caches   = make(map[*cache.Cache]struct{})
+)
+
+func registerCache(c *cache.Cache) {
+	cachesMu.Lock()
+	caches[c] = struct{}{}
+	cachesMu.Unlock()
+}
+
+func unregisterCache(c *cache.Cache) {
+	cachesMu.Lock()
+	delete(caches, c)
+	cachesMu.Unlock()
+}
+
+// cacheSnapshot sums Stats and Len over the registered caches.
+func cacheSnapshot() (cache.Stats, int) {
+	cachesMu.Lock()
+	defer cachesMu.Unlock()
+	var agg cache.Stats
+	n := 0
+	for c := range caches {
+		st := c.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		n += c.Len()
+	}
+	return agg, n
 }
 
 func (m *Metrics) recordRequest() {
@@ -86,6 +153,23 @@ func (m *Metrics) recordRefresh() {
 	m.refreshes.Add(1)
 	if m.mirror != nil {
 		m.mirror.recordRefresh()
+	}
+}
+
+// recordRotation notes one completed rotation: how long it stalled the
+// tenant's window loop, how long its table rebuild took, and whether
+// it ran the pipelined (prewarmed) path.
+func (m *Metrics) recordRotation(stall, rebuild time.Duration, prewarmed bool) {
+	if prewarmed {
+		m.rotPrewarmed.Add(1)
+	} else {
+		m.rotCold.Add(1)
+	}
+	m.rotStallLast.Store(int64(stall))
+	m.rotStallSum.Add(int64(stall))
+	m.rotRebuildSum.Add(int64(rebuild))
+	if m.mirror != nil {
+		m.mirror.recordRotation(stall, rebuild, prewarmed)
 	}
 }
 
@@ -133,6 +217,15 @@ type Snapshot struct {
 	// P50 and P99 are queue-to-response latency percentiles over the
 	// most recent latRingSize responses.
 	P50, P99 time.Duration
+	// RotationsPrewarmed and RotationsCold count completed rotations by
+	// path; the stall and rebuild gauges aggregate over both.
+	RotationsPrewarmed, RotationsCold uint64
+	// RotationStallLast is the window-loop pause of the most recent
+	// rotation; RotationStallMean and RotationRebuildMean average over
+	// all rotations (0 when none have run).
+	RotationStallLast   time.Duration
+	RotationStallMean   time.Duration
+	RotationRebuildMean time.Duration
 }
 
 // Snapshot captures the current counters.
@@ -148,6 +241,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if s.Windows > 0 {
 		s.MeanOccupancy = float64(m.occupancySum.Load()) / float64(s.Windows)
+	}
+	s.RotationsPrewarmed = m.rotPrewarmed.Load()
+	s.RotationsCold = m.rotCold.Load()
+	s.RotationStallLast = time.Duration(m.rotStallLast.Load())
+	if n := s.RotationsPrewarmed + s.RotationsCold; n > 0 {
+		s.RotationStallMean = time.Duration(m.rotStallSum.Load() / int64(n))
+		s.RotationRebuildMean = time.Duration(m.rotRebuildSum.Load() / int64(n))
 	}
 	m.mu.Lock()
 	for k, v := range m.batchHist {

@@ -86,6 +86,21 @@ type Config struct {
 	// request) — the pre-batching baseline the E16 experiment measures
 	// the windows against.
 	Serial bool
+	// RefreshEvery, when positive, runs a per-tenant rotation scheduler:
+	// every tenant's shares are refreshed on this cadence without any
+	// client asking (the paper's leakage bounds are per-period, so a
+	// production deployment rotates continually). Zero disables the
+	// scheduler; RefreshTenant remains available either way.
+	RefreshEvery time.Duration
+	// ColdRefresh reverts RefreshTenant (and the scheduler) to the
+	// serialized rotation path — the full RunRef + BeginPeriod executed
+	// between windows, with every table rebuilt by the first
+	// post-rotation batch. Default false: rotations are pipelined, with
+	// next-epoch state staged and tables prewarmed concurrently with
+	// serving, and only the commit round trip quiescing the window
+	// loop. The cold path is kept for the E17 comparison and as an
+	// operational escape hatch.
+	ColdRefresh bool
 }
 
 func (c Config) withDefaults() Config {
@@ -117,8 +132,10 @@ type request struct {
 
 // control is an out-of-band operation on a tenant's window loop,
 // executed between windows so it can never interleave with a drain on
-// the shared device channel.
+// the shared device channel. run is the operation itself; its result
+// is delivered on done.
 type control struct {
+	run  func() error
 	done chan error
 }
 
@@ -134,6 +151,13 @@ type tenant struct {
 	ctl   chan *control
 	// done closes when the window loop has drained and exited.
 	done chan struct{}
+	// refreshMu serializes rotations of this tenant: the staged share
+	// state must not race a competing stage or commit. Serving is NOT
+	// excluded — that is the point of the pipelined path.
+	refreshMu sync.Mutex
+	// stopRot stops the tenant's rotation scheduler (when RefreshEvery
+	// is set).
+	stopRot chan struct{}
 }
 
 // Server is the multiplexed batch-window daemon.
@@ -156,6 +180,7 @@ type Server struct {
 
 	loopWG sync.WaitGroup // per-tenant window loops
 	connWG sync.WaitGroup // per-connection session handlers
+	rotWG  sync.WaitGroup // per-tenant rotation schedulers
 }
 
 // New returns a Server with the given configuration.
@@ -170,6 +195,7 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheCap > 0 {
 		s.tabCache = cache.New(cfg.CacheCap)
+		registerCache(s.tabCache)
 	}
 	return s
 }
@@ -194,9 +220,10 @@ func (s *Server) RegisterTenant(name string, p1 *dlr.P1, dev device.Channel, clo
 	s.mu.Unlock()
 	t := &tenant{
 		name: name, p1: p1, dev: dev, closeDev: closeDev,
-		queue: make(chan *request, s.cfg.QueueDepth),
-		ctl:   make(chan *control),
-		done:  make(chan struct{}),
+		queue:   make(chan *request, s.cfg.QueueDepth),
+		ctl:     make(chan *control),
+		done:    make(chan struct{}),
+		stopRot: make(chan struct{}),
 	}
 	if _, stored := s.tenants.PutIfAbsent(name, t); !stored {
 		return fmt.Errorf("server: tenant %q already registered", name)
@@ -206,6 +233,10 @@ func (s *Server) RegisterTenant(name string, p1 *dlr.P1, dev device.Channel, clo
 	}
 	s.loopWG.Add(1)
 	go s.windowLoop(t)
+	if s.cfg.RefreshEvery > 0 {
+		s.rotWG.Add(1)
+		go s.rotationLoop(t)
+	}
 	return nil
 }
 
@@ -247,27 +278,100 @@ func (s *Server) QueueDepth() int {
 	return n
 }
 
-// RefreshTenant runs the 2-party share refresh and period rotation for
-// one tenant with zero downtime for every other tenant: the refresh
-// executes on the tenant's window loop between batch windows, so
-// in-flight windows drain first, no request is dropped, and only the
-// affected tenant's queue pauses while the shares rotate.
+// RefreshTenant rotates one tenant's shares with zero downtime for
+// every other tenant and — on the default pipelined path — near-zero
+// stall for the tenant itself.
+//
+// Pipelined (default): the next-epoch share material and its pairing
+// tables are staged by dlr.P1.StageRefresh concurrently with serving
+// (staging only reads share state, which mutates exclusively on the
+// window loop, and refreshMu excludes competing rotations). Only the
+// commit — one device round trip plus an atomic state flip — runs on
+// the window loop between batch windows, so the serving stall is the
+// commit's duration, not the full rebuild's. The first post-commit
+// window finds prewarmed tables and a warm batch session.
+//
+// Cold (Config.ColdRefresh): the full RunRef + BeginPeriod executes on
+// the window loop, stalling the tenant for the whole rotation and
+// leaving every table to be rebuilt by the first post-rotation batch.
 func (s *Server) RefreshTenant(name string) error {
 	t, ok := s.tenants.Get(name)
 	if !ok {
 		return fmt.Errorf("server: unknown tenant %q", name)
 	}
-	c := &control{done: make(chan error, 1)}
+	if s.cfg.ColdRefresh {
+		var stall time.Duration
+		err := s.execOnLoop(t, func() error {
+			start := time.Now()
+			defer func() { stall = time.Since(start) }()
+			return s.refresh(t)
+		})
+		if err == nil {
+			s.metrics.recordRotation(stall, stall, false)
+		}
+		return err
+	}
+
+	t.refreshMu.Lock()
+	defer t.refreshMu.Unlock()
+	buildStart := time.Now()
+	st, err := t.p1.StageRefresh(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("server: staging refresh for %q: %w", name, err)
+	}
+	rebuild := time.Since(buildStart)
+	var stall time.Duration
+	err = s.execOnLoop(t, func() error {
+		start := time.Now()
+		defer func() { stall = time.Since(start) }()
+		return t.p1.CommitRefresh(rand.Reader, t.dev, st)
+	})
+	if err != nil {
+		st.Abandon()
+		return fmt.Errorf("server: committing refresh for %q: %w", name, err)
+	}
+	s.metrics.recordRefresh()
+	s.metrics.recordRotation(stall, rebuild, true)
+	return nil
+}
+
+// execOnLoop runs op on the tenant's window loop, strictly between
+// batch windows, and returns its result.
+func (s *Server) execOnLoop(t *tenant, op func() error) error {
+	c := &control{run: op, done: make(chan error, 1)}
 	select {
 	case t.ctl <- c:
 	case <-t.done:
-		return fmt.Errorf("server: tenant %q window loop stopped", name)
+		return fmt.Errorf("server: tenant %q window loop stopped", t.name)
 	}
 	select {
 	case err := <-c.done:
 		return err
 	case <-t.done:
-		return fmt.Errorf("server: tenant %q window loop stopped during refresh", name)
+		return fmt.Errorf("server: tenant %q window loop stopped during control op", t.name)
+	}
+}
+
+// rotationLoop is the per-tenant refresh scheduler: every RefreshEvery
+// it rotates the tenant's shares through RefreshTenant. It exits when
+// Shutdown signals stopRot (before the window loops drain, so no
+// rotation can land on a closed loop).
+func (s *Server) rotationLoop(t *tenant) {
+	defer s.rotWG.Done()
+	ticker := time.NewTicker(s.cfg.RefreshEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// An error here means the loop stopped (shutdown racing the
+			// tick) or the device failed; either way the scheduler keeps
+			// its cadence and the next tick retries.
+			_ = s.RefreshTenant(t.name)
+		case <-t.stopRot:
+			return
+		case <-t.done:
+			return
+		}
 	}
 }
 
@@ -324,6 +428,16 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 
+	// Stop the rotation schedulers first and wait out any in-flight
+	// scheduled rotation: the window loops are still alive here, so a
+	// committing rotation finishes normally instead of landing on a
+	// drained loop.
+	s.tenants.Range(func(_ string, t *tenant) bool {
+		close(t.stopRot)
+		return true
+	})
+	s.rotWG.Wait()
+
 	// Flip the drain flag under the write lock: after this, no session
 	// can be mid-enqueue, so closing the queues is race-free.
 	s.intakeMu.Lock()
@@ -349,6 +463,10 @@ func (s *Server) Shutdown() {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+
+	if s.tabCache != nil {
+		unregisterCache(s.tabCache)
+	}
 }
 
 // session is one client connection: a read loop plus a write mutex so

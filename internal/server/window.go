@@ -18,7 +18,7 @@ func (s *Server) windowLoop(t *tenant) {
 	for {
 		select {
 		case c := <-t.ctl:
-			c.done <- s.refresh(t)
+			c.done <- c.run()
 		case req, ok := <-t.queue:
 			if !ok {
 				// Shutdown closed the queue after draining intake; all
