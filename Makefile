@@ -77,7 +77,9 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFp6Mul -fuzztime=$(FUZZTIME) ./internal/ff
 	$(GO) test -run=^$$ -fuzz=FuzzFpInverse -fuzztime=$(FUZZTIME) ./internal/ff
 	$(GO) test -run=^$$ -fuzz=FuzzMultiExp -fuzztime=$(FUZZTIME) ./internal/bn254
+	$(GO) test -run=^$$ -fuzz=FuzzPointCompressed -fuzztime=$(FUZZTIME) ./internal/bn254
 	$(GO) test -run=^$$ -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) ./internal/scalar
+	$(GO) test -run=^$$ -fuzz=FuzzFrameRoundTrip -fuzztime=$(FUZZTIME) ./internal/wire
 
 # bench-smoke re-times the fast-path operations and fails if any of them
 # regressed more than 25% against the committed baseline snapshot.

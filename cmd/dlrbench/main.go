@@ -1,4 +1,4 @@
-// Command dlrbench runs the experiment suite E1–E17 (DESIGN.md §2) and
+// Command dlrbench runs the experiment suite E1–E18 (DESIGN.md §2) and
 // prints the paper-claim-vs-measured tables recorded in EXPERIMENTS.md:
 //
 //	dlrbench                            # everything
@@ -68,7 +68,7 @@ const smokeAttempts = 3
 func main() {
 	log.SetFlags(0)
 	var (
-		exp        = flag.String("e", "", "run a single experiment (E1..E17); empty = all")
+		exp        = flag.String("e", "", "run a single experiment (E1..E18); empty = all")
 		games      = flag.Int("games", 1, "games per configuration in E5")
 		baseline   = flag.String("baseline", "", "write a JSON snapshot of the fast-path timings to this path (skips the table run)")
 		smoke      = flag.String("smoke", "", "compare current fast-path timings against this baseline JSON and exit non-zero on a >25% regression")
@@ -296,8 +296,12 @@ func allMeasurements() ([]bench.FastPathMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	wirefl, err := bench.E18Measurements()
+	if err != nil {
+		return nil, err
+	}
 	out := append(append(append(meas, endo...), thr...), par...)
-	return append(append(out, srv...), rot...), nil
+	return append(append(append(out, srv...), rot...), wirefl...), nil
 }
 
 // writeBaseline snapshots the fast-path-vs-reference timings as JSON so

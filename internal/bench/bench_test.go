@@ -53,11 +53,11 @@ func TestRegistryUnknownID(t *testing.T) {
 
 func TestRegistryListsAll(t *testing.T) {
 	exps := Experiments(1)
-	if len(exps) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(exps))
 	}
 	want := map[string]bool{}
-	for i := 1; i <= 17; i++ {
+	for i := 1; i <= 18; i++ {
 		want[fmt.Sprintf("E%d", i)] = true
 	}
 	for _, e := range exps {

@@ -38,6 +38,10 @@ type ServerPoint struct {
 	Windows       uint64
 	MeanOccupancy float64
 	P50, P99      time.Duration
+	// Client-facing wire traffic for the run (E18's bytes-per-request
+	// accounting).
+	BytesIn, BytesOut   uint64
+	FramesIn, FramesOut uint64
 }
 
 // serverRun stands up a fresh DLR instance behind a batch-window (or
@@ -135,6 +139,10 @@ func serverRun(cfg server.Config, clients, perClient int) (*ServerPoint, error) 
 		MeanOccupancy: snap.MeanOccupancy,
 		P50:           snap.P50,
 		P99:           snap.P99,
+		BytesIn:       snap.BytesIn,
+		BytesOut:      snap.BytesOut,
+		FramesIn:      snap.FramesIn,
+		FramesOut:     snap.FramesOut,
 	}, nil
 }
 

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bn254"
+	"repro/internal/device"
+	"repro/internal/dlr"
+	"repro/internal/group"
+	"repro/internal/hpske"
+	"repro/internal/wire"
+)
+
+// E18 measures the wire-path fast lane: compressed point encodings on
+// every protocol frame (G1 33 B, G2 65 B against the raw 64/128 B),
+// pooled zero-copy frame encoding, and the server's vectored
+// per-window response flush. Acceptance criteria: the device
+// decrypt-request frame shrinks ≥45% (the G2-dominated payloads give
+// 65/128 = 49.2% per element), pooled frame encode runs at 0 allocs/op
+// (gated exactly in internal/wire/alloc_test.go), and the 32-client
+// loopback sweep holds its E16 throughput while moving roughly half
+// the bytes.
+
+// e18FrameSizes runs the device protocols once per codec through a
+// transcript recorder and returns the honest on-wire frame sizes.
+type e18FrameSizes struct {
+	op                 string
+	legacy, compressed int
+}
+
+// e18RecordBatch runs one cold RunDecBatch through a recorder and
+// returns the request and reply frame sizes.
+func e18RecordBatch(p1 *dlr.P1, p2 *dlr.P2, pk *dlr.PublicKey) (req, reply int, err error) {
+	m, err := dlr.RandMessage(rand.Reader, pk)
+	if err != nil {
+		return 0, 0, err
+	}
+	ct, err := dlr.Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sent, recv []wire.Msg
+	_, _, err = device.Run(
+		func(ch device.Channel) error {
+			rec := ch.(*device.Recorder)
+			if _, err := p1.RunDecBatch(rec, []*dlr.Ciphertext{ct}); err != nil {
+				return err
+			}
+			sent, recv = rec.Transcript()
+			return nil
+		},
+		p2.Serve,
+	)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(sent) != 1 || len(recv) != 1 {
+		return 0, 0, fmt.Errorf("bench: E18 batch transcript has %d/%d frames", len(sent), len(recv))
+	}
+	return sent[0].Size(), recv[0].Size(), nil
+}
+
+// e18RecordRefresh runs one refresh through a recorder and returns the
+// request frame size.
+func e18RecordRefresh(p1 *dlr.P1, p2 *dlr.P2) (req int, err error) {
+	var sent []wire.Msg
+	_, _, err = device.Run(
+		func(ch device.Channel) error {
+			rec := ch.(*device.Recorder)
+			if err := p1.RunRef(rand.Reader, ch); err != nil {
+				return err
+			}
+			sent, _ = rec.Transcript()
+			return nil
+		},
+		p2.Serve,
+	)
+	if err != nil {
+		return 0, err
+	}
+	if len(sent) != 1 {
+		return 0, fmt.Errorf("bench: E18 refresh transcript has %d frames", len(sent))
+	}
+	return sent[0].Size(), nil
+}
+
+// e18Frames measures every protocol frame in both codecs on one DLR
+// instance. The legacy pass pins the v1 codec via SetLegacyWire — the
+// same negotiation escape hatch a downgraded peer would exercise.
+func e18Frames() ([]e18FrameSizes, error) {
+	pk, p1, p2, err := dlr.Gen(rand.Reader, e13Params())
+	if err != nil {
+		return nil, err
+	}
+
+	var out []e18FrameSizes
+
+	// Each pass runs a cold decrypt-batch round trip (dlr.decb1 /
+	// dlr.decb2) and then a refresh (dlr.ref1, 2ℓ+1 G2 ciphertexts). The
+	// refresh rotates the share state, which drops the warm batch
+	// session — so the next pass's batch pays its round trip again and
+	// both codecs are measured on identical cold protocol runs.
+	p1.SetLegacyWire(true)
+	legReq, legRep, err := e18RecordBatch(p1, p2, pk)
+	if err != nil {
+		return nil, err
+	}
+	legRef, err := e18RecordRefresh(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	p1.SetLegacyWire(false)
+	cmpReq, cmpRep, err := e18RecordBatch(p1, p2, pk)
+	if err != nil {
+		return nil, err
+	}
+	cmpRef, err := e18RecordRefresh(p1, p2)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		e18FrameSizes{"device decrypt-batch request (dlr.decb1)", legReq, cmpReq},
+		e18FrameSizes{"device decrypt-batch reply (dlr.decb2)", legRep, cmpRep},
+		e18FrameSizes{"device refresh request (dlr.ref1)", legRef, cmpRef},
+	)
+
+	// Client decrypt request (srv.dec): tenant prefix + ciphertext.
+	m, err := dlr.RandMessage(rand.Reader, pk)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := dlr.Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	var legB, cmpB wire.Builder
+	legB.AppendBytes([]byte("tenant")).AppendRaw(ct.Bytes())
+	cmpB.AppendBytes([]byte("tenant")).AppendRaw(ct.BytesCompressed())
+	out = append(out, e18FrameSizes{
+		"client decrypt request (srv.dec)",
+		wire.MuxMsg{Kind: "srv.dec", Payload: legB.Bytes()}.Size(),
+		wire.MuxMsg{Kind: "srv.dec", Payload: cmpB.Bytes()}.Size(),
+	})
+	return out, nil
+}
+
+// e18LegacyWriteMux is the pre-fast-lane encoder retained as the
+// measurement baseline: materialize the id-prefixed body, materialize
+// the frame, copy the body in, write.
+func e18LegacyWriteMux(w io.Writer, m wire.MuxMsg) error {
+	body := make([]byte, 8+len(m.Payload))
+	binary.BigEndian.PutUint64(body, m.ID)
+	copy(body[8:], m.Payload)
+	f := wire.Msg{Kind: m.Kind, Payload: body}
+	buf := make([]byte, 0, f.Size())
+	var err error
+	if buf, err = wire.AppendFrame(buf, f); err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// e18Ops builds the wire fast-lane timing pairs.
+func e18Ops() ([]fpOp, error) {
+	prm := e13Params()
+	g2 := group.G2{}
+	ss, err := hpske.New[*bn254.G2](g2, prm.Kappa)
+	if err != nil {
+		return nil, err
+	}
+	key, err := ss.GenKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([]*hpske.Ciphertext[*bn254.G2], prm.Ell+1)
+	for i := range cts {
+		pt, err := g2.Rand(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		if cts[i], err = ss.Encrypt(rand.Reader, key, pt); err != nil {
+			return nil, err
+		}
+	}
+
+	frame := wire.MuxMsg{ID: 7, Kind: "srv.decr", Payload: make([]byte, 512)}
+	return []fpOp{
+		{
+			name:  "wire mux frame encode 512B (make+copy → pooled append)",
+			iters: 200000,
+			ref: func() {
+				if err := e18LegacyWriteMux(io.Discard, frame); err != nil {
+					panic(err)
+				}
+			},
+			fast: func() {
+				if err := wire.WriteMux(io.Discard, frame); err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			name:  "hpske G2 list encode (raw → compressed points)",
+			iters: 2000,
+			ref: func() {
+				if _, err := hpske.EncodeListLegacy(ss, cts); err != nil {
+					panic(err)
+				}
+			},
+			fast: func() {
+				if _, err := hpske.EncodeList(ss, cts); err != nil {
+					panic(err)
+				}
+			},
+		},
+	}, nil
+}
+
+// E18Measurements produces the baseline-JSON rows for the wire fast
+// lane.
+func E18Measurements() ([]FastPathMeasurement, error) {
+	ops, err := e18Ops()
+	if err != nil {
+		return nil, err
+	}
+	return measureOps(ops), nil
+}
+
+// E18Wire regenerates the E18 table: per-frame wire bytes in both
+// codecs, and the 32-client loopback sweep with byte accounting.
+func E18Wire() (*Table, error) {
+	t := &Table{
+		ID:     "E18",
+		Title:  "wire fast lane: compressed encodings, pooled framing, vectored window flush",
+		Header: []string{"frame / run", "legacy", "compressed", "reduction"},
+	}
+	frames, err := e18Frames()
+	if err != nil {
+		return nil, err
+	}
+	var decReduction float64
+	for _, f := range frames {
+		red := 1 - float64(f.compressed)/float64(f.legacy)
+		if f.op == "device decrypt-batch request (dlr.decb1)" {
+			decReduction = red
+		}
+		t.Rows = append(t.Rows, []string{
+			f.op,
+			fmt.Sprintf("%d B", f.legacy),
+			fmt.Sprintf("%d B", f.compressed),
+			fmt.Sprintf("%.1f%%", 100*red),
+		})
+	}
+
+	window, err := E16WindowRun(32, 2)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"32-client window sweep (compressed, vectored flush)",
+		"—",
+		fmt.Sprintf("%.1f req/s, p99 %s", window.ReqPerSec, ms(window.P99)),
+		fmt.Sprintf("%.0f B/req in, %.0f B/req out",
+			float64(window.BytesIn)/float64(window.Requests),
+			float64(window.BytesOut)/float64(window.Requests)),
+	})
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("criterion: device decrypt-request frame shrinks ≥45%% — measured %.1f%%", 100*decReduction),
+		"compressed G2 element: 65 B vs 128 B raw (49.2% per element); G1: 33 B vs 64 B; GT has no compression and stays legacy",
+		"frame encode is 0 allocs/op once the pool is warm (exact gate: internal/wire/alloc_test.go)",
+		"window responses reach each connection in one write syscall per drained window (gate: internal/server/flush_test.go)",
+	)
+	return t, nil
+}

@@ -5,7 +5,7 @@ import "fmt"
 // Runner produces one experiment table.
 type Runner func() (*Table, error)
 
-// Experiments returns the full registry E1–E17 in order. attackGames
+// Experiments returns the full registry E1–E18 in order. attackGames
 // controls how many games E5 plays per configuration.
 func Experiments(attackGames int) []struct {
 	ID  string
@@ -32,6 +32,7 @@ func Experiments(attackGames int) []struct {
 		{"E15", E15Parallel},
 		{"E16", E16Server},
 		{"E17", E17Rotation},
+		{"E18", E18Wire},
 	}
 }
 

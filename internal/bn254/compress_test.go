@@ -1,0 +1,251 @@
+package bn254
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestG1CompressedRoundTrip(t *testing.T) {
+	pts := []*G1{NewG1(), G1Generator()}
+	for i := 0; i < 16; i++ {
+		p, _, err := RandG1(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p, new(G1).Neg(p))
+	}
+	for i, p := range pts {
+		enc := p.BytesCompressed()
+		if len(enc) != G1BytesCompressed {
+			t.Fatalf("point %d: encoding is %d bytes, want %d", i, len(enc), G1BytesCompressed)
+		}
+		got, err := new(G1).SetBytesCompressed(enc)
+		if err != nil {
+			t.Fatalf("point %d: decode: %v", i, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("point %d: round trip changed the point", i)
+		}
+		if !bytes.Equal(got.AppendCompressed(nil), enc) {
+			t.Fatalf("point %d: re-encoding differs", i)
+		}
+	}
+}
+
+func TestG2CompressedRoundTrip(t *testing.T) {
+	pts := []*G2{NewG2(), G2Generator()}
+	for i := 0; i < 16; i++ {
+		p, _, err := RandG2(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p, new(G2).Neg(p))
+	}
+	for i, p := range pts {
+		enc := p.BytesCompressed()
+		if len(enc) != G2BytesCompressed {
+			t.Fatalf("point %d: encoding is %d bytes, want %d", i, len(enc), G2BytesCompressed)
+		}
+		got, err := new(G2).SetBytesCompressed(enc)
+		if err != nil {
+			t.Fatalf("point %d: decode: %v", i, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("point %d: round trip changed the point", i)
+		}
+	}
+}
+
+func TestCompressedParityDistinguishesRoots(t *testing.T) {
+	p, _, err := RandG1(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := new(G1).Neg(p)
+	ep, en := p.BytesCompressed(), n.BytesCompressed()
+	if ep[0] == en[0] {
+		t.Fatalf("G1 P and −P share flag 0x%02x", ep[0])
+	}
+	if !bytes.Equal(ep[1:], en[1:]) {
+		t.Fatal("G1 P and −P differ beyond the flag byte")
+	}
+	q, _, err := RandG2(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := new(G2).Neg(q)
+	eq, em := q.BytesCompressed(), m.BytesCompressed()
+	if eq[0] == em[0] {
+		t.Fatalf("G2 Q and −Q share flag 0x%02x", eq[0])
+	}
+}
+
+func TestCompressedRejects(t *testing.T) {
+	g1 := G1Generator().BytesCompressed()
+	g2 := G2Generator().BytesCompressed()
+
+	// Wrong length.
+	if _, err := new(G1).SetBytesCompressed(g1[:G1BytesCompressed-1]); err == nil {
+		t.Fatal("short G1 encoding accepted")
+	}
+	if _, err := new(G2).SetBytesCompressed(append(g2, 0)); err == nil {
+		t.Fatal("long G2 encoding accepted")
+	}
+
+	// Unknown flag.
+	bad := append([]byte(nil), g1...)
+	bad[0] = 0x04
+	if _, err := new(G1).SetBytesCompressed(bad); err == nil {
+		t.Fatal("unknown G1 flag accepted")
+	}
+	bad = append([]byte(nil), g2...)
+	bad[0] = 0x01
+	if _, err := new(G2).SetBytesCompressed(bad); err == nil {
+		t.Fatal("unknown G2 flag accepted")
+	}
+
+	// Infinity with a nonzero body.
+	bad = make([]byte, G1BytesCompressed)
+	bad[5] = 1
+	if _, err := new(G1).SetBytesCompressed(bad); err == nil {
+		t.Fatal("G1 infinity with nonzero body accepted")
+	}
+	bad = make([]byte, G2BytesCompressed)
+	bad[G2BytesCompressed-1] = 1
+	if _, err := new(G2).SetBytesCompressed(bad); err == nil {
+		t.Fatal("G2 infinity with nonzero body accepted")
+	}
+
+	// Non-canonical x (≥ p).
+	bad = append([]byte(nil), g1...)
+	for i := 1; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	if _, err := new(G1).SetBytesCompressed(bad); err == nil {
+		t.Fatal("non-canonical G1 x accepted")
+	}
+
+	// x off the curve: scan for an x with no square root of x³+b.
+	foundOffCurve := false
+	for xi := int64(0); xi < 64 && !foundOffCurve; xi++ {
+		x := ff.FpFromInt64(xi)
+		var rhs, y ff.Fp
+		rhs.Square(x)
+		rhs.Mul(&rhs, x)
+		rhs.Add(&rhs, ff.FpFromInt64(3))
+		if _, ok := y.Sqrt(&rhs); !ok {
+			enc := make([]byte, 0, G1BytesCompressed)
+			enc = append(enc, compFlagEvenY)
+			enc = append(enc, x.Bytes()...)
+			if _, err := new(G1).SetBytesCompressed(enc); err == nil {
+				t.Fatal("off-curve G1 x accepted")
+			}
+			foundOffCurve = true
+		}
+	}
+	if !foundOffCurve {
+		t.Fatal("no off-curve x found in scan (test broken)")
+	}
+
+	// On-twist but out of the order-r subgroup: decompressing such an x
+	// must fail the subgroup check regardless of flag.
+	h := findTwistNonSubgroupPoint(t)
+	enc := make([]byte, 0, G2BytesCompressed)
+	enc = append(enc, compFlagEvenY)
+	enc = append(enc, h.x.Bytes()...)
+	if _, err := new(G2).SetBytesCompressed(enc); err == nil {
+		t.Fatal("non-subgroup G2 x accepted (even flag)")
+	}
+	enc[0] = compFlagOddY
+	if _, err := new(G2).SetBytesCompressed(enc); err == nil {
+		t.Fatal("non-subgroup G2 x accepted (odd flag)")
+	}
+}
+
+// findTwistNonSubgroupPoint scans small x values for a twist point
+// outside the order-r subgroup.
+func findTwistNonSubgroupPoint(t *testing.T) *G2 {
+	t.Helper()
+	for c0 := int64(0); c0 < 200; c0++ {
+		var x ff.Fp2
+		x.C0.Set(ff.FpFromInt64(c0))
+		x.C1.SetOne()
+		var rhs, y ff.Fp2
+		rhs.Square(&x)
+		rhs.Mul(&rhs, &x)
+		rhs.Add(&rhs, twistB)
+		if _, ok := y.Sqrt(&rhs); !ok {
+			continue
+		}
+		cand := &G2{x: x, y: y}
+		if !cand.IsOnTwist() {
+			t.Fatal("sqrt produced an off-twist point (test broken)")
+		}
+		if !cand.IsInSubgroup() {
+			return cand
+		}
+	}
+	t.Skip("no non-subgroup twist point found in scan")
+	return nil
+}
+
+// FuzzPointCompressed round-trips fuzz-derived G1/G2 points through the
+// compressed codec and checks that mutated encodings either decode to a
+// valid in-subgroup point or are rejected — never a silent corruption.
+func FuzzPointCompressed(f *testing.F) {
+	f.Add(make([]byte, 32), byte(0), false)
+	f.Add([]byte{1, 2, 3}, byte(0x04), true)
+	f.Add(ff.Order().Bytes(), byte(0xff), false)
+	f.Fuzz(func(t *testing.T, seed []byte, mut byte, flip bool) {
+		k := new(big.Int).SetBytes(seed)
+		p1 := new(G1).ScalarBaseMult(k)
+		enc1 := p1.BytesCompressed()
+		got1, err := new(G1).SetBytesCompressed(enc1)
+		if err != nil {
+			t.Fatalf("G1 round trip rejected: %v", err)
+		}
+		if !got1.Equal(p1) {
+			t.Fatal("G1 round trip changed the point")
+		}
+
+		p2 := new(G2).ScalarBaseMult(k)
+		enc2 := p2.BytesCompressed()
+		got2, err := new(G2).SetBytesCompressed(enc2)
+		if err != nil {
+			t.Fatalf("G2 round trip rejected: %v", err)
+		}
+		if !got2.Equal(p2) {
+			t.Fatal("G2 round trip changed the point")
+		}
+
+		// Mutate: any accepted mutation must still be a valid group
+		// element (on curve / in subgroup) that re-encodes canonically.
+		idx := int(mut) % len(enc2)
+		enc2[idx] ^= mut | 1
+		if flip {
+			enc2[0] ^= 0x01
+		}
+		if d, err := new(G2).SetBytesCompressed(enc2); err == nil {
+			if !d.IsOnTwist() || !d.IsInSubgroup() {
+				t.Fatal("mutated G2 encoding decoded to an invalid point")
+			}
+			if !bytes.Equal(d.BytesCompressed(), enc2) {
+				t.Fatal("mutated G2 encoding decoded non-canonically")
+			}
+		}
+		idx = int(mut) % len(enc1)
+		enc1[idx] ^= mut | 1
+		if d, err := new(G1).SetBytesCompressed(enc1); err == nil {
+			if !d.IsOnCurve() {
+				t.Fatal("mutated G1 encoding decoded to an off-curve point")
+			}
+			if !bytes.Equal(d.BytesCompressed(), enc1) {
+				t.Fatal("mutated G1 encoding decoded non-canonically")
+			}
+		}
+	})
+}

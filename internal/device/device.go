@@ -110,15 +110,24 @@ func (c *localChannel) Close() error {
 }
 
 // connChannel adapts a net.Conn to Channel using the wire framing.
+// Reads go through a reusing wire.Reader, so the Payload of a frame
+// returned by Recv is valid only until the next Recv on this channel.
+// Both protocol parties decode every payload into group elements
+// before their next receive, so the contract holds throughout this
+// repo; a consumer that retains raw frame bytes must copy (Recorder
+// does).
 type connChannel struct {
 	conn net.Conn
 	rmu  sync.Mutex
+	rd   *wire.Reader
 	wmu  sync.Mutex
 }
 
 // NewConnChannel wraps a net.Conn (e.g. a TCP connection between the
 // main processor and the auxiliary smart-card device of §1.1).
-func NewConnChannel(c net.Conn) Channel { return &connChannel{conn: c} }
+func NewConnChannel(c net.Conn) Channel {
+	return &connChannel{conn: c, rd: wire.NewReader(c)}
+}
 
 // Send implements Channel.
 func (c *connChannel) Send(m wire.Msg) error {
@@ -131,7 +140,7 @@ func (c *connChannel) Send(m wire.Msg) error {
 func (c *connChannel) Recv() (wire.Msg, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	return wire.Read(c.conn)
+	return c.rd.Next()
 }
 
 // Close implements Channel.
@@ -167,15 +176,18 @@ func (r *Recorder) Send(m wire.Msg) error {
 	return nil
 }
 
-// Recv implements Channel.
+// Recv implements Channel. The retained transcript copy owns its
+// payload: the inner channel may reuse the returned frame's buffer
+// (connChannel does), so the recorder must not alias it.
 func (r *Recorder) Recv() (wire.Msg, error) {
 	m, err := r.inner.Recv()
 	if err != nil {
 		return m, err
 	}
+	kept := wire.Msg{Kind: m.Kind, Payload: append([]byte(nil), m.Payload...)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.received = append(r.received, m)
+	r.received = append(r.received, kept)
 	r.bytesRecv += int64(m.Size())
 	return m, nil
 }

@@ -89,7 +89,7 @@ func (p *P1) RunDecBatch(ch device.Channel, cs []*Ciphertext) ([]*bn254.GT, erro
 		cts := make([]*hpske.Ciphertext[*bn254.G2], 0, p.prm.Ell+1)
 		cts = append(cts, p.encSK1...)
 		cts = append(cts, p.encPhi)
-		payload, err := hpske.EncodeList(p.ssG2, cts)
+		payload, err := p.encodeG2List(cts)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +185,7 @@ func decryptWithTables(c *Ciphertext, tabs []*bn254.PairingTable) *bn254.GT {
 // reply with u = Π fᵢ^sᵢ / fΦ, one coordinate-wise linear combination
 // with the division folded into a −1 exponent.
 func (p *P2) handleDecB1(msg wire.Msg) (wire.Msg, error) {
-	cts, err := hpske.DecodeList(p.ssG2, msg.Payload, p.prm.Ell+1)
+	cts, codec, err := hpske.DecodeListCodec(p.ssG2, msg.Payload, p.prm.Ell+1)
 	if err != nil {
 		return wire.Msg{}, err
 	}
@@ -201,7 +201,9 @@ func (p *P2) handleDecB1(msg wire.Msg) (wire.Msg, error) {
 	if err != nil {
 		return wire.Msg{}, err
 	}
-	payload, err := hpske.EncodeList(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{u})
+	// Echo the request's codec so legacy and compressed peers both
+	// decode the reply.
+	payload, err := hpske.EncodeListCodec(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{u}, codec)
 	if err != nil {
 		return wire.Msg{}, err
 	}

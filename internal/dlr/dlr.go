@@ -76,16 +76,41 @@ func (c *Ciphertext) Bytes() []byte {
 	return out
 }
 
-// CiphertextFromBytes decodes a ciphertext.
+// BytesCompressed returns the compact wire encoding A(compressed) ‖ B:
+// the G1 component shrinks to 33 bytes; B (an Fp12 element) has no
+// cheap compressed form and stays raw. This is the encoding the
+// decrypt-server client sends; CiphertextFromBytes accepts both.
+func (c *Ciphertext) BytesCompressed() []byte {
+	out := make([]byte, 0, bn254.G1BytesCompressed+bn254.GTBytes)
+	out = c.A.AppendCompressed(out)
+	out = append(out, c.B.Bytes()...)
+	return out
+}
+
+// CiphertextFromBytes decodes a ciphertext in either the canonical
+// (A raw) or the compact (A compressed) encoding, distinguished by
+// length.
 func CiphertextFromBytes(b []byte) (*Ciphertext, error) {
-	if len(b) != bn254.G1Bytes+bn254.GTBytes {
-		return nil, fmt.Errorf("dlr: ciphertext must be %d bytes, got %d", bn254.G1Bytes+bn254.GTBytes, len(b))
+	var (
+		a   *bn254.G1
+		err error
+		off int
+	)
+	switch len(b) {
+	case bn254.G1Bytes + bn254.GTBytes:
+		a, err = new(bn254.G1).SetBytes(b[:bn254.G1Bytes])
+		off = bn254.G1Bytes
+	case bn254.G1BytesCompressed + bn254.GTBytes:
+		a, err = new(bn254.G1).SetBytesCompressed(b[:bn254.G1BytesCompressed])
+		off = bn254.G1BytesCompressed
+	default:
+		return nil, fmt.Errorf("dlr: ciphertext must be %d or %d bytes, got %d",
+			bn254.G1Bytes+bn254.GTBytes, bn254.G1BytesCompressed+bn254.GTBytes, len(b))
 	}
-	a, err := new(bn254.G1).SetBytes(b[:bn254.G1Bytes])
 	if err != nil {
 		return nil, fmt.Errorf("dlr: decoding A: %w", err)
 	}
-	bt, err := new(bn254.GT).SetBytes(b[bn254.G1Bytes:])
+	bt, err := new(bn254.GT).SetBytes(b[off:])
 	if err != nil {
 		return nil, fmt.Errorf("dlr: decoding B: %w", err)
 	}
@@ -156,6 +181,28 @@ type P1 struct {
 	// builds stay per-call/per-instance as before.
 	tableCache *cache.Cache
 	tenant     string
+
+	// legacyWire pins P1's protocol frames to the uncompressed v1 list
+	// codec, for devices that predate point compression. See
+	// SetLegacyWire.
+	legacyWire bool
+}
+
+// SetLegacyWire selects the list codec this P1 emits on the device
+// channel: false (default) sends point-compressed G2 lists (hpske codec
+// v2, roughly half the bytes); true pins the legacy uncompressed
+// format for a P2 that predates the compressed codec. P2's handlers
+// always answer in the codec the request arrived in, so no flag exists
+// on that side.
+func (p *P1) SetLegacyWire(legacy bool) { p.legacyWire = legacy }
+
+// encodeG2List serializes a G2 ciphertext list in the codec this P1
+// emits (see SetLegacyWire).
+func (p *P1) encodeG2List(cts []*hpske.Ciphertext[*bn254.G2]) ([]byte, error) {
+	if p.legacyWire {
+		return hpske.EncodeListLegacy(p.ssG2, cts)
+	}
+	return hpske.EncodeList(p.ssG2, cts)
 }
 
 // P2 is the auxiliary device's state: just the Π_ss key sk2 = (s1,…,sℓ).

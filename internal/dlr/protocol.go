@@ -140,7 +140,7 @@ func (p *P1) RunRef(rng io.Reader, ch device.Channel) error {
 		cts = append(cts, p.encSK1[i], fPrimes[i])
 	}
 	cts = append(cts, p.encPhi)
-	payload, err := hpske.EncodeList(p.ssG2, cts)
+	payload, err := p.encodeG2List(cts)
 	if err != nil {
 		return err
 	}
@@ -185,7 +185,7 @@ func (p *P1) RunRef(rng io.Reader, ch device.Channel) error {
 // handleRef1 executes P2's side of the refresh protocol (step 2): sample
 // a fresh s', return f = Π f'ᵢ^s'ᵢ / fᵢ^sᵢ · fΦ, and replace sk2 ← s'.
 func (p *P2) handleRef1(msg wire.Msg) (wire.Msg, error) {
-	cts, err := hpske.DecodeList(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
+	cts, codec, err := hpske.DecodeListCodec(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
 	if err != nil {
 		return wire.Msg{}, err
 	}
@@ -211,7 +211,9 @@ func (p *P2) handleRef1(msg wire.Msg) (wire.Msg, error) {
 	if err != nil {
 		return wire.Msg{}, err
 	}
-	payload, err := hpske.EncodeList(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{acc})
+	// Answer in the codec the request arrived in, so a legacy P1 can
+	// decode the reply while compressed-capable peers get v2 back.
+	payload, err := hpske.EncodeListCodec(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{acc}, codec)
 	if err != nil {
 		return wire.Msg{}, err
 	}

@@ -171,7 +171,7 @@ func (p *P1) StageRefresh(rng io.Reader) (*StagedRefresh, error) {
 		cts = append(cts, p.encSK1[i], fPrimes[i])
 	}
 	cts = append(cts, p.encPhi)
-	st.payload, err = hpske.EncodeList(p.ssG2, cts)
+	st.payload, err = p.encodeG2List(cts)
 	if err != nil {
 		st.Abandon()
 		return nil, err
@@ -287,7 +287,7 @@ func (p *P1) CommitRefresh(rng io.Reader, ch device.Channel, st *StagedRefresh) 
 // under the OLD period key, so P1 can prewarm its batch tables from
 // the same round trip. Both devices' erasures are unchanged.
 func (p *P2) handleRefP1(msg wire.Msg) (wire.Msg, error) {
-	cts, err := hpske.DecodeList(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
+	cts, codec, err := hpske.DecodeListCodec(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
 	if err != nil {
 		return wire.Msg{}, err
 	}
@@ -326,7 +326,8 @@ func (p *P2) handleRefP1(msg wire.Msg) (wire.Msg, error) {
 	if err != nil {
 		return wire.Msg{}, err
 	}
-	payload, err := hpske.EncodeList(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{f, uPrime})
+	// Echo the request's codec (see handleRef1).
+	payload, err := hpske.EncodeListCodec(p.ssG2, []*hpske.Ciphertext[*bn254.G2]{f, uPrime}, codec)
 	if err != nil {
 		return wire.Msg{}, err
 	}

@@ -287,6 +287,18 @@ func (z *Fp) Big() *big.Int {
 	return fromLimbs(std)
 }
 
+// IsOdd reports whether the canonical (non-Montgomery) representative
+// of z in [0, p) is odd — the y-coordinate parity bit the compressed
+// point encodings (bn254.BytesCompressed) serialize. Allocation-free:
+// the conversion out of Montgomery form is a single montMul by the
+// limb vector 1.
+func (z *Fp) IsOdd() bool {
+	one := [4]uint64{1}
+	var std [4]uint64
+	montMul(&std, &z.v, &one)
+	return std[0]&1 == 1
+}
+
 // IsZero reports whether z == 0.
 func (z *Fp) IsZero() bool { return z.v == [4]uint64{} }
 

@@ -97,6 +97,17 @@ func (g G1) ElementLen() int { return bn254.G1Bytes }
 // Name implements Group.
 func (g G1) Name() string { return "G1" }
 
+// CompressedLen implements Compressor.
+func (g G1) CompressedLen() int { return bn254.G1BytesCompressed }
+
+// BytesCompressed implements Compressor.
+func (g G1) BytesCompressed(a *bn254.G1) []byte { return a.BytesCompressed() }
+
+// FromBytesCompressed implements Compressor.
+func (g G1) FromBytesCompressed(b []byte) (*bn254.G1, error) {
+	return new(bn254.G1).SetBytesCompressed(b)
+}
+
 // G2 adapts bn254.G2. Ctr may be nil.
 type G2 struct {
 	Ctr *opcount.Counter
@@ -149,6 +160,17 @@ func (g G2) ElementLen() int { return bn254.G2Bytes }
 
 // Name implements Group.
 func (g G2) Name() string { return "G2" }
+
+// CompressedLen implements Compressor.
+func (g G2) CompressedLen() int { return bn254.G2BytesCompressed }
+
+// BytesCompressed implements Compressor.
+func (g G2) BytesCompressed(a *bn254.G2) []byte { return a.BytesCompressed() }
+
+// FromBytesCompressed implements Compressor.
+func (g G2) FromBytesCompressed(b []byte) (*bn254.G2, error) {
+	return new(bn254.G2).SetBytesCompressed(b)
+}
 
 // GT adapts bn254.GT. Ctr may be nil.
 type GT struct {
@@ -259,6 +281,28 @@ func readSeed(rng io.Reader) ([]byte, error) {
 	}
 	return seed, nil
 }
+
+// Compressor is the optional compact wire encoding: groups whose
+// elements admit a point-compressed form (a curve x coordinate plus a
+// one-byte parity/infinity flag) implement it, and the hpske list
+// codec (EncodeList codec v2) uses it to roughly halve frame sizes.
+// G1 and G2 implement Compressor; GT does not — Fp12 elements have no
+// comparably cheap compression, so GT lists stay in the legacy raw
+// codec. Dispatched by type assertion, like MultiExper.
+type Compressor[E any] interface {
+	// CompressedLen is the compressed encoding size in bytes.
+	CompressedLen() int
+	// BytesCompressed returns the compressed canonical encoding of a.
+	BytesCompressed(a E) []byte
+	// FromBytesCompressed decodes a compressed encoding, validating
+	// group membership exactly as FromBytes does.
+	FromBytesCompressed(b []byte) (E, error)
+}
+
+var (
+	_ Compressor[*bn254.G1] = G1{}
+	_ Compressor[*bn254.G2] = G2{}
+)
 
 // MultiExper is the optional fast path for ProdExp: groups that can
 // evaluate Π aᵢ^kᵢ faster than n independent exponentiations implement

@@ -136,7 +136,7 @@ func (c *Client) call(kind string, payload []byte) (wire.MuxMsg, error) {
 func (c *Client) Decrypt(tenant string, ct *dlr.Ciphertext) (*bn254.GT, error) {
 	var b wire.Builder
 	b.AppendBytes([]byte(tenant))
-	b.AppendRaw(ct.Bytes())
+	b.AppendRaw(ct.BytesCompressed())
 	payload := b.Bytes()
 
 	for attempt := 0; ; attempt++ {

@@ -26,6 +26,15 @@ type Metrics struct {
 	windows   atomic.Uint64 // batch windows drained
 	refreshes atomic.Uint64 // tenant share refreshes completed
 
+	// Wire-path counters (docs/PERFORMANCE.md, "Payload sizing"): bytes
+	// and frames crossing the client-facing connections in each
+	// direction. framesOut counts logical response frames, not write
+	// syscalls — a vectored window flush moves many frames in one write.
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+
 	occupancySum atomic.Uint64 // Σ batch sizes, for the mean
 
 	// Rotation gauges (docs/PERFORMANCE.md, "Rotation cadence sizing"):
@@ -73,6 +82,10 @@ func init() {
 			"errors":         s.Errors,
 			"windows":        s.Windows,
 			"refreshes":      s.Refreshes,
+			"bytes_in":       s.BytesIn,
+			"bytes_out":      s.BytesOut,
+			"frames_in":      s.FramesIn,
+			"frames_out":     s.FramesOut,
 			"mean_occupancy": s.MeanOccupancy,
 			"batch_hist":     s.BatchHist,
 			"latency_p50_us": s.P50.Microseconds(),
@@ -133,6 +146,25 @@ func cacheSnapshot() (cache.Stats, int) {
 		n += c.Len()
 	}
 	return agg, n
+}
+
+// recordInbound notes frames received from clients and their on-wire
+// size.
+func (m *Metrics) recordInbound(frames, bytes int) {
+	m.framesIn.Add(uint64(frames))
+	m.bytesIn.Add(uint64(bytes))
+	if m.mirror != nil {
+		m.mirror.recordInbound(frames, bytes)
+	}
+}
+
+// recordOutbound notes frames sent to clients and their on-wire size.
+func (m *Metrics) recordOutbound(frames, bytes int) {
+	m.framesOut.Add(uint64(frames))
+	m.bytesOut.Add(uint64(bytes))
+	if m.mirror != nil {
+		m.mirror.recordOutbound(frames, bytes)
+	}
 }
 
 func (m *Metrics) recordRequest() {
@@ -209,6 +241,10 @@ func (m *Metrics) recordResponse(lat time.Duration, failed bool) {
 type Snapshot struct {
 	Requests, Responses, Rejected, Errors uint64
 	Windows, Refreshes                    uint64
+	// BytesIn/BytesOut and FramesIn/FramesOut count client-facing wire
+	// traffic in each direction.
+	BytesIn, BytesOut   uint64
+	FramesIn, FramesOut uint64
 	// MeanOccupancy is the average number of requests per drained
 	// window (0 when no window has drained).
 	MeanOccupancy float64
@@ -237,6 +273,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Errors:    m.errors.Load(),
 		Windows:   m.windows.Load(),
 		Refreshes: m.refreshes.Load(),
+		BytesIn:   m.bytesIn.Load(),
+		BytesOut:  m.bytesOut.Load(),
+		FramesIn:  m.framesIn.Load(),
+		FramesOut: m.framesOut.Load(),
 		BatchHist: make(map[int]uint64),
 	}
 	if s.Windows > 0 {

@@ -125,6 +125,11 @@ type request struct {
 	// enq is when the request entered the queue; responses report
 	// queue-to-response latency against it.
 	enq time.Time
+	// sess is the session that queued the request. respond enqueues the
+	// response frame on it; the window loop flushes each distinct
+	// session once per drained window (one write syscall instead of one
+	// per response).
+	sess *session
 	// respond delivers the result back to the session that queued the
 	// request. Called exactly once, from the tenant's window loop.
 	respond func(m *bn254.GT, err error)
@@ -471,26 +476,81 @@ func (s *Server) Shutdown() {
 
 // session is one client connection: a read loop plus a write mutex so
 // window loops (which answer out of order) never interleave frames.
+// Responses produced while draining a batch window are not written one
+// by one: respond closures append their frames to pend under wmu, and
+// the window loop flushes the coalesced buffer with a single
+// conn.Write per (connection, window) — 32 response syscalls become
+// one.
 type session struct {
-	conn net.Conn
-	wmu  sync.Mutex
+	conn  net.Conn
+	m     *Metrics
+	wmu   sync.Mutex
+	pend  []byte // encoded frames awaiting flush
+	npend int    // frames in pend
 }
 
-// send writes one mux frame; on write failure the connection is closed
-// so the session's read loop terminates and the client sees the break.
+// send writes one mux frame immediately; on write failure the
+// connection is closed so the session's read loop terminates and the
+// client sees the break. Used off the window path (rejections, parse
+// errors, refresh acks), where there is nothing to coalesce with.
 func (ss *session) send(m wire.MuxMsg) {
 	ss.wmu.Lock()
 	err := wire.WriteMux(ss.conn, m)
 	ss.wmu.Unlock()
 	if err != nil {
 		_ = ss.conn.Close()
+		return
 	}
+	ss.m.recordOutbound(1, m.Size())
+}
+
+// enqueue appends m to the session's pending flush buffer. The frame
+// reaches the wire at the next flush.
+func (ss *session) enqueue(m wire.MuxMsg) {
+	ss.wmu.Lock()
+	p, err := wire.AppendMux(ss.pend, m)
+	if err == nil {
+		ss.pend = p
+		ss.npend++
+	}
+	ss.wmu.Unlock()
+	if err != nil {
+		// Oversized frame: surface as a connection break, matching send.
+		_ = ss.conn.Close()
+	}
+}
+
+// flush writes every pending frame in one conn.Write. The buffer is
+// retained (length-reset) for the session's next window.
+func (ss *session) flush() {
+	ss.wmu.Lock()
+	if len(ss.pend) == 0 {
+		ss.wmu.Unlock()
+		return
+	}
+	n, frames := len(ss.pend), ss.npend
+	_, err := ss.conn.Write(ss.pend)
+	ss.pend = ss.pend[:0]
+	ss.npend = 0
+	ss.wmu.Unlock()
+	if err != nil {
+		_ = ss.conn.Close()
+		return
+	}
+	ss.m.recordOutbound(frames, n)
 }
 
 func (ss *session) sendErr(id uint64, msg string) {
 	var b wire.Builder
 	b.AppendBytes([]byte(msg))
 	ss.send(wire.MuxMsg{ID: id, Kind: KindErr, Payload: b.Bytes()})
+}
+
+// enqueueErr is sendErr's coalescing twin for the window drain path.
+func (ss *session) enqueueErr(id uint64, msg string) {
+	var b wire.Builder
+	b.AppendBytes([]byte(msg))
+	ss.enqueue(wire.MuxMsg{ID: id, Kind: KindErr, Payload: b.Bytes()})
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -501,19 +561,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	ss := &session{conn: conn}
+	ss := &session{conn: conn, m: s.metrics}
+	// The reader reuses one payload buffer across frames; handleDec
+	// decodes the ciphertext out of it before the next read, and the
+	// refresh path (which crosses a goroutine boundary) copies.
+	rd := wire.NewReader(conn)
 	for {
-		m, err := wire.ReadMux(conn)
+		m, err := rd.NextMux()
 		if err != nil {
 			return
 		}
+		s.metrics.recordInbound(1, m.Size())
 		switch m.Kind {
 		case KindDec:
 			s.handleDec(ss, m)
 		case KindRefresh:
 			// Refresh blocks until the tenant's window quiesces; run it
 			// off the read loop so the session keeps pumping requests
-			// for other tenants meanwhile.
+			// for other tenants meanwhile. The payload is copied: the
+			// goroutine outlives this iteration's reader scratch.
+			m.Payload = append([]byte(nil), m.Payload...)
 			s.connWG.Add(1)
 			go func(m wire.MuxMsg) {
 				defer s.connWG.Done()
@@ -551,14 +618,14 @@ func (s *Server) handleDec(ss *session, m wire.MuxMsg) {
 	}
 
 	id := m.ID
-	req := &request{ct: ct, enq: time.Now()}
+	req := &request{ct: ct, enq: time.Now(), sess: ss}
 	req.respond = func(msg *bn254.GT, derr error) {
 		s.metrics.recordResponse(time.Since(req.enq), derr != nil)
 		if derr != nil {
-			ss.sendErr(id, fmt.Sprintf("decrypt: %v", derr))
+			ss.enqueueErr(id, fmt.Sprintf("decrypt: %v", derr))
 			return
 		}
-		ss.send(wire.MuxMsg{ID: id, Kind: KindDecResult, Payload: msg.Bytes()})
+		ss.enqueue(wire.MuxMsg{ID: id, Kind: KindDecResult, Payload: msg.Bytes()})
 	}
 
 	s.intakeMu.RLock()

@@ -41,6 +41,7 @@ func (s *Server) serveWindow(t *tenant, first *request) {
 		m, err := t.p1.RunDec(rand.Reader, t.dev, first.ct)
 		s.metrics.recordWindow(1)
 		first.respond(m, err)
+		flushSessions([]*request{first})
 		return
 	}
 
@@ -59,10 +60,35 @@ func (s *Server) serveWindow(t *tenant, first *request) {
 		for _, req := range batch {
 			req.respond(nil, err)
 		}
+		flushSessions(batch)
 		return
 	}
 	for i, req := range batch {
 		req.respond(ms[i], nil)
+	}
+	flushSessions(batch)
+}
+
+// flushSessions flushes each distinct session in the drained window
+// exactly once: respond only enqueued the frames, so this is where the
+// window's responses hit the wire — one write syscall per connection
+// rather than one per response. Windows are small (BatchSize ≤ a few
+// dozen), so the quadratic dedup beats allocating a set.
+func flushSessions(batch []*request) {
+	for i, req := range batch {
+		if req.sess == nil {
+			continue
+		}
+		seen := false
+		for _, prev := range batch[:i] {
+			if prev.sess == req.sess {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			req.sess.flush()
+		}
 	}
 }
 

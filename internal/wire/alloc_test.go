@@ -1,0 +1,95 @@
+//go:build !race
+
+package wire
+
+import (
+	"io"
+	"testing"
+)
+
+// Allocation regression tests for the framing fast lane: once the pool
+// is warm, Write and WriteMux must not allocate at all — the whole
+// point of AppendFrame/AppendMux over the old make-then-copy encoders.
+// Excluded under the race detector, whose instrumentation inflates
+// allocation counts (same pattern as internal/bn254/alloc_test.go).
+
+func TestWriteZeroAlloc(t *testing.T) {
+	m := Msg{Kind: "srv.decr", Payload: make([]byte, 512)}
+	// Warm the pool.
+	if err := Write(io.Discard, m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := Write(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Write allocates %v objects/op, want 0", n)
+	}
+}
+
+func TestWriteMuxZeroAlloc(t *testing.T) {
+	m := MuxMsg{ID: 42, Kind: "srv.decr", Payload: make([]byte, 512)}
+	if err := WriteMux(io.Discard, m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := WriteMux(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("WriteMux allocates %v objects/op, want 0", n)
+	}
+}
+
+func TestAppendFrameZeroAlloc(t *testing.T) {
+	m := Msg{Kind: "srv.dec", Payload: make([]byte, 512)}
+	buf := make([]byte, 0, 1024)
+	if n := testing.AllocsPerRun(200, func() {
+		out, err := AppendFrame(buf[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	}); n != 0 {
+		t.Fatalf("AppendFrame allocates %v objects/op, want 0", n)
+	}
+}
+
+func TestReaderZeroAllocSteadyState(t *testing.T) {
+	// A repeating stream of identical frames decoded by one Reader:
+	// after the first frame grows the scratch, Next is allocation-free
+	// (internKind returns the shared constant, the payload reuses
+	// scratch).
+	frame, err := AppendMux(nil, MuxMsg{ID: 9, Kind: "srv.dec", Payload: make([]byte, 512)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &repeatReader{frame: frame}
+	rd := NewReader(src)
+	if _, err := rd.NextMux(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := rd.NextMux(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Reader.NextMux allocates %v objects/op, want 0", n)
+	}
+}
+
+// repeatReader serves one encoded frame over and over.
+type repeatReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.off == len(r.frame) {
+		r.off = 0
+	}
+	n := copy(p, r.frame[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -32,15 +32,45 @@ type MuxMsg struct {
 // muxIDSize is the on-wire size of the request-id prefix.
 const muxIDSize = 8
 
-// WriteMux encodes m onto w.
-func WriteMux(w io.Writer, m MuxMsg) error {
-	if len(m.Payload) > MaxPayload-muxIDSize {
-		return fmt.Errorf("wire: mux payload %d exceeds limit %d", len(m.Payload), MaxPayload-muxIDSize)
+// Size returns the on-wire size of the multiplexed message in bytes.
+func (m MuxMsg) Size() int { return 2 + 1 + 1 + len(m.Kind) + 4 + muxIDSize + len(m.Payload) }
+
+// AppendMux appends the encoding of m to dst and returns the extended
+// slice. Like AppendFrame it writes the id prefix in place, so batching
+// callers never materialize an intermediate id+payload body.
+func AppendMux(dst []byte, m MuxMsg) ([]byte, error) {
+	if len(m.Kind) > 255 {
+		return dst, fmt.Errorf("wire: kind %q too long", m.Kind[:32])
 	}
-	body := make([]byte, muxIDSize+len(m.Payload))
-	binary.BigEndian.PutUint64(body, m.ID)
-	copy(body[muxIDSize:], m.Payload)
-	return Write(w, Msg{Kind: m.Kind, Payload: body})
+	if len(m.Payload) > MaxPayload-muxIDSize {
+		return dst, fmt.Errorf("wire: mux payload %d exceeds limit %d", len(m.Payload), MaxPayload-muxIDSize)
+	}
+	dst = append(dst, magic[0], magic[1], Version, byte(len(m.Kind)))
+	dst = append(dst, m.Kind...)
+	var u [8]byte
+	binary.BigEndian.PutUint32(u[:4], uint32(muxIDSize+len(m.Payload)))
+	dst = append(dst, u[:4]...)
+	binary.BigEndian.PutUint64(u[:], m.ID)
+	dst = append(dst, u[:]...)
+	return append(dst, m.Payload...), nil
+}
+
+// WriteMux encodes m onto w as one w.Write call, through the shared
+// frame-buffer pool (see Write for the non-retention requirement on w).
+func WriteMux(w io.Writer, m MuxMsg) error {
+	bp := getFrameBuf()
+	buf, err := AppendMux((*bp)[:0], m)
+	*bp = buf[:0]
+	if err != nil {
+		putFrameBuf(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	putFrameBuf(bp)
+	if werr != nil {
+		return fmt.Errorf("wire: writing frame: %w", werr)
+	}
+	return nil
 }
 
 // ReadMux decodes one multiplexed frame from r.

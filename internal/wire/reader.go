@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader decodes a stream of frames while recycling one payload buffer
+// across calls, so a long-lived connection loop performs zero
+// steady-state allocations on the read path.
+//
+// Ownership contract: the Payload of the Msg (or MuxMsg) returned by
+// Next/NextMux aliases the Reader's internal scratch buffer and is valid
+// only until the next Next/NextMux call. A consumer that decodes the
+// payload into its own structures before reading the next frame (the
+// dlr handlers and the server request path all do) can use it directly;
+// a consumer that retains the raw bytes — queues them, hands them to
+// another goroutine, records a transcript — must copy first.
+//
+// A Reader is not safe for concurrent use.
+type Reader struct {
+	r       io.Reader
+	payload []byte // reused scratch; len is reset per frame
+
+	// Header scratch lives in the struct (not the stack) because slices
+	// passed through the io.Reader interface escape; keeping them here
+	// makes Next allocation-free in steady state.
+	hdr  [4]byte
+	ln   [4]byte
+	kind [255]byte
+}
+
+// NewReader returns a Reader decoding frames from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next decodes one frame. See the type comment for payload ownership.
+func (rd *Reader) Next() (Msg, error) {
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading header: %w", err)
+	}
+	if rd.hdr[0] != magic[0] || rd.hdr[1] != magic[1] {
+		return Msg{}, fmt.Errorf("wire: bad magic %x", rd.hdr[:2])
+	}
+	if rd.hdr[2] != Version {
+		return Msg{}, fmt.Errorf("wire: unsupported version %d", rd.hdr[2])
+	}
+	kindLen := rd.hdr[3]
+	if _, err := io.ReadFull(rd.r, rd.kind[:kindLen]); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading kind: %w", err)
+	}
+	if _, err := io.ReadFull(rd.r, rd.ln[:]); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(rd.ln[:])
+	if n > MaxPayload {
+		return Msg{}, fmt.Errorf("wire: payload %d exceeds limit %d", n, MaxPayload)
+	}
+	if uint32(cap(rd.payload)) < n {
+		rd.payload = make([]byte, n)
+	}
+	rd.payload = rd.payload[:n]
+	if _, err := io.ReadFull(rd.r, rd.payload); err != nil {
+		return Msg{}, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return Msg{Kind: internKind(rd.kind[:kindLen]), Payload: rd.payload}, nil
+}
+
+// NextMux decodes one multiplexed frame. The payload obeys the same
+// ownership contract as Next.
+func (rd *Reader) NextMux() (MuxMsg, error) {
+	m, err := rd.Next()
+	if err != nil {
+		return MuxMsg{}, err
+	}
+	return MuxFromMsg(m)
+}

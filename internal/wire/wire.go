@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the framing version emitted by this package.
@@ -40,29 +41,71 @@ type Msg struct {
 // Size returns the on-wire size of the message in bytes.
 func (m Msg) Size() int { return 2 + 1 + 1 + len(m.Kind) + 4 + len(m.Payload) }
 
-// Write encodes m onto w.
-func Write(w io.Writer, m Msg) error {
+// AppendFrame appends the encoding of m to dst and returns the extended
+// slice. It is the allocation-free core of Write: callers that batch
+// several frames into one syscall (the server's per-window flush)
+// append them all into one buffer and hand it to a single conn.Write.
+func AppendFrame(dst []byte, m Msg) ([]byte, error) {
 	if len(m.Kind) > 255 {
-		return fmt.Errorf("wire: kind %q too long", m.Kind[:32])
+		return dst, fmt.Errorf("wire: kind %q too long", m.Kind[:32])
 	}
 	if len(m.Payload) > MaxPayload {
-		return fmt.Errorf("wire: payload %d exceeds limit %d", len(m.Payload), MaxPayload)
+		return dst, fmt.Errorf("wire: payload %d exceeds limit %d", len(m.Payload), MaxPayload)
 	}
-	buf := make([]byte, 0, m.Size())
-	buf = append(buf, magic[:]...)
-	buf = append(buf, Version, byte(len(m.Kind)))
-	buf = append(buf, m.Kind...)
+	dst = append(dst, magic[0], magic[1], Version, byte(len(m.Kind)))
+	dst = append(dst, m.Kind...)
 	var l [4]byte
 	binary.BigEndian.PutUint32(l[:], uint32(len(m.Payload)))
-	buf = append(buf, l[:]...)
-	buf = append(buf, m.Payload...)
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("wire: writing frame: %w", err)
+	dst = append(dst, l[:]...)
+	return append(dst, m.Payload...), nil
+}
+
+// framePool recycles encode buffers across Write/WriteMux calls. The
+// pool holds pointers so Get/Put stay allocation-free, and putFrameBuf
+// drops oversized buffers so one huge frame cannot pin its capacity in
+// the pool forever.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledFrame caps the capacity a returned buffer may retain.
+const maxPooledFrame = 64 << 10
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	framePool.Put(bp)
+}
+
+// Write encodes m onto w as one w.Write call. The encode buffer comes
+// from an internal pool, so steady-state writes allocate nothing; w
+// must not retain the slice passed to its Write method beyond the call
+// (net.Conn and bytes.Buffer both satisfy this).
+func Write(w io.Writer, m Msg) error {
+	bp := getFrameBuf()
+	buf, err := AppendFrame((*bp)[:0], m)
+	*bp = buf[:0]
+	if err != nil {
+		putFrameBuf(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	putFrameBuf(bp)
+	if werr != nil {
+		return fmt.Errorf("wire: writing frame: %w", werr)
 	}
 	return nil
 }
 
-// Read decodes one frame from r.
+// Read decodes one frame from r. The returned payload is freshly
+// allocated and owned by the caller; long-lived consumers on hot paths
+// should prefer Reader, which recycles its payload buffer.
 func Read(r io.Reader) (Msg, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -74,8 +117,8 @@ func Read(r io.Reader) (Msg, error) {
 	if hdr[2] != Version {
 		return Msg{}, fmt.Errorf("wire: unsupported version %d", hdr[2])
 	}
-	kind := make([]byte, hdr[3])
-	if _, err := io.ReadFull(r, kind); err != nil {
+	var kind [255]byte
+	if _, err := io.ReadFull(r, kind[:hdr[3]]); err != nil {
 		return Msg{}, fmt.Errorf("wire: reading kind: %w", err)
 	}
 	var l [4]byte
@@ -90,7 +133,46 @@ func Read(r io.Reader) (Msg, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return Msg{}, fmt.Errorf("wire: reading payload: %w", err)
 	}
-	return Msg{Kind: string(kind), Payload: payload}, nil
+	return Msg{Kind: internKind(kind[:hdr[3]]), Payload: payload}, nil
+}
+
+// internKind maps the protocol's fixed kind tags onto shared string
+// constants so decoding a frame does not allocate a fresh string per
+// message. Unknown tags fall back to an ordinary conversion.
+func internKind(b []byte) string {
+	// The switch compares against the byte slice without converting it;
+	// each case returns the compiler-interned constant.
+	switch string(b) {
+	case "dlr.dec1":
+		return "dlr.dec1"
+	case "dlr.dec2":
+		return "dlr.dec2"
+	case "dlr.ref1":
+		return "dlr.ref1"
+	case "dlr.ref2":
+		return "dlr.ref2"
+	case "dlr.decb1":
+		return "dlr.decb1"
+	case "dlr.decb2":
+		return "dlr.decb2"
+	case "dlr.refp1":
+		return "dlr.refp1"
+	case "dlr.refp2":
+		return "dlr.refp2"
+	case "srv.dec":
+		return "srv.dec"
+	case "srv.decr":
+		return "srv.decr"
+	case "srv.busy":
+		return "srv.busy"
+	case "srv.err":
+		return "srv.err"
+	case "srv.ref":
+		return "srv.ref"
+	case "srv.refr":
+		return "srv.refr"
+	}
+	return string(b)
 }
 
 // Builder incrementally assembles a payload of fixed-size group-element
