@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-par race-server race-rotation vet lint fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
+.PHONY: all build test race race-par race-server race-rotation vet lint lint-self fmt-check bench bench-smoke fuzz-smoke ci baseline profile clean
 
 all: build
 
@@ -43,25 +43,36 @@ vet:
 
 # lint runs dlrlint, the repo's own static-analysis suite (see
 # internal/lint): secret-taint tracking, ...Into aliasing contracts,
-# //dlr:noalloc hot-path allocation checks and unchecked wire/storage
-# decodes. Non-zero exit on any finding.
+# //dlr:noalloc hot-path allocation checks, unchecked wire/storage
+# decodes, and the concurrency & lifecycle pack — //dlr:atomic access
+# discipline, //dlr:guarded-by / //dlr:lock-order lock discipline,
+# //dlr:zeroize exit-path checks, and //dlr:borrowed payload ownership.
+# Non-zero exit on any finding (stale ignore directives included).
 lint:
 	$(GO) run ./cmd/dlrlint ./...
+
+# lint-self runs the analyzers over their own implementation and the
+# CLI, so the linter's code is held to the contracts it enforces.
+lint-self:
+	$(GO) run ./cmd/dlrlint ./internal/lint ./cmd/dlrlint
 
 # fmt-check fails if any tracked Go file is not gofmt-clean.
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# ci is the tier-1 gate: build, vet, dlrlint, gofmt cleanliness, the
-# full test suite under the race detector (the protocol stack fans work
-# out across goroutines), an uncached race pass over the serving stack
-# (race-server), the cached-path rotation race gate (race-rotation),
-# and a short differential fuzz pass over the lazy-tower and Pippenger
-# twins. Timing-sensitive bench regression checks are opt-in:
-# CI_BENCH=1 make ci additionally fails if any hot operation regressed
-# >25% against the committed bench_baseline.json.
-ci: build vet lint fmt-check race race-server race-rotation fuzz-smoke
+# ci is the tier-1 gate: build, vet, dlrlint (module then self-lint),
+# gofmt cleanliness, the full test suite under the race detector (the
+# protocol stack fans work out across goroutines), an uncached race
+# pass over the serving stack (race-server), the cached-path rotation
+# race gate (race-rotation), and a short differential fuzz pass over
+# the lazy-tower and Pippenger twins. Lint runs before the race passes
+# on purpose: static findings fail in seconds, the race suite takes
+# minutes — fail fast on the cheap gate. Timing-sensitive bench
+# regression checks are opt-in: CI_BENCH=1 make ci additionally fails
+# if any hot operation regressed >25% against the committed
+# bench_baseline.json.
+ci: build vet lint lint-self fmt-check race race-server race-rotation fuzz-smoke
 ifeq ($(CI_BENCH),1)
 	$(MAKE) bench-smoke
 endif
@@ -80,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzPointCompressed -fuzztime=$(FUZZTIME) ./internal/bn254
 	$(GO) test -run=^$$ -fuzz=FuzzGLVDecompose -fuzztime=$(FUZZTIME) ./internal/scalar
 	$(GO) test -run=^$$ -fuzz=FuzzFrameRoundTrip -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzCiphertextFromBytes -fuzztime=$(FUZZTIME) ./internal/dlr
 
 # bench-smoke re-times the fast-path operations and fails if any of them
 # regressed more than 25% against the committed baseline snapshot.

@@ -1,19 +1,25 @@
 // Command dlrlint runs the repo's static-analysis suite (internal/lint)
-// over the module: vartime-taint, into-aliasing, hot-path-alloc and
-// unchecked-serialization. It is standard-library only — package
-// discovery shells out to `go list`, type information comes from
-// build-cache export data — and is wired into `make lint` / `make ci`.
+// over the module: vartime-taint, into-aliasing, hot-path-alloc,
+// unchecked-serialization, atomic-discipline, lock-discipline,
+// zeroize-paths and payload-ownership. It is standard-library only —
+// package discovery shells out to `go list`, type information comes
+// from build-cache export data — and is wired into `make lint` /
+// `make ci`.
 //
 // Usage:
 //
-//	dlrlint [-list] [packages|testdata-dirs]
+//	dlrlint [-list] [-json] [packages|testdata-dirs]
 //
 // Arguments are go-list package patterns (default ./...); bare
 // directory arguments (testdata golden packages) are loaded directly.
-// Exits 1 when any finding survives its //dlrlint:ignore filters.
+// -json emits one JSON object per finding ({analyzer, file, line,
+// column, message}), one per line, for CI archival; the human format
+// stays the default. Exits 1 when any finding survives its
+// //dlrlint:ignore filters.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +27,18 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as one JSON object per line")
 	flag.Parse()
 	if *list {
 		for _, a := range lint.Analyzers() {
@@ -35,8 +51,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dlrlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "dlrlint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dlrlint: %d finding(s)\n", len(diags))

@@ -91,16 +91,22 @@ type entry struct {
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	index    map[Key]*list.Element
+	//dlr:guarded-by mu
+	ll *list.List // front = most recently used
+	//dlr:guarded-by mu
+	index map[Key]*list.Element
 	// byTenant is a secondary index from tenant to that tenant's live
 	// keys, so per-rotation invalidation touches only the rotating
 	// tenant's entries instead of walking the whole LRU list (which is
 	// O(total entries across all tenants) — at fleet scale a single
 	// tenant's rotation must not pay for everyone else's cache).
-	byTenant  map[string]map[Key]*list.Element
-	hits      uint64
-	misses    uint64
+	//dlr:guarded-by mu
+	byTenant map[string]map[Key]*list.Element
+	//dlr:guarded-by mu
+	hits uint64
+	//dlr:guarded-by mu
+	misses uint64
+	//dlr:guarded-by mu
 	evictions uint64
 }
 
@@ -117,6 +123,8 @@ func New(capacity int) *Cache {
 
 // removeLocked drops el from the list and both indices. Callers hold
 // c.mu.
+//
+//dlr:locked mu
 func (c *Cache) removeLocked(el *list.Element) {
 	k := el.Value.(*entry).key
 	c.ll.Remove(el)

@@ -20,7 +20,11 @@ import (
 type Channel interface {
 	// Send transmits one frame to the peer.
 	Send(m wire.Msg) error
-	// Recv blocks for the next frame from the peer.
+	// Recv blocks for the next frame from the peer. The returned
+	// payload may alias the endpoint's read scratch (connChannel's
+	// does) and is valid only until the next Recv; retain via copy.
+	//
+	//dlr:borrowed
 	Recv() (wire.Msg, error)
 	// Close releases the endpoint. Recv on the peer returns an error
 	// afterwards.
@@ -133,10 +137,16 @@ func NewConnChannel(c net.Conn) Channel {
 func (c *connChannel) Send(m wire.Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	// wmu exists precisely to serialize writers on the shared conn:
+	// holding it across the write IS its job, and nothing else is ever
+	// taken under it, so no ordering cycle can form.
+	//dlrlint:ignore lock-discipline wmu is the per-conn write serializer; holding it across the write is its purpose
 	return wire.Write(c.conn, m)
 }
 
-// Recv implements Channel.
+// Recv implements Channel. The payload aliases the wire.Reader scratch.
+//
+//dlr:borrowed
 func (c *connChannel) Recv() (wire.Msg, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -178,7 +188,10 @@ func (r *Recorder) Send(m wire.Msg) error {
 
 // Recv implements Channel. The retained transcript copy owns its
 // payload: the inner channel may reuse the returned frame's buffer
-// (connChannel does), so the recorder must not alias it.
+// (connChannel does), so the recorder must not alias it — and the
+// frame it forwards is still the inner channel's borrow.
+//
+//dlr:borrowed
 func (r *Recorder) Recv() (wire.Msg, error) {
 	m, err := r.inner.Recv()
 	if err != nil {

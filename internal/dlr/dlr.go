@@ -160,6 +160,7 @@ type P1 struct {
 	// drives one P1 from several worker goroutines; concurrent cold
 	// batches may race to install, which is benign — the tables are a
 	// deterministic function of (u, skcomm), so either install is valid.
+	//dlr:atomic
 	batchTabs atomic.Pointer[batchSession]
 
 	period uint64
@@ -173,6 +174,7 @@ type P1 struct {
 	// matters for leakage soundness. Atomic because observers (the
 	// server's TenantEpoch gauge, StageRefresh running concurrently with
 	// serving) read it while a rotation on the owning loop bumps it.
+	//dlr:atomic
 	epoch atomic.Uint64
 
 	// tableCache, when attached, shares precomputed pairing tables
@@ -370,6 +372,8 @@ func newP2(pk *PublicKey, prm params.Params, ctr *opcount.Counter, sh2 pss.Share
 // rebuildEncryptedShare (ModeBasic) samples a fresh skcomm and
 // re-encrypts the plaintext share under it — the paper's "P1 samples a
 // key skcomm ← Gen'" at the start of each period.
+//
+//dlr:zeroize skcomm
 func (p *P1) rebuildEncryptedShare(rng io.Reader) error {
 	key, err := p.ssG2.GenKey(rng)
 	if err != nil {
@@ -463,6 +467,8 @@ func (p *P1) transportTables() []*hpske.TransportTable {
 // ModeBasic the encrypted share is regenerated from the plaintext share;
 // in ModeOptimalRate every public ciphertext is re-encrypted from the
 // old key to the new one without decryption.
+//
+//dlr:zeroize skcomm
 func (p *P1) BeginPeriod(rng io.Reader) error {
 	p.period++
 	if p.mode == params.ModeBasic {

@@ -1,0 +1,63 @@
+package dlr
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/bn254"
+	"repro/internal/params"
+)
+
+// FuzzCiphertextFromBytes drives the dual-codec ciphertext decoder with
+// arbitrary bytes: malformed inputs (wrong length, non-curve A,
+// non-field B) must be rejected with an error — never a panic — and any
+// input the decoder accepts must round-trip through BOTH encodings
+// (canonical and compact) back to the same ciphertext. This is the
+// server's KindDec parse boundary: every byte here arrives straight off
+// a client connection.
+func FuzzCiphertextFromBytes(f *testing.F) {
+	pk, _, _, err := Gen(rand.Reader, params.MustNew(40, 128))
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := RandMessage(rand.Reader, pk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := Encrypt(rand.Reader, pk, m, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, comp := ct.Bytes(), ct.BytesCompressed()
+	f.Add(raw)
+	f.Add(comp)
+	// Truncations and a corrupted A seed the rejection paths.
+	f.Add(raw[:len(raw)-1])
+	f.Add(comp[:bn254.G1BytesCompressed])
+	mut := append([]byte(nil), raw...)
+	mut[1] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ct, err := CiphertextFromBytes(b)
+		if err != nil {
+			return // rejected without panicking: the property we fuzz for
+		}
+		canon := ct.Bytes()
+		ct2, err := CiphertextFromBytes(canon)
+		if err != nil {
+			t.Fatalf("re-decoding canonical encoding of accepted input: %v", err)
+		}
+		if !bytes.Equal(ct2.Bytes(), canon) {
+			t.Fatalf("canonical round trip not stable:\n in %x\nout %x", canon, ct2.Bytes())
+		}
+		ct3, err := CiphertextFromBytes(ct.BytesCompressed())
+		if err != nil {
+			t.Fatalf("re-decoding compact encoding of accepted input: %v", err)
+		}
+		if !bytes.Equal(ct3.Bytes(), canon) {
+			t.Fatalf("compact round trip diverged from canonical:\n in %x\nout %x", canon, ct3.Bytes())
+		}
+	})
+}

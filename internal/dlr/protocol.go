@@ -184,6 +184,8 @@ func (p *P1) RunRef(rng io.Reader, ch device.Channel) error {
 
 // handleRef1 executes P2's side of the refresh protocol (step 2): sample
 // a fresh s', return f = Π f'ᵢ^s'ᵢ / fᵢ^sᵢ · fΦ, and replace sk2 ← s'.
+//
+//dlr:zeroize sk2
 func (p *P2) handleRef1(msg wire.Msg) (wire.Msg, error) {
 	cts, codec, err := hpske.DecodeListCodec(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
 	if err != nil {

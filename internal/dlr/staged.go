@@ -102,8 +102,11 @@ type StagedRefresh struct {
 // Abandon discards a staged refresh that will not be committed (e.g.
 // the commit round trip failed, or a competing rotation landed first),
 // wiping the staged period key. Safe on nil and after commit.
+//
+//dlr:zeroize nextKey
 func (st *StagedRefresh) Abandon() {
 	if st == nil || st.consumed {
+		//dlrlint:ignore zeroize-paths a nil or already-consumed staging holds no key; the consumed flag is only set after the wipe below
 		return
 	}
 	st.consumed = true
@@ -194,6 +197,8 @@ func (p *P1) StageRefresh(rng io.Reader) (*StagedRefresh, error) {
 // caller should Abandon it — though note that a failure AFTER the send
 // may leave P2 already rotated, the same partial-failure window the
 // cold protocol has; crash-safe rotation is ROADMAP item 2).
+//
+//dlr:zeroize skcomm
 func (p *P1) CommitRefresh(rng io.Reader, ch device.Channel, st *StagedRefresh) error {
 	if st == nil || st.consumed {
 		return fmt.Errorf("dlr: commit of a nil or consumed staged refresh")
@@ -286,6 +291,8 @@ func (p *P1) CommitRefresh(rng io.Reader, ch device.Channel, st *StagedRefresh) 
 // combination u' = Π f'ᵢ^s'ᵢ / f, computed over the NEW share but
 // under the OLD period key, so P1 can prewarm its batch tables from
 // the same round trip. Both devices' erasures are unchanged.
+//
+//dlr:zeroize sk2
 func (p *P2) handleRefP1(msg wire.Msg) (wire.Msg, error) {
 	cts, codec, err := hpske.DecodeListCodec(p.ssG2, msg.Payload, 2*p.prm.Ell+1)
 	if err != nil {

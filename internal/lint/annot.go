@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -30,9 +31,59 @@ import (
 // in a function's doc comment marks it as a zero-allocation hot path
 // for the hot-path-alloc analyzer; the function is expected to carry a
 // testing.AllocsPerRun gate as its runtime twin.
+//
+// The concurrency/lifecycle pack adds:
+//
+//	//dlr:atomic
+//
+// on a struct field (or package var): the value may only be touched
+// through its own atomic.* methods or by passing its address to a
+// sync/atomic function — never read plainly, assigned, or copied
+// (atomic-discipline analyzer).
+//
+//	//dlr:guarded-by <mu>
+//
+// on a struct field: every access must happen while <mu> (a sibling
+// mutex field on the same struct value) is held; on a package var, <mu>
+// names a package-level mutex (lock-discipline analyzer).
+//
+//	//dlr:locked <mu> [...]
+//
+// in a method's doc comment: the caller holds the receiver's listed
+// mutexes for the whole call, so guarded accesses inside the body are
+// legal (lock-discipline analyzer).
+//
+//	//dlr:lock-order <mu1> <mu2> ...
+//
+// anywhere in a package: declares the package's mutex acquisition
+// order by field/var name; acquiring a listed mutex while holding one
+// that appears later in the list is a finding (lock-discipline).
+//
+//	//dlr:zeroize <name> [...]
+//
+// in a function's doc comment: every successful return path (an error
+// result that is the literal nil, or any return of an error-free
+// function) must be dominated by a <recv>.<name>.Zeroize() call — the
+// listed names are receiver fields or parameters. A deferred Zeroize
+// also covers panic unwinding (zeroize-paths analyzer).
+//
+//	//dlr:borrowed [param ...]
+//
+// in a function or interface-method doc comment: bare, the results
+// alias callee-owned scratch that the next call invalidates; with
+// names, the listed parameters are borrowed inside the body. Borrowed
+// values must not outlive the call: no stores to fields/globals/maps,
+// no channel sends, no capture by escaping closures without an
+// explicit copy (payload-ownership analyzer).
 const (
-	secretMarker  = "//dlr:secret"
-	noallocMarker = "//dlr:noalloc"
+	secretMarker    = "//dlr:secret"
+	noallocMarker   = "//dlr:noalloc"
+	atomicMarker    = "//dlr:atomic"
+	guardedMarker   = "//dlr:guarded-by"
+	lockedMarker    = "//dlr:locked"
+	lockOrderMarker = "//dlr:lock-order"
+	zeroizeMarker   = "//dlr:zeroize"
+	borrowedMarker  = "//dlr:borrowed"
 )
 
 // Registry holds the module-wide annotation state shared by analyzers.
@@ -46,6 +97,24 @@ type Registry struct {
 	// secretLines are (file, line) positions of //dlr:secret comments,
 	// used for statement-level seeds inside function bodies.
 	secretLines map[string]map[int]bool
+
+	// atomicObjs are fields/vars marked //dlr:atomic.
+	atomicObjs map[types.Object]bool
+	// guardedBy maps a field/var to the name of the mutex guarding it.
+	guardedBy map[types.Object]string
+	// lockedFuncs maps a function to the receiver mutexes its caller
+	// holds (//dlr:locked).
+	lockedFuncs map[types.Object][]string
+	// lockOrder maps a package path to its declared mutex acquisition
+	// ranks (//dlr:lock-order): lower rank locks first.
+	lockOrder map[string]map[string]int
+	// zeroizeFuncs maps a function to the receiver fields / parameters
+	// it must Zeroize on every successful exit path (//dlr:zeroize).
+	zeroizeFuncs map[types.Object][]string
+	// borrowedFuncs are functions whose results borrow callee scratch.
+	borrowedFuncs map[types.Object]bool
+	// borrowedParams are parameters marked borrowed inside their body.
+	borrowedParams map[types.Object]bool
 
 	// Problems are malformed annotations found while building.
 	Problems []Diagnostic
@@ -97,6 +166,45 @@ func (r *Registry) SecretLine(file string, line int) bool {
 	return m != nil && (m[line] || m[line-1])
 }
 
+// AtomicObj reports whether obj is annotated //dlr:atomic.
+func (r *Registry) AtomicObj(obj types.Object) bool { return obj != nil && r.atomicObjs[obj] }
+
+// GuardedBy returns the mutex name guarding obj, if annotated.
+func (r *Registry) GuardedBy(obj types.Object) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	mu, ok := r.guardedBy[obj]
+	return mu, ok
+}
+
+// LockedMus returns the receiver mutexes fn's caller holds.
+func (r *Registry) LockedMus(fn types.Object) []string {
+	if fn == nil {
+		return nil
+	}
+	return r.lockedFuncs[fn]
+}
+
+// LockOrder returns the declared mutex acquisition ranks for pkgPath
+// (lower rank locks first), or nil when the package declares none.
+func (r *Registry) LockOrder(pkgPath string) map[string]int { return r.lockOrder[pkgPath] }
+
+// ZeroizeTargets returns the names fn must Zeroize before a successful
+// return, or nil when fn carries no //dlr:zeroize annotation.
+func (r *Registry) ZeroizeTargets(fn types.Object) []string {
+	if fn == nil {
+		return nil
+	}
+	return r.zeroizeFuncs[fn]
+}
+
+// BorrowedFunc reports whether fn's results are annotated //dlr:borrowed.
+func (r *Registry) BorrowedFunc(fn types.Object) bool { return fn != nil && r.borrowedFuncs[fn] }
+
+// BorrowedParam reports whether param obj is annotated borrowed.
+func (r *Registry) BorrowedParam(obj types.Object) bool { return obj != nil && r.borrowedParams[obj] }
+
 func hasMarker(groups []*ast.CommentGroup, marker string) bool {
 	for _, g := range groups {
 		if g == nil {
@@ -137,10 +245,17 @@ func markerArgs(groups []*ast.CommentGroup, marker string) ([]string, bool) {
 // here are valid in every pass, whichever package the use occurs in.
 func BuildRegistry(pkgs []*Package) *Registry {
 	r := &Registry{
-		secretObjs:  make(map[types.Object]bool),
-		secretTypes: make(map[*types.TypeName]bool),
-		noalloc:     make(map[types.Object]bool),
-		secretLines: make(map[string]map[int]bool),
+		secretObjs:     make(map[types.Object]bool),
+		secretTypes:    make(map[*types.TypeName]bool),
+		noalloc:        make(map[types.Object]bool),
+		secretLines:    make(map[string]map[int]bool),
+		atomicObjs:     make(map[types.Object]bool),
+		guardedBy:      make(map[types.Object]string),
+		lockedFuncs:    make(map[types.Object][]string),
+		lockOrder:      make(map[string]map[string]int),
+		zeroizeFuncs:   make(map[types.Object][]string),
+		borrowedFuncs:  make(map[types.Object]bool),
+		borrowedParams: make(map[types.Object]bool),
 	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -152,7 +267,8 @@ func BuildRegistry(pkgs []*Package) *Registry {
 
 func (r *Registry) scanFile(pkg *Package, f *ast.File) {
 	// Record every //dlr:secret comment position for statement-level
-	// seeds.
+	// seeds, and pick up //dlr:lock-order declarations wherever they
+	// stand in the file.
 	for _, g := range f.Comments {
 		for _, c := range g.List {
 			text := strings.TrimSpace(c.Text)
@@ -165,6 +281,9 @@ func (r *Registry) scanFile(pkg *Package, f *ast.File) {
 				}
 				m[pos.Line] = true
 			}
+			if text == lockOrderMarker || strings.HasPrefix(text, lockOrderMarker+" ") {
+				r.scanLockOrder(pkg, c)
+			}
 		}
 	}
 
@@ -176,17 +295,92 @@ func (r *Registry) scanFile(pkg *Package, f *ast.File) {
 				case *ast.TypeSpec:
 					r.scanType(pkg, d, s)
 				case *ast.ValueSpec:
-					if hasMarker([]*ast.CommentGroup{d.Doc, s.Doc, s.Comment}, secretMarker) {
+					groups := []*ast.CommentGroup{d.Doc, s.Doc, s.Comment}
+					if hasMarker(groups, secretMarker) {
 						for _, name := range s.Names {
 							if obj := pkg.Info.Defs[name]; obj != nil {
 								r.secretObjs[obj] = true
 							}
 						}
 					}
+					if hasMarker(groups, atomicMarker) {
+						for _, name := range s.Names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								r.atomicObjs[obj] = true
+							}
+						}
+					}
+					r.scanGuarded(pkg, groups, s.Names, s.Pos())
 				}
 			}
 		case *ast.FuncDecl:
 			r.scanFunc(pkg, d)
+		}
+	}
+}
+
+// scanLockOrder records one //dlr:lock-order declaration. A package
+// gets at most one order; conflicting declarations are a problem.
+func (r *Registry) scanLockOrder(pkg *Package, c *ast.Comment) {
+	names := strings.Fields(strings.TrimPrefix(strings.TrimSpace(c.Text), lockOrderMarker))
+	pos := pkg.Fset.Position(c.Pos())
+	if len(names) < 2 {
+		r.Problems = append(r.Problems, Diagnostic{
+			Analyzer: "dlrlint",
+			Pos:      pos,
+			Message:  "//dlr:lock-order must list at least two mutex names",
+		})
+		return
+	}
+	order := make(map[string]int, len(names))
+	for i, n := range names {
+		if _, dup := order[n]; dup {
+			r.Problems = append(r.Problems, Diagnostic{
+				Analyzer: "dlrlint",
+				Pos:      pos,
+				Message:  "//dlr:lock-order lists " + n + " twice",
+			})
+			return
+		}
+		order[n] = i
+	}
+	if prev, ok := r.lockOrder[pkg.Path]; ok {
+		same := len(prev) == len(order)
+		for n, i := range order {
+			if prev[n] != i {
+				same = false
+			}
+		}
+		if !same {
+			r.Problems = append(r.Problems, Diagnostic{
+				Analyzer: "dlrlint",
+				Pos:      pos,
+				Message:  "conflicting //dlr:lock-order declarations in one package",
+			})
+		}
+		return
+	}
+	r.lockOrder[pkg.Path] = order
+}
+
+// scanGuarded records //dlr:guarded-by annotations for the named
+// objects; the marker takes exactly one mutex name.
+func (r *Registry) scanGuarded(pkg *Package, groups []*ast.CommentGroup, names []*ast.Ident, pos token.Pos) {
+	args, ok := markerArgs(groups, guardedMarker)
+	if !ok {
+		return
+	}
+	if len(args) != 1 {
+		r.Problems = append(r.Problems, Diagnostic{
+			Analyzer: "dlrlint",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  "//dlr:guarded-by takes exactly one mutex name",
+		})
+		return
+	}
+	for _, name := range names {
+		if obj := pkg.Info.Defs[name]; obj != nil {
+			r.guardedBy[obj] = args[0]
 		}
 	}
 }
@@ -202,19 +396,56 @@ func (r *Registry) scanType(pkg *Package, d *ast.GenDecl, s *ast.TypeSpec) {
 			}
 		}
 	}
+	if it, ok := s.Type.(*ast.InterfaceType); ok && it.Methods != nil {
+		// Interface methods can declare the borrowed-results contract for
+		// every implementation reached through the interface.
+		for _, m := range it.Methods.List {
+			if !hasMarker([]*ast.CommentGroup{m.Doc, m.Comment}, borrowedMarker) {
+				continue
+			}
+			for _, name := range m.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					r.borrowedFuncs[obj] = true
+				}
+			}
+		}
+		return
+	}
 	st, ok := s.Type.(*ast.StructType)
 	if !ok || st.Fields == nil {
 		return
 	}
+	siblings := map[string]bool{}
 	for _, field := range st.Fields.List {
-		if !hasMarker([]*ast.CommentGroup{field.Doc, field.Comment}, secretMarker) {
-			continue
-		}
 		for _, name := range field.Names {
-			if obj := pkg.Info.Defs[name]; obj != nil {
-				r.secretObjs[obj] = true
+			siblings[name.Name] = true
+		}
+	}
+	for _, field := range st.Fields.List {
+		groups := []*ast.CommentGroup{field.Doc, field.Comment}
+		if hasMarker(groups, secretMarker) {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					r.secretObjs[obj] = true
+				}
 			}
 		}
+		if hasMarker(groups, atomicMarker) {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					r.atomicObjs[obj] = true
+				}
+			}
+		}
+		if args, ok := markerArgs(groups, guardedMarker); ok && len(args) == 1 && !siblings[args[0]] {
+			r.Problems = append(r.Problems, Diagnostic{
+				Analyzer: "dlrlint",
+				Pos:      pkg.Fset.Position(field.Pos()),
+				Message:  "//dlr:guarded-by names " + args[0] + ", which is not a field of " + s.Name.Name,
+			})
+			continue
+		}
+		r.scanGuarded(pkg, groups, field.Names, field.Pos())
 	}
 }
 
@@ -224,6 +455,7 @@ func (r *Registry) scanFunc(pkg *Package, d *ast.FuncDecl) {
 			r.noalloc[obj] = true
 		}
 	}
+	r.scanFuncLifecycle(pkg, d)
 	args, ok := markerArgs([]*ast.CommentGroup{d.Doc}, secretMarker)
 	if !ok {
 		return
@@ -263,4 +495,113 @@ func (r *Registry) scanFunc(pkg *Package, d *ast.FuncDecl) {
 		}
 		r.secretObjs[obj] = true
 	}
+}
+
+// scanFuncLifecycle records the concurrency/lifecycle markers on one
+// function declaration: //dlr:locked, //dlr:zeroize, //dlr:borrowed.
+func (r *Registry) scanFuncLifecycle(pkg *Package, d *ast.FuncDecl) {
+	doc := []*ast.CommentGroup{d.Doc}
+	fn := pkg.Info.Defs[d.Name]
+	problem := func(msg string) {
+		r.Problems = append(r.Problems, Diagnostic{
+			Analyzer: "dlrlint",
+			Pos:      pkg.Fset.Position(d.Pos()),
+			Message:  msg,
+		})
+	}
+
+	if args, ok := markerArgs(doc, lockedMarker); ok {
+		if len(args) == 0 {
+			problem("//dlr:locked must name the mutexes the caller holds")
+		} else if fn != nil {
+			r.lockedFuncs[fn] = args
+		}
+	}
+
+	if args, ok := markerArgs(doc, zeroizeMarker); ok {
+		switch {
+		case len(args) == 0:
+			problem("//dlr:zeroize must name the receiver fields or parameters to wipe")
+		case fn == nil:
+			// Type error elsewhere; nothing to record.
+		default:
+			// Each name must resolve to a receiver field or a parameter,
+			// so a rename can't silently detach the contract.
+			valid := map[string]bool{}
+			if d.Recv != nil {
+				for _, field := range d.Recv.List {
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							for _, fname := range structFieldNames(obj.Type()) {
+								valid[fname] = true
+							}
+						}
+					}
+				}
+			}
+			if d.Type.Params != nil {
+				for _, field := range d.Type.Params.List {
+					for _, name := range field.Names {
+						valid[name.Name] = true
+					}
+				}
+			}
+			ok := true
+			for _, a := range args {
+				if !valid[a] {
+					problem("//dlr:zeroize names " + a + ", which is neither a receiver field nor a parameter")
+					ok = false
+				}
+			}
+			if ok {
+				r.zeroizeFuncs[fn] = args
+			}
+		}
+	}
+
+	if args, ok := markerArgs(doc, borrowedMarker); ok {
+		if len(args) == 0 {
+			if fn != nil {
+				r.borrowedFuncs[fn] = true
+			}
+			return
+		}
+		params := map[string]types.Object{}
+		if d.Type.Params != nil {
+			for _, field := range d.Type.Params.List {
+				for _, name := range field.Names {
+					params[name.Name] = pkg.Info.Defs[name]
+				}
+			}
+		}
+		for _, a := range args {
+			obj, ok := params[a]
+			if !ok || obj == nil {
+				problem("//dlr:borrowed names unknown parameter " + a)
+				continue
+			}
+			r.borrowedParams[obj] = true
+		}
+	}
+}
+
+// structFieldNames returns the field names of the struct type behind t
+// (through pointers and named types), or nil.
+func structFieldNames(t types.Type) []string {
+	for i := 0; i < 4; i++ {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		names = append(names, st.Field(i).Name())
+	}
+	return names
 }

@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PayloadOwnership enforces the //dlr:borrowed contract: values
+// returned by an annotated producer (wire.Reader.Next / NextMux, the
+// device.Channel.Recv fast path) alias callee-owned scratch that the
+// next call to the producer overwrites. Such values may be decoded,
+// inspected and passed to ordinary calls inside the receiving frame,
+// but they must not outlive it: storing one to a field, global, map or
+// through a pointer, sending it on a channel, or capturing it in a
+// goroutine closure is a finding unless an explicit copy
+// (append([]byte(nil), p...), string(p), a decode into owned
+// structures) breaks the aliasing first.
+//
+// The tracking is intra-procedural and ordered: assigning an owned
+// value over a borrowed location (m.Payload = append([]byte(nil),
+// m.Payload...)) transfers ownership and clears the borrow, which is
+// exactly the server's refresh-path idiom. Calls other than annotated
+// producers return owned values, and returning a borrowed value to the
+// caller is allowed — that is what //dlr:borrowed on the function
+// documents.
+//
+// It also enforces annotation presence: the methods in
+// requiredBorrowed (the pooled wire reader) must carry //dlr:borrowed,
+// so removing an annotation is itself a finding.
+var PayloadOwnership = &Analyzer{
+	Name: "payload-ownership",
+	Doc:  "checks //dlr:borrowed payloads are copied before being retained",
+	Run:  runBorrowed,
+}
+
+// requiredBorrowed lists the producers that MUST carry //dlr:borrowed.
+// Matching is by package name (not path) so golden copies of the
+// packages are checked identically.
+var requiredBorrowed = []struct{ pkg, typ, fn string }{
+	{"wire", "Reader", "Next"},
+	{"wire", "Reader", "NextMux"},
+}
+
+func runBorrowed(pass *Pass) {
+	checkRequiredBorrowed(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bo := &borrowCheck{pass: pass, borrowed: map[types.Object]bool{}}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						if obj := pass.Pkg.Info.Defs[name]; obj != nil && pass.Reg.BorrowedParam(obj) {
+							bo.borrowed[obj] = true
+						}
+					}
+				}
+			}
+			bo.walkBody(fd.Body)
+		}
+	}
+}
+
+func checkRequiredBorrowed(pass *Pass) {
+	pkgName := pass.Pkg.Types.Name()
+	for _, req := range requiredBorrowed {
+		if req.pkg != pkgName {
+			continue
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != req.fn || recvTypeName(fd) != req.typ {
+					continue
+				}
+				if !pass.Reg.BorrowedFunc(pass.Pkg.Info.Defs[fd.Name]) {
+					pass.Reportf(fd.Name.Pos(), "%s.%s.%s returns pooled scratch and must be annotated //dlr:borrowed", req.pkg, req.typ, req.fn)
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName returns the base type name of fd's receiver, "" for
+// plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+type borrowCheck struct {
+	pass     *Pass
+	borrowed map[types.Object]bool
+}
+
+// walkBody visits the body in source order (which approximates control
+// flow for the straight-line read loops this guards), seeding borrows
+// from producer calls and reporting escapes.
+func (bo *borrowCheck) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			bo.assign(s)
+		case *ast.ValueSpec:
+			bo.valueSpec(s)
+		case *ast.SendStmt:
+			if bo.borrowedExpr(s.Value) {
+				bo.pass.Reportf(s.Arrow, "borrowed payload sent on a channel outlives the producing call; copy it first (append([]byte(nil), p...))")
+			}
+		case *ast.GoStmt:
+			for _, a := range s.Call.Args {
+				if bo.borrowedExpr(a) {
+					bo.pass.Reportf(a.Pos(), "borrowed payload passed to a goroutine outlives the producing call; copy it first (append([]byte(nil), p...))")
+				}
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && bo.capturesBorrowed(lit) {
+				bo.pass.Reportf(s.Pos(), "goroutine closure captures a borrowed payload; copy it before the go statement")
+			}
+		}
+		return true
+	})
+}
+
+func (bo *borrowCheck) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		b := bo.borrowedExpr(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			bo.assignOne(lhs, b)
+		}
+		return
+	}
+	if len(s.Rhs) != len(s.Lhs) {
+		return
+	}
+	for i := range s.Lhs {
+		bo.assignOne(s.Lhs[i], bo.borrowedExpr(s.Rhs[i]))
+	}
+}
+
+func (bo *borrowCheck) valueSpec(s *ast.ValueSpec) {
+	var vals []ast.Expr
+	switch {
+	case len(s.Values) == len(s.Names):
+		vals = s.Values
+	case len(s.Values) == 1:
+		vals = make([]ast.Expr, len(s.Names))
+		for i := range vals {
+			vals[i] = s.Values[0]
+		}
+	default:
+		return
+	}
+	for i, name := range s.Names {
+		if obj := bo.pass.Pkg.Info.Defs[name]; obj != nil && !neverBorrow(obj.Type()) && bo.borrowedExpr(vals[i]) {
+			bo.borrowed[obj] = true
+		}
+	}
+}
+
+func (bo *borrowCheck) assignOne(lhs ast.Expr, rhsBorrowed bool) {
+	info := bo.pass.Pkg.Info
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if obj := info.Defs[x]; obj != nil {
+			if !neverBorrow(obj.Type()) {
+				bo.borrowed[obj] = rhsBorrowed
+			}
+			return
+		}
+		obj := info.Uses[x]
+		if obj == nil || neverBorrow(obj.Type()) {
+			return
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			if rhsBorrowed {
+				bo.pass.Reportf(x.Pos(), "borrowed payload stored to package variable %s outlives the producing call; copy it first (append([]byte(nil), p...))", x.Name)
+			}
+			return
+		}
+		bo.borrowed[obj] = rhsBorrowed
+	case *ast.SelectorExpr:
+		root := bo.rootObj(x.X)
+		if root != nil && bo.borrowed[root] {
+			if !rhsBorrowed {
+				// Overwriting the aliasing field with an owned value is
+				// the copy idiom: the whole struct is owned now.
+				delete(bo.borrowed, root)
+			}
+			return
+		}
+		if rhsBorrowed {
+			bo.pass.Reportf(x.Pos(), "borrowed payload stored to a field that outlives the producing call; copy it first (append([]byte(nil), p...))")
+		}
+	case *ast.IndexExpr:
+		if !rhsBorrowed {
+			return
+		}
+		if root := bo.rootObj(x.X); root == nil || !bo.borrowed[root] {
+			bo.pass.Reportf(x.Pos(), "borrowed payload stored into a map or slice that outlives the producing call; copy it first (append([]byte(nil), p...))")
+		}
+	case *ast.StarExpr:
+		if rhsBorrowed {
+			bo.pass.Reportf(x.Pos(), "borrowed payload stored through a pointer; copy it first (append([]byte(nil), p...))")
+		}
+	}
+}
+
+// rootObj resolves the identifier at the root of an access chain.
+func (bo *borrowCheck) rootObj(e ast.Expr) types.Object {
+	info := bo.pass.Pkg.Info
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// neverBorrow reports types that cannot alias producer scratch:
+// scalars, strings (conversion copies) and errors.
+func neverBorrow(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Basic:
+		return true
+	case *types.Interface:
+		return isErrorType(t)
+	}
+	return false
+}
+
+// borrowedExpr reports whether e aliases producer scratch.
+func (bo *borrowCheck) borrowedExpr(e ast.Expr) bool {
+	info := bo.pass.Pkg.Info
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		return obj != nil && bo.borrowed[obj]
+	case *ast.SelectorExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.ParenExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.StarExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.UnaryExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.IndexExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.SliceExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return bo.borrowedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if bo.borrowedExpr(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if bo.borrowedExpr(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		return bo.capturesBorrowed(x)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			// Conversions to/from string copy; everything else (named
+			// []byte types and the like) aliases the operand.
+			if len(x.Args) != 1 {
+				return false
+			}
+			if isStringType(tv.Type) || isStringType(exprType(info, x.Args[0])) {
+				return false
+			}
+			return bo.borrowedExpr(x.Args[0])
+		}
+		switch calleeName(info, x) {
+		case "append":
+			// The result shares the first argument's backing array; a
+			// fresh first argument (append([]byte(nil), p...)) is the
+			// canonical copy.
+			return len(x.Args) > 0 && bo.borrowedExpr(x.Args[0])
+		case "len", "cap", "copy", "make", "new", "min", "max", "clear":
+			return false
+		}
+		// Ordinary calls return owned values: decoding a borrowed
+		// payload into the callee's own structures is the intended use.
+		fn := calleeFunc(info, x)
+		return fn != nil && bo.pass.Reg.BorrowedFunc(fn)
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// capturesBorrowed reports whether a function literal references a
+// currently-borrowed object from the enclosing scope.
+func (bo *borrowCheck) capturesBorrowed(lit *ast.FuncLit) bool {
+	info := bo.pass.Pkg.Info
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && bo.borrowed[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -6,9 +6,11 @@
 // public operands only; the in-place ...Into forms carry aliasing
 // preconditions; and the zero-allocation hot paths must not silently
 // regress. dlrlint turns those comments into machine-checked rules —
-// see vartime.go, aliasing.go, alloc.go and serial.go for the four
-// analyzers, annot.go for the //dlr:secret and //dlr:noalloc
-// annotation grammar, and load.go for the stdlib-only package loader.
+// see vartime.go, aliasing.go, alloc.go and serial.go for the original
+// four analyzers, atomic.go, locks.go, zeroize.go and borrowed.go for
+// the concurrency/lifecycle pack guarding the serving stack, annot.go
+// for the annotation grammar, and load.go for the stdlib-only package
+// loader.
 //
 // Findings can be suppressed, one line at a time, with
 //
@@ -16,7 +18,9 @@
 //
 // where <reason> is mandatory: an unexplained suppression is itself a
 // finding. The directive silences matching diagnostics on its own line
-// or, when it stands alone, on the line directly below it.
+// or, when it stands alone, on the line directly below it. A directive
+// that suppresses nothing is itself reported (stale ignore), so
+// suppressions cannot outlive the code they excused.
 package lint
 
 import (
@@ -77,6 +81,10 @@ func Analyzers() []*Analyzer {
 		IntoAliasing,
 		HotPathAlloc,
 		UncheckedSerialization,
+		AtomicDiscipline,
+		LockDiscipline,
+		ZeroizePaths,
+		PayloadOwnership,
 	}
 }
 
@@ -117,14 +125,25 @@ type ignoreKey struct {
 
 const ignorePrefix = "//dlrlint:ignore"
 
+// ignoreDirective tracks one well-formed directive so a suppression
+// that stops matching anything can itself be reported (stale-ignore).
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
 // applyIgnores drops diagnostics covered by well-formed ignore
-// directives and adds diagnostics for malformed ones.
+// directives, adds diagnostics for malformed ones, and reports every
+// well-formed directive that suppressed nothing — an ignore must not
+// outlive the finding it excused.
 func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	ignored := map[ignoreKey]bool{}
+	ignored := map[ignoreKey]*ignoreDirective{}
+	var directives []*ignoreDirective
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -152,22 +171,31 @@ func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []
 						// The directive covers its own line and — so it
 						// can stand above the offending statement — the
 						// next one.
-						ignored[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
-						ignored[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+						dir := &ignoreDirective{pos: pos, analyzer: fields[0]}
+						directives = append(directives, dir)
+						ignored[ignoreKey{pos.Filename, pos.Line, fields[0]}] = dir
+						ignored[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = dir
 					}
 				}
 			}
 		}
 	}
-	if len(ignored) == 0 {
-		return diags
-	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if dir := ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; dir != nil {
+			dir.used = true
 			continue
 		}
 		kept = append(kept, d)
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: "dlrlint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("stale ignore: no %s finding on this or the next line; delete the directive", dir.analyzer),
+			})
+		}
 	}
 	return kept
 }

@@ -32,7 +32,7 @@ func repoRoot(t *testing.T) string {
 }
 
 // goldenDirs are the testdata packages with `// want` expectations.
-var goldenDirs = []string{"vartime", "annot", "aliasing", "alloc", "serial"}
+var goldenDirs = []string{"vartime", "annot", "aliasing", "alloc", "serial", "atomicd", "locks", "zeroize", "borrowed"}
 
 // goldenState caches one Main run over every golden package (module
 // loading dominates the cost; one load serves all golden tests).
@@ -158,6 +158,7 @@ func TestIgnoreDirectives(t *testing.T) {
 		{"hot-path-alloc", "calls new"},           // tmp2: the unsuppressed allocation
 		{"dlrlint", "needs a reason"},             // directive without a reason
 		{"dlrlint", "malformed ignore directive"}, // unknown analyzer
+		{"dlrlint", "stale ignore"},               // well-formed directive suppressing nothing
 	}
 	if len(got) != len(wants) {
 		t.Fatalf("got %d diagnostics, want %d:\n%v", len(got), len(wants), got)
@@ -246,6 +247,126 @@ func TestUnannotatedShareIsFlagged(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("stripping //dlr:secret from P2.sk2 produced no annotation-presence finding; got %v", diags)
+	}
+}
+
+// TestUnannotatedEpochIsFlagged proves the atomic-discipline presence
+// check covers the rotation pipeline: a copy of internal/dlr with the
+// //dlr:atomic above P1.epoch stripped must trigger a finding.
+func TestUnannotatedEpochIsFlagged(t *testing.T) {
+	root := repoRoot(t)
+	src := filepath.Join(root, "internal/dlr")
+	tmp := t.TempDir()
+	des, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := false
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(raw), "\n")
+		var kept []string
+		for i, l := range lines {
+			// Drop the //dlr:atomic marker standing directly above the
+			// epoch field declaration.
+			if strings.TrimSpace(l) == "//dlr:atomic" && i+1 < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[i+1]), "epoch ") {
+				stripped = true
+				continue
+			}
+			kept = append(kept, l)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !stripped {
+		t.Fatal("did not find a //dlr:atomic marker above epoch in internal/dlr")
+	}
+	diags, err := Main(root, []string{tmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`field dlr\.P1\.epoch .*must be annotated //dlr:atomic`)
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "atomic-discipline" && re.MatchString(d.Message) {
+			found = true
+		} else {
+			t.Errorf("unexpected diagnostic on stripped copy: %s", d)
+		}
+	}
+	if !found {
+		t.Errorf("stripping //dlr:atomic from P1.epoch produced no annotation-presence finding; got %v", diags)
+	}
+}
+
+// TestAnalyzersSeeTestFilesOnce builds a throwaway module with the same
+// violation in a regular file, a _test.go file, and a build-tag-excluded
+// file. The analyzers must report the first two exactly once each and
+// never see the third.
+func TestAnalyzersSeeTestFilesOnce(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module probe\n\ngo 1.22\n")
+	write("a.go", `package probe
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	//dlr:guarded-by mu
+	n int
+}
+
+func peek(b *box) int {
+	return b.n // in-package violation
+}
+`)
+	write("a_test.go", `package probe
+
+import "testing"
+
+func TestPeek(t *testing.T) {
+	b := &box{}
+	if b.n != 0 { // test-file violation
+		t.Fatal("nonzero")
+	}
+}
+`)
+	write("excluded.go", `//go:build neverbuilt
+
+package probe
+
+func hidden(b *box) int {
+	return b.n // must not be reported: excluded by build tag
+}
+`)
+	diags, err := Main(tmp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range diags {
+		if d.Analyzer != "lock-discipline" {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		counts[filepath.Base(d.Pos.Filename)]++
+	}
+	if counts["a.go"] != 1 || counts["a_test.go"] != 1 || counts["excluded.go"] != 0 || len(diags) != 2 {
+		t.Errorf("want exactly one finding each in a.go and a_test.go and none in excluded.go, got %v", diags)
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package atomicd exercises the atomic-discipline analyzer: fields
+// annotated //dlr:atomic may only be touched through their atomic
+// methods or by &-passing them to sync/atomic functions.
+package atomicd
+
+import "sync/atomic"
+
+type counterBox struct {
+	//dlr:atomic
+	epoch atomic.Uint64
+	//dlr:atomic
+	n uint64
+	// plain carries no annotation and is never flagged.
+	plain uint64
+}
+
+func ok(b *counterBox) uint64 {
+	b.epoch.Add(1)
+	atomic.AddUint64(&b.n, 1)
+	_ = atomic.LoadUint64(&b.n)
+	_ = b.plain
+	b.plain = 7
+	return b.epoch.Load()
+}
+
+func plainRead(b *counterBox) uint64 {
+	return b.n // want `n is //dlr:atomic and may only be used through its atomic methods`
+}
+
+func plainWrite(b *counterBox) {
+	b.n = 7 // want `n is //dlr:atomic`
+}
+
+func escapedAddress(b *counterBox) *uint64 {
+	return &b.n // want `n is //dlr:atomic`
+}
+
+func methodValue(b *counterBox) func() uint64 {
+	return b.epoch.Load // want `epoch is //dlr:atomic`
+}
+
+func copied(b *counterBox) {
+	x := b.n // want `n is //dlr:atomic`
+	_ = x
+}

@@ -1,0 +1,94 @@
+// Package borrowed exercises the payload-ownership analyzer: values
+// from //dlr:borrowed producers alias callee scratch and must be
+// copied before they outlive the producing call.
+package borrowed
+
+type msg struct {
+	kind    byte
+	payload []byte
+}
+
+type reader struct {
+	scratch []byte
+}
+
+// next reuses r.scratch across calls; callers own nothing.
+//
+//dlr:borrowed
+func (r *reader) next() msg {
+	return msg{payload: r.scratch}
+}
+
+type sink struct {
+	held []byte
+}
+
+var global []byte
+
+func use([]byte) {}
+
+func okCopyAndDecode(r *reader, s *sink) {
+	m := r.next()
+	s.held = append([]byte(nil), m.payload...)
+	use(m.payload)
+	_ = string(m.payload)
+	_ = len(m.payload)
+}
+
+func okClearThenSend(r *reader, ch chan msg) {
+	m := r.next()
+	m.payload = append([]byte(nil), m.payload...)
+	ch <- m
+}
+
+func okReturn(r *reader) []byte {
+	m := r.next()
+	return m.payload
+}
+
+func fieldStore(r *reader, s *sink) {
+	m := r.next()
+	s.held = m.payload // want `borrowed payload stored to a field`
+}
+
+func globalStore(r *reader) {
+	m := r.next()
+	global = m.payload // want `borrowed payload stored to package variable global`
+}
+
+func mapStore(r *reader, tab map[int][]byte) {
+	m := r.next()
+	tab[0] = m.payload // want `borrowed payload stored into a map or slice`
+}
+
+func channelSend(r *reader, ch chan []byte) {
+	m := r.next()
+	ch <- m.payload // want `borrowed payload sent on a channel`
+}
+
+func goroutineArg(r *reader) {
+	m := r.next()
+	go use(m.payload) // want `borrowed payload passed to a goroutine`
+}
+
+func goroutineCapture(r *reader) {
+	m := r.next()
+	go func() { // want `goroutine closure captures a borrowed payload`
+		use(m.payload)
+	}()
+}
+
+func sliceAlias(r *reader, s *sink) {
+	m := r.next()
+	p := m.payload[1:]
+	s.held = p // want `borrowed payload stored to a field`
+}
+
+// handler's buf parameter is declared borrowed: the caller's read loop
+// reuses it.
+//
+//dlr:borrowed buf
+func handler(buf []byte, s *sink) {
+	use(buf)
+	s.held = buf // want `borrowed payload stored to a field`
+}

@@ -24,3 +24,10 @@ var missingReason = 0
 
 //dlrlint:ignore no-such-analyzer because reasons
 var unknownAnalyzer = 0
+
+// A well-formed directive that suppresses nothing is itself a finding
+// (stale ignore), so suppressions cannot outlive the code they
+// excused.
+//
+//dlrlint:ignore hot-path-alloc this line allocates nothing, so the directive is stale
+var staleIgnore = 0

@@ -1,0 +1,125 @@
+// Package locks exercises the lock-discipline analyzer: guarded-field
+// access, the declared lock order, and blocking operations under held
+// mutexes.
+//
+//dlr:lock-order mu wmu
+package locks
+
+import (
+	"net"
+	"sync"
+)
+
+type box struct {
+	mu  sync.Mutex
+	wmu sync.Mutex
+	//dlr:guarded-by mu
+	count int
+	//dlr:guarded-by wmu
+	pend []byte
+}
+
+func good(b *box) {
+	b.mu.Lock()
+	b.count++
+	b.mu.Unlock()
+}
+
+func goodDefer(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+func goodOrder(b *box) {
+	b.mu.Lock()
+	b.wmu.Lock()
+	b.pend = append(b.pend, byte(b.count))
+	b.wmu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockedHelper's caller holds b.mu, so the unlocked access is fine.
+//
+//dlr:locked mu
+func (b *box) lockedHelper() int {
+	return b.count
+}
+
+func branchy(b *box) {
+	b.mu.Lock()
+	if b.count > 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.count = 2
+	b.mu.Unlock()
+}
+
+func nonBlockingSend(b *box, ch chan int) {
+	b.mu.Lock()
+	select {
+	case ch <- b.count:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func unguarded(b *box) int {
+	return b.count // want `count is //dlr:guarded-by mu, which is not held here`
+}
+
+func wrongMutex(b *box) {
+	b.wmu.Lock()
+	b.count = 1 // want `count is //dlr:guarded-by mu`
+	b.wmu.Unlock()
+}
+
+func badOrder(b *box) {
+	b.wmu.Lock()
+	b.mu.Lock() // want `acquires mu while holding wmu, violating the declared //dlr:lock-order`
+	b.mu.Unlock()
+	b.wmu.Unlock()
+}
+
+func heldAcrossSend(b *box, ch chan int) {
+	b.mu.Lock()
+	ch <- 1 // want `channel send while holding b.mu`
+	b.mu.Unlock()
+}
+
+func heldAcrossSelectSend(b *box, ch chan int) {
+	b.mu.Lock()
+	select {
+	case ch <- 1: // want `channel send while holding b.mu`
+	case <-ch:
+	}
+	b.mu.Unlock()
+}
+
+func heldAcrossWrite(b *box, conn net.Conn) {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
+	if _, err := conn.Write(b.pend); err != nil { // want `call to \(net.Conn\).Write while holding b.wmu`
+		return
+	}
+	b.pend = b.pend[:0]
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	//dlr:guarded-by mu
+	v int
+}
+
+func readUnderRLock(b *rwbox) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func writeUnderRLock(b *rwbox) {
+	b.mu.RLock()
+	b.v = 1 // want `v is written while mu is held read-only`
+	b.mu.RUnlock()
+}

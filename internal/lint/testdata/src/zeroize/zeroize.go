@@ -1,0 +1,94 @@
+// Package zeroize exercises the zeroize-paths analyzer: //dlr:zeroize
+// functions must wipe their staged secret on every successful exit.
+package zeroize
+
+import "errors"
+
+type key []byte
+
+func (k key) Zeroize() {}
+
+type state struct {
+	k key
+}
+
+func cond() bool { return false }
+
+func errOp() error { return errors.New("boom") }
+
+// good wipes before the success return; the error return leaves state
+// for the caller and is exempt.
+//
+//dlr:zeroize k
+func (s *state) good(fail bool) error {
+	if fail {
+		return errOp()
+	}
+	s.k.Zeroize()
+	return nil
+}
+
+// deferred covers every exit, including panics.
+//
+//dlr:zeroize k
+func (s *state) deferred(fail bool) error {
+	defer s.k.Zeroize()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// viaParam wipes an annotated parameter.
+//
+//dlr:zeroize tmp
+func viaParam(tmp key) {
+	tmp.Zeroize()
+}
+
+//dlr:zeroize k
+func (s *state) earlyNil(fail bool) error {
+	if fail {
+		return nil // want `every successful exit of earlyNil must call s.k.Zeroize`
+	}
+	s.k.Zeroize()
+	return nil
+}
+
+//dlr:zeroize k
+func (s *state) guardReturn() {
+	if cond() {
+		return // want `every successful exit of guardReturn must call s.k.Zeroize`
+	}
+	s.k.Zeroize()
+}
+
+//dlr:zeroize k
+func (s *state) falloff() {
+	if cond() {
+		s.k.Zeroize()
+		return
+	}
+} // want `every successful exit of falloff must call s.k.Zeroize\(\) first \(//dlr:zeroize k\): falling off the end`
+
+// errorPathsExempt never wipes on failure and that is fine.
+//
+//dlr:zeroize k
+func (s *state) errorPathsExempt() error {
+	if cond() {
+		return errOp()
+	}
+	if err := errOp(); err != nil {
+		return err
+	}
+	s.k.Zeroize()
+	return nil
+}
+
+// badTarget: the annotated name must resolve against receiver fields
+// or parameters.
+//
+//dlr:zeroize missing
+func (s *state) badTarget() { // want `//dlr:zeroize names missing, which is neither a receiver field nor a parameter`
+	s.k.Zeroize()
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ZeroizePaths enforces the //dlr:zeroize contract on staged secret
+// state: every successful exit path of an annotated function must be
+// dominated by a Zeroize() call on each listed receiver field or
+// parameter. "Successful" means a return whose error result is the
+// literal nil, any return of a function without an error result, and
+// falling off the end of an error-free function — returns that hand a
+// non-nil error expression back are exempt, because the failed
+// operation leaves the old state in place for the caller to retry or
+// abandon.
+//
+// A deferred Zeroize (directly, or inside a deferred closure) covers
+// every path including panic unwinding, and is the recommended shape
+// when the function has more than one successful exit. The defer scan
+// is an over-approximation: a defer registered on only some paths is
+// credited to all of them, so keep deferred wipes unconditional.
+var ZeroizePaths = &Analyzer{
+	Name: "zeroize-paths",
+	Doc:  "checks //dlr:zeroize functions wipe staged secrets on every successful return path",
+	Run:  runZeroize,
+}
+
+func runZeroize(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pass.Pkg.Info.Defs[fd.Name]
+			targets := pass.Reg.ZeroizeTargets(fn)
+			if len(targets) == 0 {
+				continue
+			}
+			recv := ""
+			if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+				recv = fd.Recv.List[0].Names[0].Name
+			}
+			params := map[string]bool{}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						params[name.Name] = true
+					}
+				}
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			for _, target := range targets {
+				path := target
+				if !params[target] && recv != "" {
+					path = recv + "." + target
+				}
+				zc := &zeroCheck{pass: pass, fd: fd, sig: sig, path: path, target: target}
+				if zc.deferredZeroize(fd.Body) {
+					continue
+				}
+				z, term := zc.walk(fd.Body.List, false)
+				if !z && !term && (sig == nil || sig.Results().Len() == 0) {
+					// Falling off the end is an implicit (successful)
+					// return; the walk reported the explicit ones.
+					zc.report(fd.Body.Rbrace, "falling off the end")
+				}
+			}
+		}
+	}
+}
+
+type zeroCheck struct {
+	pass   *Pass
+	fd     *ast.FuncDecl
+	sig    *types.Signature
+	path   string // printed receiver path, e.g. "st.nextKey"
+	target string // annotated name, e.g. "nextKey"
+}
+
+func (zc *zeroCheck) report(pos token.Pos, where string) {
+	zc.pass.Reportf(pos, "every successful exit of %s must call %s.Zeroize() first (//dlr:zeroize %s): %s leaves the staged secret intact",
+		zc.fd.Name.Name, zc.path, zc.target, where)
+}
+
+// isZeroizeCall matches <path>.Zeroize() by printed receiver path.
+func (zc *zeroCheck) isZeroizeCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Zeroize" && types.ExprString(sel.X) == zc.path
+}
+
+// zeroizesNode reports whether any expression inside n wipes the path.
+func (zc *zeroCheck) zeroizesNode(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && zc.isZeroizeCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// deferredZeroize reports whether the body registers a deferred wipe,
+// directly or inside a deferred closure.
+func (zc *zeroCheck) deferredZeroize(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if zc.isZeroizeCall(d.Call) {
+			found = true
+		} else if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && zc.zeroizesNode(lit.Body) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// successReturn classifies a return statement: true means the function
+// succeeded and the staged secret must already be wiped.
+func (zc *zeroCheck) successReturn(ret *ast.ReturnStmt) bool {
+	if zc.sig == nil || zc.sig.Results().Len() == 0 {
+		return true
+	}
+	res := zc.sig.Results()
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return true
+	}
+	if len(ret.Results) == 0 {
+		// Bare return with named results: the error may or may not be
+		// nil; demand the wipe rather than guess.
+		return true
+	}
+	lastExpr := ret.Results[len(ret.Results)-1]
+	if id, ok := ast.Unparen(lastExpr).(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if i, ok := t.Underlying().(*types.Interface); ok {
+		return i.NumMethods() == 1 && i.Method(0).Name() == "Error" && t.String() == "error"
+	}
+	return false
+}
+
+// walk runs the zeroized-flag flow over a statement list. The bool
+// result is the flag after the list; the second result reports whether
+// every path through the list terminated (returned/branched).
+func (zc *zeroCheck) walk(list []ast.Stmt, z bool) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		z, term = zc.stmt(s, z)
+		if term {
+			return z, true
+		}
+	}
+	return z, false
+}
+
+func (zc *zeroCheck) stmt(s ast.Stmt, z bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if !z && zc.successReturn(s) {
+			zc.report(s.Pos(), "this return")
+		}
+		return z, true
+	case *ast.BranchStmt:
+		return z, true
+	case *ast.BlockStmt:
+		return zc.walk(s.List, z)
+	case *ast.LabeledStmt:
+		return zc.stmt(s.Stmt, z)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred wipes are handled by deferredZeroize; a wipe inside
+		// a goroutine does not dominate this function's returns.
+		return z, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			z, _ = zc.stmt(s.Init, z)
+		}
+		if zc.zeroizesNode(s.Cond) {
+			z = true
+		}
+		thenZ, thenTerm := zc.walk(s.Body.List, z)
+		elseZ, elseTerm := z, false
+		if s.Else != nil {
+			elseZ, elseTerm = zc.stmt(s.Else, z)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return z, true
+		case thenTerm:
+			return elseZ, false
+		case elseTerm:
+			return thenZ, false
+		default:
+			return thenZ && elseZ, false
+		}
+	case *ast.ForStmt:
+		// The body may run zero times: returns inside are checked
+		// against the loop-entry state, and a wipe inside the loop is
+		// not credited past it.
+		zc.walk(s.Body.List, z)
+		return z, false
+	case *ast.RangeStmt:
+		zc.walk(s.Body.List, z)
+		return z, false
+	case *ast.SwitchStmt:
+		return zc.clauses(s.Init, s.Body.List, z, hasDefaultCase(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		return zc.clauses(s.Init, s.Body.List, z, hasDefaultCase(s.Body.List))
+	case *ast.SelectStmt:
+		return zc.clauses(nil, s.Body.List, z, false)
+	default:
+		if zc.zeroizesNode(s) {
+			return true, false
+		}
+		return z, false
+	}
+}
+
+func hasDefaultCase(list []ast.Stmt) bool {
+	for _, cs := range list {
+		if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// clauses merges switch/select arms: the flag survives only if every
+// non-terminating arm (and, absent a default, the fall-past path) set
+// it.
+func (zc *zeroCheck) clauses(init ast.Stmt, list []ast.Stmt, z bool, exhaustive bool) (bool, bool) {
+	if init != nil {
+		z, _ = zc.stmt(init, z)
+	}
+	merged := true
+	any := false
+	for _, cs := range list {
+		var body []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		default:
+			continue
+		}
+		bz, term := zc.walk(body, z)
+		if !term {
+			merged = merged && bz
+			any = true
+		}
+	}
+	if !exhaustive {
+		merged = merged && z
+		any = true
+	}
+	if !any {
+		return z, true
+	}
+	return merged, false
+}

@@ -19,11 +19,15 @@ type Client struct {
 	conn net.Conn
 	wmu  sync.Mutex // serializes frame writes
 
-	mu      sync.Mutex
-	nextID  uint64
+	mu sync.Mutex
+	//dlr:guarded-by mu
+	nextID uint64
+	//dlr:guarded-by mu
 	pending map[uint64]chan wire.MuxMsg
+	//dlr:guarded-by mu
 	readErr error
-	closed  bool
+	//dlr:guarded-by mu
+	closed bool
 
 	// MaxBusyRetries bounds how often Decrypt retries after a
 	// srv.busy rejection before giving up. Default 64.
@@ -106,6 +110,9 @@ func (c *Client) call(kind string, payload []byte) (wire.MuxMsg, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
+	// wmu serializes concurrent Decrypt callers' frames on the shared
+	// conn; holding it across the write is its entire job.
+	//dlrlint:ignore lock-discipline wmu serializes frame writes on the shared conn; holding it across the write is its purpose
 	err := wire.WriteMux(c.conn, wire.MuxMsg{ID: id, Kind: kind, Payload: payload})
 	c.wmu.Unlock()
 	if err != nil {

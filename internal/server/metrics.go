@@ -48,11 +48,15 @@ type Metrics struct {
 	rotStallSum   atomic.Int64  // ns; Σ stalls, for the mean
 	rotRebuildSum atomic.Int64  // ns; Σ rebuild times, for the mean
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	//dlr:guarded-by mu
 	batchHist map[int]uint64 // window size → count (exact sizes)
-	latRing   []time.Duration
-	latNext   int
-	latCount  int
+	//dlr:guarded-by mu
+	latRing []time.Duration
+	//dlr:guarded-by mu
+	latNext int
+	//dlr:guarded-by mu
+	latCount int
 
 	mirror *Metrics // package aggregate; nil on the aggregate itself
 }

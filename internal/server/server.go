@@ -166,6 +166,13 @@ type tenant struct {
 }
 
 // Server is the multiplexed batch-window daemon.
+//
+// Lock order, outermost first (enforced by dlrlint lock-discipline;
+// see docs/ARCHITECTURE.md "Static analysis"). In practice the locks
+// are never nested — each protects a disjoint phase — but the declared
+// order keeps future nesting honest:
+//
+//dlr:lock-order mu refreshMu intakeMu wmu
 type Server struct {
 	cfg      Config
 	metrics  *Metrics
@@ -176,12 +183,16 @@ type Server struct {
 	// the read side, the drain flag flips under the write side, so no
 	// request can slip into a queue after draining began.
 	intakeMu sync.RWMutex
+	//dlr:guarded-by intakeMu
 	draining bool
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//dlr:guarded-by mu
 	closed bool
-	lns    map[net.Listener]struct{}
-	conns  map[net.Conn]struct{}
+	//dlr:guarded-by mu
+	lns map[net.Listener]struct{}
+	//dlr:guarded-by mu
+	conns map[net.Conn]struct{}
 
 	loopWG sync.WaitGroup // per-tenant window loops
 	connWG sync.WaitGroup // per-connection session handlers
@@ -482,11 +493,13 @@ func (s *Server) Shutdown() {
 // conn.Write per (connection, window) — 32 response syscalls become
 // one.
 type session struct {
-	conn  net.Conn
-	m     *Metrics
-	wmu   sync.Mutex
-	pend  []byte // encoded frames awaiting flush
-	npend int    // frames in pend
+	conn net.Conn
+	m    *Metrics
+	wmu  sync.Mutex
+	//dlr:guarded-by wmu
+	pend []byte // encoded frames awaiting flush
+	//dlr:guarded-by wmu
+	npend int // frames in pend
 }
 
 // send writes one mux frame immediately; on write failure the
@@ -495,6 +508,10 @@ type session struct {
 // errors, refresh acks), where there is nothing to coalesce with.
 func (ss *session) send(m wire.MuxMsg) {
 	ss.wmu.Lock()
+	// wmu is the per-connection frame serializer: holding it across the
+	// write is what keeps concurrently-answering window loops from
+	// interleaving frames. Nothing else is acquired under it.
+	//dlrlint:ignore lock-discipline wmu serializes frame writes on this conn; holding it across the write is its purpose
 	err := wire.WriteMux(ss.conn, m)
 	ss.wmu.Unlock()
 	if err != nil {
@@ -529,6 +546,9 @@ func (ss *session) flush() {
 		return
 	}
 	n, frames := len(ss.pend), ss.npend
+	// Same contract as send: wmu serializes conn writes, and the flush
+	// must be atomic with the buffer reset below.
+	//dlrlint:ignore lock-discipline wmu serializes frame writes on this conn; the flush and buffer reset must be atomic
 	_, err := ss.conn.Write(ss.pend)
 	ss.pend = ss.pend[:0]
 	ss.npend = 0
@@ -593,7 +613,12 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // handleDec parses a decrypt request and places it into its tenant's
-// window queue, applying backpressure when the queue is full.
+// window queue, applying backpressure when the queue is full. m's
+// payload is the session reader's scratch: everything that outlives
+// this call (the queued request, the respond closure) is decoded out
+// of it before returning.
+//
+//dlr:borrowed m
 func (s *Server) handleDec(ss *session, m wire.MuxMsg) {
 	p := wire.NewParser(m.Payload)
 	tenantName, err := p.Bytes()

@@ -31,12 +31,15 @@ type Store struct {
 	// transport tables, P2's share) and must not interleave.
 	protoMu sync.Mutex
 
-	pk  *dlr.PublicKey
-	p1  *dlr.P1
+	pk *dlr.PublicKey
+	//dlr:guarded-by protoMu
+	p1 *dlr.P1
+	//dlr:guarded-by protoMu
 	p2  *dlr.P2
 	ctr *opcount.Counter
 
-	cells  *Striped[*dlr.HybridCiphertext]
+	cells *Striped[*dlr.HybridCiphertext]
+	//dlr:guarded-by protoMu
 	period uint64
 }
 

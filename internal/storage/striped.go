@@ -19,7 +19,8 @@ type Striped[V any] struct {
 
 type stripedShard[V any] struct {
 	mu sync.RWMutex
-	m  map[string]V
+	//dlr:guarded-by mu
+	m map[string]V
 }
 
 // stripedShards is the stripe count. Power of two so the hash folds

@@ -212,6 +212,7 @@ func TestConcurrentPooledWrites(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				m := MuxMsg{ID: uint64(w)<<32 | uint64(i), Kind: "srv.dec", Payload: payload}
 				wmu.Lock()
+				//dlrlint:ignore lock-discipline wmu deliberately serializes writers on the shared pipe, mirroring the server's per-conn write mutex
 				err := WriteMux(c1, m)
 				wmu.Unlock()
 				if err != nil {

@@ -35,6 +35,8 @@ type Reader struct {
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // Next decodes one frame. See the type comment for payload ownership.
+//
+//dlr:borrowed
 func (rd *Reader) Next() (Msg, error) {
 	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
 		return Msg{}, fmt.Errorf("wire: reading header: %w", err)
@@ -68,6 +70,8 @@ func (rd *Reader) Next() (Msg, error) {
 
 // NextMux decodes one multiplexed frame. The payload obeys the same
 // ownership contract as Next.
+//
+//dlr:borrowed
 func (rd *Reader) NextMux() (MuxMsg, error) {
 	m, err := rd.Next()
 	if err != nil {
